@@ -1,0 +1,42 @@
+# dsmsim — build, test and reproduction targets.
+
+GO ?= go
+
+.PHONY: all test test-short bench examples paper verify-paper clean
+
+all: test
+
+# Full test suite: protocol semantics, application verification across the
+# whole protocol × granularity matrix, property tests.
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+# Quick subset (skips the mid-size sweeps and repeat runs).
+test-short:
+	$(GO) test -short ./...
+
+# One iteration of every table/figure benchmark plus the ablations, at the
+# reduced problem sizes.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Run all three examples.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/stencil
+	$(GO) run ./examples/protocols lu
+
+# Regenerate every paper table and figure at the paper's problem sizes
+# (tens of minutes; writes results_paper.txt and results.csv).
+paper:
+	$(GO) run ./cmd/dsmbench -exp all -size paper -nodes 16 \
+		-csv results.csv > results_paper.txt
+
+# Paper-scale sweep with per-run result verification (slower).
+verify-paper:
+	$(GO) run ./cmd/dsmbench -exp all -size paper -nodes 16 -verify \
+		-csv results.csv > results_paper.txt
+
+clean:
+	rm -f results.csv

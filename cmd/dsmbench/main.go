@@ -1,0 +1,83 @@
+// Command dsmbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dsmbench -exp fig1 -size paper -nodes 16      # one experiment
+//	dsmbench -exp all -size paper                 # everything, in order
+//	dsmbench -list                                # name every experiment
+//
+// Runs are cached within one invocation, so "-exp all" reuses the Figure 1
+// sweep for the fault tables and the Tables 16/17 statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dsmsim/internal/apps"
+	"dsmsim/internal/harness"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment name (see -list) or 'all'")
+		size     = flag.String("size", "small", "problem size: small or paper")
+		nodes    = flag.Int("nodes", 16, "cluster size")
+		verify   = flag.Bool("verify", false, "verify every run's numeric result (slow at paper size)")
+		progress = flag.Bool("progress", true, "print one line per completed run to stderr")
+		csvPath  = flag.String("csv", "", "append one machine-readable record per run to this file")
+		list     = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-10s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
+	opts := harness.Options{
+		Size:   apps.Small,
+		Nodes:  *nodes,
+		Verify: *verify,
+		Out:    os.Stdout,
+	}
+	if *size == "paper" {
+		opts.Size = apps.Paper
+	}
+	if *progress {
+		opts.Progress = os.Stderr
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsmbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opts.CSV = f
+	}
+	r := harness.New(opts)
+
+	run := func(e harness.Experiment) {
+		fmt.Println()
+		if err := e.Run(r); err != nil {
+			fmt.Fprintf(os.Stderr, "dsmbench: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+	}
+	if *exp == "all" {
+		for _, e := range harness.Experiments() {
+			run(e)
+		}
+		return
+	}
+	e, err := harness.Get(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmbench:", err)
+		os.Exit(1)
+	}
+	run(e)
+}

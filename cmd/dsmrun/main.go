@@ -1,0 +1,109 @@
+// Command dsmrun executes one (application, protocol, granularity,
+// notification) configuration and prints the execution time, the speedup
+// against the sequential baseline, and the full statistics breakdown.
+//
+// Usage:
+//
+//	dsmrun -app lu -protocol hlrc -block 4096 -notify polling -nodes 16 -size paper
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dsmsim"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "lu", "application: "+strings.Join(dsmsim.AppNames(), ", "))
+		protocol = flag.String("protocol", "hlrc", "coherence protocol: sc, swlrc, hlrc, dc")
+		block    = flag.Int("block", 4096, "coherence granularity in bytes (64, 256, 1024, 4096)")
+		notify   = flag.String("notify", "polling", "message notification: polling or interrupt")
+		nodes    = flag.Int("nodes", 16, "cluster size")
+		size     = flag.String("size", "small", "problem size: small or paper")
+		verify   = flag.Bool("verify", true, "check the numeric result against the sequential reference")
+		static   = flag.Bool("static-homes", false, "disable first-touch home migration (ablation)")
+		trace    = flag.String("trace", "", "write a deterministic event trace to this file")
+	)
+	flag.Parse()
+
+	sz := dsmsim.Small
+	if *size == "paper" {
+		sz = dsmsim.Paper
+	}
+	nf := dsmsim.Polling
+	if *notify == "interrupt" {
+		nf = dsmsim.Interrupt
+	}
+	cfg := dsmsim.Config{
+		Nodes: *nodes, BlockSize: *block, Protocol: *protocol,
+		Notify: nf, StaticHomes: *static,
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w := bufio.NewWriter(f)
+		defer w.Flush()
+		cfg.Trace = w
+	}
+	m, err := dsmsim.NewMachine(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	workload, err := dsmsim.NewApp(*app, sz)
+	if err != nil {
+		fatal(err)
+	}
+	var res *dsmsim.Result
+	if *verify {
+		res, err = m.RunVerified(workload)
+	} else {
+		res, err = m.Run(workload)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	// Sequential baseline for the speedup.
+	seqM, err := dsmsim.NewMachine(dsmsim.Config{Sequential: true, BlockSize: 4096})
+	if err != nil {
+		fatal(err)
+	}
+	seqApp, _ := dsmsim.NewApp(*app, sz)
+	seq, err := seqM.Run(seqApp)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s  protocol=%s  block=%dB  notify=%s  nodes=%d\n",
+		res.App, res.Protocol, res.BlockSize, res.Notify, res.Nodes)
+	fmt.Printf("  parallel time   %12v\n", res.Time)
+	fmt.Printf("  sequential time %12v\n", seq.Time)
+	fmt.Printf("  speedup         %12.2f\n", float64(seq.Time)/float64(res.Time))
+	fmt.Printf("  read faults     %12d\n", res.Total.ReadFaults)
+	fmt.Printf("  write faults    %12d\n", res.Total.WriteFaults)
+	fmt.Printf("  invalidations   %12d\n", res.Total.Invalidations)
+	fmt.Printf("  twins/diffs     %6d / %d applied %d\n", res.Total.TwinsCreated, res.Total.DiffsCreated, res.Total.DiffsApplied)
+	fmt.Printf("  write notices   %12d\n", res.Total.WriteNoticesSent)
+	fmt.Printf("  lock acquires   %12d\n", res.Total.LockAcquires)
+	fmt.Printf("  barriers/node   %12d\n", res.Total.BarrierEntries/int64(res.Nodes))
+	fmt.Printf("  messages        %12d  (%.2f MB)\n", res.NetMsgs, float64(res.NetBytes)/1e6)
+	fmt.Printf("  blocks written  %12d  (multi-writer: %d)\n", res.BlocksWritten, res.MultiWriterBlocks)
+	fmt.Printf("  time breakdown (sums over %d nodes):\n", res.Nodes)
+	fmt.Printf("    compute  %v  read-stall %v  write-stall %v\n",
+		res.Total.Compute, res.Total.ReadStall, res.Total.WriteStall)
+	fmt.Printf("    lock     %v  barrier    %v  flush       %v  stolen %v\n",
+		res.Total.LockStall, res.Total.BarrierStall, res.Total.FlushTime, res.Total.Stolen)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dsmrun:", err)
+	os.Exit(1)
+}

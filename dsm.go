@@ -1,0 +1,131 @@
+// Package dsmsim is a software distributed-shared-memory laboratory: a
+// deterministic simulation of a 16-node workstation cluster with
+// fine-grained access control, reproducing the system evaluated in
+// "Relaxed Consistency and Coherence Granularity in DSM Systems: A
+// Performance Evaluation" (Zhou, Iftode, Singh, Li, Toonen, Schoinas,
+// Hill, Wood — PPoPP 1997).
+//
+// The library provides three coherence protocols — sequential consistency
+// (SC, a Stache-style directory protocol), single-writer lazy release
+// consistency (SW-LRC), and home-based lazy release consistency (HLRC,
+// multiple writer with twins and diffs) — at any power-of-two coherence
+// granularity, over a Myrinet-calibrated network model with polling- or
+// interrupt-based message notification.
+//
+// Applications program against Ctx: typed reads and writes of a shared
+// address space (access-checked per coherence block), explicit computation
+// time, locks, and barriers. The twelve applications of the paper live in
+// internal/apps and are runnable through this package's Run helpers; new
+// workloads implement the App interface.
+//
+//	cfg := dsmsim.Config{Nodes: 16, BlockSize: 4096, Protocol: dsmsim.HLRC}
+//	res, err := dsmsim.RunApp(cfg, "lu", dsmsim.Paper)
+//
+// All timing is virtual and deterministic: identical configurations
+// produce bit-identical results.
+package dsmsim
+
+import (
+	"dsmsim/internal/apps"
+	"dsmsim/internal/core"
+	"dsmsim/internal/network"
+	"dsmsim/internal/sim"
+)
+
+// Re-exported core types: see the core package for full documentation.
+type (
+	// Config selects one point of the evaluation space.
+	Config = core.Config
+	// Machine is a configured simulated cluster.
+	Machine = core.Machine
+	// Result is the outcome of one run: execution time, per-node
+	// statistics, traffic, and the final shared image.
+	Result = core.Result
+	// Ctx is the per-node programming interface applications run against.
+	Ctx = core.Ctx
+	// Heap is the master image applications lay out during Setup.
+	Heap = core.Heap
+	// App is a workload: Setup, Run (per node), Verify.
+	App = core.App
+	// AppInfo describes an App to the runtime.
+	AppInfo = core.AppInfo
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+	// Notify selects the message-notification mechanism.
+	Notify = network.Notify
+)
+
+// Protocol names. DC (delayed consistency) is this library's extension
+// beyond the paper's three protocols: SC's directory protocol with
+// receiver-buffered invalidations applied at synchronization points, the
+// §7 future-work direction.
+const (
+	SC    = core.SC
+	SWLRC = core.SWLRC
+	HLRC  = core.HLRC
+	DC    = core.DC
+)
+
+// Notification mechanisms (§5.4 of the paper).
+const (
+	Polling   = network.Polling
+	Interrupt = network.Interrupt
+)
+
+// Virtual-time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Problem-size classes for the bundled applications.
+const (
+	// Small sizes run in milliseconds (tests, examples).
+	Small = apps.Small
+	// Paper sizes match Table 1 of the paper.
+	Paper = apps.Paper
+)
+
+// Protocols lists all protocol names in the paper's order.
+var Protocols = core.Protocols
+
+// Granularities lists the paper's coherence block sizes.
+var Granularities = core.Granularities
+
+// NewMachine validates cfg and returns a reusable machine.
+func NewMachine(cfg Config) (*Machine, error) { return core.NewMachine(cfg) }
+
+// AppNames returns the names of the twelve bundled applications.
+func AppNames() []string { return apps.Names() }
+
+// NewApp instantiates a bundled application by name at the given size.
+func NewApp(name string, size apps.SizeClass) (App, error) {
+	e, err := apps.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.New(size), nil
+}
+
+// RunApp runs a bundled application under cfg with verification.
+func RunApp(cfg Config, name string, size apps.SizeClass) (*Result, error) {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	app, err := NewApp(name, size)
+	if err != nil {
+		return nil, err
+	}
+	return m.RunVerified(app)
+}
+
+// Run runs a custom App under cfg with verification.
+func Run(cfg Config, app App) (*Result, error) {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.RunVerified(app)
+}

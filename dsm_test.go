@@ -1,0 +1,64 @@
+package dsmsim_test
+
+import (
+	"testing"
+
+	"dsmsim"
+)
+
+func TestPublicRunApp(t *testing.T) {
+	res, err := dsmsim.RunApp(dsmsim.Config{
+		Nodes: 4, BlockSize: 1024, Protocol: dsmsim.HLRC,
+	}, "lu", dsmsim.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.App != "lu" || res.Protocol != dsmsim.HLRC || res.Time <= 0 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+}
+
+func TestPublicAppRegistry(t *testing.T) {
+	names := dsmsim.AppNames()
+	if len(names) != 12 {
+		t.Fatalf("apps = %d, want the paper's 12", len(names))
+	}
+	if _, err := dsmsim.NewApp("raytrace", dsmsim.Small); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dsmsim.NewApp("nonesuch", dsmsim.Small); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestPublicConstants(t *testing.T) {
+	if len(dsmsim.Protocols) != 3 || len(dsmsim.Granularities) != 4 {
+		t.Fatalf("protocols=%v granularities=%v", dsmsim.Protocols, dsmsim.Granularities)
+	}
+	if dsmsim.Polling.String() != "polling" || dsmsim.Interrupt.String() != "interrupt" {
+		t.Fatal("notify constants wrong")
+	}
+}
+
+// TestPublicDeterminism: the promise the package documentation makes.
+func TestPublicDeterminism(t *testing.T) {
+	run := func() *dsmsim.Result {
+		res, err := dsmsim.RunApp(dsmsim.Config{
+			Nodes: 4, BlockSize: 256, Protocol: dsmsim.SWLRC,
+		}, "ocean-rowwise", dsmsim.Small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Time != b.Time || a.Total != b.Total || a.NetBytes != b.NetBytes {
+		t.Fatal("two identical runs differed")
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	if _, err := dsmsim.RunApp(dsmsim.Config{Nodes: 4, BlockSize: 100, Protocol: dsmsim.SC}, "lu", dsmsim.Small); err == nil {
+		t.Fatal("non-power-of-two block size accepted")
+	}
+}

@@ -1,0 +1,60 @@
+// Protocols: run one of the paper's bundled applications across the full
+// protocol × granularity matrix and print a miniature Figure 1 — speedups
+// over the uninstrumented sequential baseline.
+//
+// Usage:
+//
+//	go run ./examples/protocols            # LU at small size
+//	go run ./examples/protocols raytrace   # any bundled application
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dsmsim"
+)
+
+func main() {
+	app := "lu"
+	if len(os.Args) > 1 {
+		app = os.Args[1]
+	}
+
+	// Sequential baseline.
+	seqM, err := dsmsim.NewMachine(dsmsim.Config{Sequential: true, BlockSize: 4096})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seqApp, err := dsmsim.NewApp(app, dsmsim.Small)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq, err := seqM.Run(seqApp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: sequential time %v; speedups on 8 nodes:\n\n", app, seq.Time)
+
+	fmt.Printf("%-7s", "proto")
+	for _, g := range dsmsim.Granularities {
+		fmt.Printf(" %7dB", g)
+	}
+	fmt.Println()
+	for _, proto := range dsmsim.Protocols {
+		fmt.Printf("%-7s", proto)
+		for _, g := range dsmsim.Granularities {
+			res, err := dsmsim.RunApp(dsmsim.Config{
+				Nodes: 8, BlockSize: g, Protocol: proto,
+			}, app, dsmsim.Small)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %8.2f", float64(seq.Time)/float64(res.Time))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(Small problem sizes: absolute speedups are modest; run")
+	fmt.Println(" cmd/dsmbench -size paper for the paper-scale sweep.)")
+}

@@ -1,0 +1,3 @@
+module dsmsim
+
+go 1.22

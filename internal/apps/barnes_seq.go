@@ -1,0 +1,168 @@
+package apps
+
+import (
+	"math"
+
+	"dsmsim/internal/core"
+)
+
+// snode is a private octree node for the sequential reference.
+type snode struct {
+	children   [8]*snode
+	particle   int // >= 0 leaf, -1 internal
+	mass       float64
+	cx, cy, cz float64 // center of mass
+}
+
+// sequential runs the same Barnes-Hut steps on a private copy, with the
+// same opening criterion and the same child-visit order, so results match
+// the parallel run to round-off.
+func (a *Barnes) sequential(init []float64) []float64 {
+	ps := append([]float64(nil), init...)
+	half := barBox / 2
+
+	insert := func(root *snode, i int) {
+		x, y, z := ps[i*partF64s], ps[i*partF64s+1], ps[i*partF64s+2]
+		cur := root
+		cx, cy, cz, h := half, half, half, half
+		for {
+			oct, nx, ny, nz := octant(x, y, z, cx, cy, cz, h)
+			ch := cur.children[oct]
+			if ch == nil {
+				cur.children[oct] = &snode{particle: i}
+				return
+			}
+			if ch.particle >= 0 {
+				q := ch.particle
+				nc := &snode{particle: -1}
+				qoct, _, _, _ := octant(ps[q*partF64s], ps[q*partF64s+1], ps[q*partF64s+2], nx, ny, nz, h/2)
+				nc.children[qoct] = ch
+				cur.children[oct] = nc
+				cur, cx, cy, cz, h = nc, nx, ny, nz, h/2
+				continue
+			}
+			cur, cx, cy, cz, h = ch, nx, ny, nz, h/2
+		}
+	}
+
+	var com func(n *snode) (m, mx, my, mz float64)
+	com = func(n *snode) (m, mx, my, mz float64) {
+		for oct := 0; oct < 8; oct++ {
+			ch := n.children[oct]
+			if ch == nil {
+				continue
+			}
+			if ch.particle >= 0 {
+				pm := ps[ch.particle*partF64s+9]
+				m += pm
+				mx += pm * ps[ch.particle*partF64s]
+				my += pm * ps[ch.particle*partF64s+1]
+				mz += pm * ps[ch.particle*partF64s+2]
+				continue
+			}
+			cm, cmx, cmy, cmz := com(ch)
+			m += cm
+			mx += cmx
+			my += cmy
+			mz += cmz
+		}
+		n.mass = m
+		if m > 0 {
+			n.cx, n.cy, n.cz = mx/m, my/m, mz/m
+		}
+		return
+	}
+
+	force := func(root *snode, p int) (ax, ay, az float64) {
+		px, py, pz := ps[p*partF64s], ps[p*partF64s+1], ps[p*partF64s+2]
+		type frame struct {
+			n    *snode
+			half float64
+		}
+		stack := []frame{{root, half}}
+		addPoint := func(m, x, y, z float64) {
+			dx, dy, dz := x-px, y-py, z-pz
+			r2 := dx*dx + dy*dy + dz*dz + barEps
+			inv := 1 / (r2 * math.Sqrt(r2))
+			f := barG * m * inv
+			ax += f * dx
+			ay += f * dy
+			az += f * dz
+		}
+		for len(stack) > 0 {
+			fr := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if fr.n.mass == 0 {
+				continue
+			}
+			dx, dy, dz := fr.n.cx-px, fr.n.cy-py, fr.n.cz-pz
+			d2 := dx*dx + dy*dy + dz*dz
+			w := 2 * fr.half
+			if w*w < barTheta2*d2 {
+				addPoint(fr.n.mass, fr.n.cx, fr.n.cy, fr.n.cz)
+				continue
+			}
+			for oct := 7; oct >= 0; oct-- {
+				ch := fr.n.children[oct]
+				if ch == nil {
+					continue
+				}
+				if ch.particle >= 0 {
+					if ch.particle == p {
+						continue
+					}
+					addPoint(ps[ch.particle*partF64s+9], ps[ch.particle*partF64s],
+						ps[ch.particle*partF64s+1], ps[ch.particle*partF64s+2])
+					continue
+				}
+				stack = append(stack, frame{ch, fr.half / 2})
+			}
+		}
+		return
+	}
+
+	for step := 0; step < a.steps; step++ {
+		root := &snode{particle: -1}
+		for i := 0; i < a.n; i++ {
+			insert(root, i)
+		}
+		com(root)
+		acc := make([]float64, a.n*3)
+		for i := 0; i < a.n; i++ {
+			ax, ay, az := force(root, i)
+			acc[i*3], acc[i*3+1], acc[i*3+2] = ax, ay, az
+		}
+		for i := 0; i < a.n; i++ {
+			ps[i*partF64s+6], ps[i*partF64s+7], ps[i*partF64s+8] = acc[i*3], acc[i*3+1], acc[i*3+2]
+			ps[i*partF64s+3] += barDt * acc[i*3]
+			ps[i*partF64s+4] += barDt * acc[i*3+1]
+			ps[i*partF64s+5] += barDt * acc[i*3+2]
+			ps[i*partF64s+0] = clampBox(ps[i*partF64s+0] + barDt*ps[i*partF64s+3])
+			ps[i*partF64s+1] = clampBox(ps[i*partF64s+1] + barDt*ps[i*partF64s+4])
+			ps[i*partF64s+2] = clampBox(ps[i*partF64s+2] + barDt*ps[i*partF64s+5])
+		}
+	}
+	out := make([]float64, a.n*3)
+	for i := 0; i < a.n; i++ {
+		out[i*3], out[i*3+1], out[i*3+2] = ps[i*partF64s], ps[i*partF64s+1], ps[i*partF64s+2]
+	}
+	return out
+}
+
+// Verify implements core.App. The Original and Partree trees have exactly
+// the sequential reference's shape (the minimal separating octree is
+// insertion-order independent), so only round-off differs. The Spatial
+// version's fixed two-level skeleton can flip borderline opening decisions,
+// so it gets a looser tolerance.
+func (a *Barnes) Verify(h *core.Heap) error {
+	ps := h.F64s(a.parts, a.n*partF64s)
+	got := make([]float64, a.n*3)
+	for i := 0; i < a.n; i++ {
+		got[i*3], got[i*3+1], got[i*3+2] = ps[i*partF64s], ps[i*partF64s+1], ps[i*partF64s+2]
+	}
+	tol := 1e-9
+	if a.mode == BarnesSpatial {
+		tol = 1e-6
+	}
+	return checkClose(a.mode.name(), got, a.ref, tol)
+}

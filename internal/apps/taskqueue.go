@@ -1,0 +1,75 @@
+package apps
+
+import (
+	"dsmsim/internal/core"
+)
+
+// taskQueues is the distributed task-queue substrate Volrend and Raytrace
+// share: one queue per processor in shared memory, each protected by its
+// own lock. Idle processors steal from the tail of other queues, exactly
+// the structure the paper credits for those applications' communication
+// (§4: "the interesting communication occurs in task stealing using
+// distributed task queues").
+type taskQueues struct {
+	p        int
+	capacity int
+	base     []int // shared address of each queue: [head, tail, items...]
+	lockBase int   // lock id of queue q is lockBase+q
+}
+
+// newTaskQueues lays out p queues of the given capacity.
+func newTaskQueues(h *core.Heap, p, capacity, lockBase int) *taskQueues {
+	tq := &taskQueues{p: p, capacity: capacity, lockBase: lockBase}
+	for q := 0; q < p; q++ {
+		tq.base = append(tq.base, h.AllocPage((2+capacity)*8))
+	}
+	return tq
+}
+
+// masterFill writes tasks into queue q directly in the master image
+// (pre-parallel setup, no coherence traffic).
+func (tq *taskQueues) masterFill(h *core.Heap, q int, tasks []int64) {
+	if len(tasks) > tq.capacity {
+		panic("taskqueue: overflow")
+	}
+	w := h.I64s(tq.base[q], 2+len(tasks))
+	w[0], w[1] = 0, int64(len(tasks))
+	copy(w[2:], tasks)
+}
+
+// fill replaces queue q's contents under its lock (used between frames).
+func (tq *taskQueues) fill(c *core.Ctx, q int, tasks []int64) {
+	if len(tasks) > tq.capacity {
+		panic("taskqueue: overflow")
+	}
+	c.Lock(tq.lockBase + q)
+	w := c.I64sW(tq.base[q], 2+len(tasks))
+	w[0], w[1] = 0, int64(len(tasks))
+	copy(w[2:], tasks)
+	c.Unlock(tq.lockBase + q)
+}
+
+// pop takes the next task for processor me: first from its own queue's
+// head, then by stealing from the tail of the other queues. It returns
+// ok=false only when every queue was observed empty.
+func (tq *taskQueues) pop(c *core.Ctx, me int) (task int64, ok bool) {
+	for trial := 0; trial < tq.p; trial++ {
+		q := (me + trial) % tq.p
+		c.Lock(tq.lockBase + q)
+		hd := c.ReadI64(tq.base[q])
+		tl := c.ReadI64(tq.base[q] + 8)
+		if hd < tl {
+			if trial == 0 {
+				task = c.ReadI64(tq.base[q] + (2+int(hd))*8)
+				c.WriteI64(tq.base[q], hd+1)
+			} else {
+				task = c.ReadI64(tq.base[q] + (2+int(tl)-1)*8) // steal from tail
+				c.WriteI64(tq.base[q]+8, tl-1)
+			}
+			c.Unlock(tq.lockBase + q)
+			return task, true
+		}
+		c.Unlock(tq.lockBase + q)
+	}
+	return 0, false
+}

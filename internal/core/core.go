@@ -1,0 +1,351 @@
+// Package core is the DSM machine: it wires the simulation engine, network,
+// per-node address spaces, coherence protocol and synchronization manager
+// together, runs an application's parallel phase on every simulated node,
+// and gathers the results — both the final shared-memory image (for
+// verification) and the statistics the paper's tables report.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"dsmsim/internal/mem"
+	"dsmsim/internal/network"
+	"dsmsim/internal/proto"
+	"dsmsim/internal/proto/hlrc"
+	"dsmsim/internal/proto/sc"
+	"dsmsim/internal/proto/swlrc"
+	"dsmsim/internal/sim"
+	"dsmsim/internal/stats"
+	"dsmsim/internal/synch"
+	"dsmsim/internal/timing"
+)
+
+// Protocol names accepted by Config.Protocol.
+const (
+	SC    = "sc"
+	SWLRC = "swlrc"
+	HLRC  = "hlrc"
+	// DC is delayed consistency (Dubois et al.): SC's directory protocol
+	// with receiver-buffered invalidations applied at synchronization
+	// points — the extension §7 of the paper names as unexamined.
+	DC = "dc"
+)
+
+// Protocols lists the paper's three protocol names, in the paper's order
+// (the DC extension is selectable but not part of the paper's matrix).
+var Protocols = []string{SC, SWLRC, HLRC}
+
+// Granularities lists the paper's coherence block sizes.
+var Granularities = []int{64, 256, 1024, 4096}
+
+// Config selects one point of the paper's evaluation space.
+type Config struct {
+	// Nodes is the cluster size (the paper uses 16).
+	Nodes int
+	// BlockSize is the coherence granularity in bytes (power of two).
+	BlockSize int
+	// Protocol is one of SC, SWLRC, HLRC.
+	Protocol string
+	// Notify selects polling or interrupts (§5.4).
+	Notify network.Notify
+	// Model overrides the timing model; nil means timing.Default().
+	Model *timing.Model
+	// Sequential runs the uninstrumented one-node baseline used as the
+	// numerator of speedups: all blocks pre-claimed by node 0, no polling
+	// dilation, no faults.
+	Sequential bool
+	// StaticHomes disables first-touch home migration (§2): blocks stay
+	// at their round-robin static homes. An ablation knob for the
+	// design-choice benchmarks; the paper's configuration migrates.
+	StaticHomes bool
+	// SoftwareAccessCheck models an all-software system (§7's future
+	// work): instead of the Typhoon-0 hardware's free checks, every
+	// shared access pays an instrumentation cost, charged in batches at
+	// the next Compute or synchronization call. Zero uses the hardware
+	// model.
+	SoftwareAccessCheck sim.Time
+	// Limit aborts runs exceeding this much virtual time (0 = none).
+	Limit sim.Time
+	// Trace, when non-nil, receives a deterministic event log: every
+	// fault, synchronization operation, message send and message service
+	// with virtual timestamps. Traces of identical runs diff empty.
+	Trace io.Writer
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Sequential && c.Nodes == 0 {
+		c.Nodes = 1
+	}
+	if c.Nodes <= 0 || c.Nodes > 64 {
+		return fmt.Errorf("core: invalid node count %d", c.Nodes)
+	}
+	if c.BlockSize <= 0 || c.BlockSize&(c.BlockSize-1) != 0 {
+		return fmt.Errorf("core: block size %d is not a power of two", c.BlockSize)
+	}
+	switch c.Protocol {
+	case SC, SWLRC, HLRC, DC:
+	case "":
+		if !c.Sequential {
+			return fmt.Errorf("core: no protocol selected")
+		}
+		c.Protocol = SC
+	default:
+		return fmt.Errorf("core: unknown protocol %q", c.Protocol)
+	}
+	return nil
+}
+
+// AppInfo describes an application to the runtime.
+type AppInfo struct {
+	// Name identifies the application ("lu", "ocean-rowwise", ...).
+	Name string
+	// HeapBytes is the shared-heap size Setup will allocate from.
+	HeapBytes int
+	// PollDilation is the fractional slowdown of computation caused by
+	// backedge polling instrumentation (§5.4 reports 55% for LU; most
+	// applications are far lower). Applied only under polling.
+	PollDilation float64
+}
+
+// App is a workload: Setup lays out and initializes the shared heap in the
+// master image (the sequential pre-parallel phase, not timed), Run is the
+// parallel body executed by every node, and Verify checks the final image.
+type App interface {
+	Info() AppInfo
+	Setup(h *Heap)
+	Run(c *Ctx)
+	Verify(h *Heap) error
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	App       string
+	Protocol  string
+	BlockSize int
+	Notify    network.Notify
+	Nodes     int
+
+	// Time is the parallel-phase execution time.
+	Time sim.Time
+	// PerNode are the per-node statistics; Total their sum.
+	PerNode []stats.Node
+	Total   stats.Node
+	// NetMsgs and NetBytes are whole-machine traffic totals.
+	NetMsgs  int64
+	NetBytes int64
+
+	// BlocksWritten counts blocks written by at least one node, and
+	// MultiWriterBlocks those written by more than one — the paper's
+	// single- vs multiple-writer classification (Table 2).
+	BlocksWritten     int
+	MultiWriterBlocks int
+
+	// ProtoStaticBytes is the protocol's fixed metadata footprint and
+	// ProtoPeakBytes its peak dynamic allocation (HLRC twins) — the
+	// memory-utilization dimension §7 leaves unexamined.
+	ProtoStaticBytes int64
+	ProtoPeakBytes   int64
+
+	// Heap exposes the final shared image (gathered from the
+	// authoritative copies) for verification and inspection.
+	Heap *Heap
+}
+
+// Machine is a configured simulated cluster, reusable for multiple runs.
+type Machine struct {
+	cfg Config
+
+	// writers tracks, per block, the set of nodes that write-faulted on
+	// it during the current run (Table 2's writer classification).
+	writers []uint64
+}
+
+// NewMachine validates cfg and returns a machine.
+func NewMachine(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Machine{cfg: cfg}, nil
+}
+
+// Run executes the application's parallel phase and returns the results.
+// The final shared image is written back into the master heap so that
+// app.Verify can check it.
+func (m *Machine) Run(app App) (*Result, error) {
+	cfg := m.cfg
+	info := app.Info()
+	model := cfg.Model
+	if model == nil {
+		model = timing.Default()
+	}
+
+	heapSize := roundUp(info.HeapBytes, max(cfg.BlockSize, 4096))
+	master := make([]byte, heapSize)
+	heap := &Heap{alloc: mem.NewAllocator(heapSize), master: master}
+	app.Setup(heap)
+
+	engine := sim.NewEngine()
+	if cfg.Limit > 0 {
+		engine.SetLimit(cfg.Limit)
+	}
+	net := network.New(engine, model, cfg.Notify, cfg.Nodes)
+	if cfg.Trace != nil {
+		net.SetTrace(cfg.Trace)
+	}
+
+	env := &proto.Env{
+		Engine: engine,
+		Model:  model,
+		Net:    net,
+		Homes:  proto.NewHomes(cfg.Nodes, heapSize/cfg.BlockSize),
+		Log:    proto.NewLog(cfg.Nodes),
+		Master: master,
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		env.Spaces = append(env.Spaces, mem.NewSpace(heapSize, cfg.BlockSize))
+		env.Stats = append(env.Stats, &stats.Node{})
+		env.VCs = append(env.VCs, proto.NewVC(cfg.Nodes))
+	}
+
+	var p proto.Protocol
+	switch cfg.Protocol {
+	case SC:
+		p = sc.New(env)
+	case DC:
+		p = sc.NewDelayed(env)
+	case SWLRC:
+		p = swlrc.New(env)
+	case HLRC:
+		p = hlrc.New(env)
+	}
+	sy := synch.New(env)
+	sy.SetProtocol(p)
+
+	m.writers = make([]uint64, heapSize/cfg.BlockSize)
+	if !cfg.StaticHomes {
+		env.Homes.BeginFirstTouch()
+	}
+	env.SeedHomes()
+	if cfg.Sequential {
+		preclaim(env)
+	}
+
+	nodes := make([]*Node, cfg.Nodes)
+	dilation := info.PollDilation
+	if cfg.Notify != network.Polling || cfg.Sequential {
+		dilation = 0
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &Node{
+			id:       i,
+			machine:  m,
+			engine:   engine,
+			model:    model,
+			space:    env.Spaces[i],
+			stats:    env.Stats[i],
+			ep:       net.Endpoint(i),
+			protocol: p,
+			sync:     sy,
+			dilation: dilation,
+		}
+		nodes[i] = n
+		n.ep.Bind(n, m.serviceCost(sy, p), m.handler(sy, p))
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		i := i
+		n := nodes[i]
+		n.proc = engine.NewProc(fmt.Sprintf("node%d", i), 0, func(pr *sim.Proc) {
+			app.Run(&Ctx{n: n})
+		})
+		env.Procs = append(env.Procs, n.proc)
+	}
+
+	if err := engine.Run(); err != nil {
+		return nil, fmt.Errorf("core: %s/%s/%d: %w", info.Name, cfg.Protocol, cfg.BlockSize, err)
+	}
+
+	p.Finalize()
+	bs := cfg.BlockSize
+	for b := 0; b < heapSize/bs; b++ {
+		copy(master[b*bs:(b+1)*bs], p.Collect(b))
+	}
+
+	res := &Result{
+		App:       info.Name,
+		Protocol:  cfg.Protocol,
+		BlockSize: cfg.BlockSize,
+		Notify:    cfg.Notify,
+		Nodes:     cfg.Nodes,
+		Time:      engine.Now(),
+		Heap:      heap,
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		res.PerNode = append(res.PerNode, *env.Stats[i])
+		res.Total.Add(env.Stats[i])
+		s := net.Endpoint(i).Stats
+		res.NetMsgs += s.MsgsSent
+		res.NetBytes += s.BytesSent
+	}
+	for _, w := range m.writers {
+		if w == 0 {
+			continue
+		}
+		res.BlocksWritten++
+		if w&(w-1) != 0 {
+			res.MultiWriterBlocks++
+		}
+	}
+	if mr, ok := p.(proto.MemReporter); ok {
+		res.ProtoStaticBytes, res.ProtoPeakBytes = mr.MemFootprint()
+	}
+	return res, nil
+}
+
+// RunVerified runs the app and then checks its result.
+func (m *Machine) RunVerified(app App) (*Result, error) {
+	res, err := m.Run(app)
+	if err != nil {
+		return nil, err
+	}
+	if err := app.Verify(res.Heap); err != nil {
+		return nil, fmt.Errorf("core: %s verify: %w", app.Info().Name, err)
+	}
+	return res, nil
+}
+
+// serviceCost dispatches message service-cost queries by kind class.
+func (m *Machine) serviceCost(sy *synch.Sync, p proto.Protocol) network.CostFunc {
+	return func(msg *network.Msg) sim.Time {
+		if msg.Kind < proto.ProtoKindBase {
+			return sy.ServiceCost(msg)
+		}
+		return p.ServiceCost(msg)
+	}
+}
+
+// handler dispatches message handling by kind class.
+func (m *Machine) handler(sy *synch.Sync, p proto.Protocol) network.Handler {
+	return func(msg *network.Msg) {
+		if msg.Kind < proto.ProtoKindBase {
+			sy.Handle(msg)
+			return
+		}
+		p.Handle(msg)
+	}
+}
+
+// preclaim hands every block to node 0 read-write: the sequential baseline
+// has no access-control activity at all. Tags never drop, so the protocol's
+// own per-block tables are never consulted.
+func preclaim(env *proto.Env) {
+	bs := env.Spaces[0].BlockSize()
+	for b := 0; b < env.Spaces[0].NumBlocks(); b++ {
+		env.Homes.Claim(b, 0)
+		copy(env.Spaces[0].BlockData(b), env.Master[b*bs:(b+1)*bs])
+		env.Spaces[0].SetTag(b, mem.ReadWrite)
+	}
+}
+
+func roundUp(n, to int) int { return (n + to - 1) / to * to }

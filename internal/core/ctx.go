@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+
+	"dsmsim/internal/sim"
+	"dsmsim/internal/view"
+)
+
+// Ctx is the interface applications program against on each node: typed
+// reads and writes of the shared address space (access-checked at coherence
+// block granularity, like the Typhoon-0 hardware), explicit computation
+// time, and synchronization.
+//
+// Span accessors return slices aliasing the node's local copy of the
+// shared space; they run at native speed. A span is valid ONLY until the
+// next Ctx call — any DSM operation (including another access) may fault,
+// yield to the simulator, and let the protocol rewrite or invalidate the
+// underlying block. Re-acquire spans after every Ctx call.
+type Ctx struct {
+	n *Node
+}
+
+// ID returns this node's id in [0, NP).
+func (c *Ctx) ID() int { return c.n.id }
+
+// NP returns the number of nodes.
+func (c *Ctx) NP() int { return c.n.machine.cfg.Nodes }
+
+// Protocol returns the running protocol's name. Applications that need
+// extra synchronization to be release-consistent (§5.2: Barnes) use this to
+// select their SC or RC variant, exactly as the paper ran different
+// binaries per protocol.
+func (c *Ctx) Protocol() string { return c.n.machine.cfg.Protocol }
+
+// Now returns the current virtual time.
+func (c *Ctx) Now() sim.Time { return c.n.engine.Now() }
+
+// BlockSize returns the coherence granularity in bytes. Applications use
+// it to chunk writable spans at block boundaries: a write span covering
+// several contended blocks needs them all simultaneously, which real
+// per-store programs never require.
+func (c *Ctx) BlockSize() int { return c.n.space.BlockSize() }
+
+// Compute advances virtual time by d of user computation. Under polling,
+// the application's backedge instrumentation dilates this (§5.4); protocol
+// service stolen by incoming messages extends it further.
+func (c *Ctx) Compute(d sim.Time) {
+	c.n.settleChecks()
+	if d <= 0 {
+		return
+	}
+	n := c.n
+	if n.dilation > 0 {
+		d += sim.Time(float64(d) * n.dilation)
+	}
+	n.stats.Compute += d
+	target := n.engine.Now() + d
+	for {
+		n.proc.Sleep(target - n.engine.Now())
+		if n.stolen == 0 {
+			return
+		}
+		target += n.stolen
+		n.stolen = 0
+	}
+}
+
+// access validates the blocks covering [addr, addr+size) and returns the
+// bytes from the local copy. The scan restarts until one complete pass
+// finds every block valid: resolving a fault yields to the simulator, and
+// an already-validated block can be downgraded or invalidated meanwhile.
+// Only a fault-free pass — which cannot yield — guarantees the whole span
+// is simultaneously accessible when it is returned.
+func (c *Ctx) access(addr, size int, write bool) []byte {
+	n := c.n
+	sp := n.space
+	first, last := sp.BlocksIn(addr, size)
+	if n.machine.cfg.SoftwareAccessCheck > 0 {
+		n.checkDebt += int64(last - first + 1)
+	}
+	for pass := 0; ; pass++ {
+		clean := true
+		for b := first; b <= last; b++ {
+			for !sp.Tag(b).Allows(write) {
+				n.fault(b, write)
+				clean = false
+			}
+		}
+		if clean {
+			n.holdBoost = 0
+			return sp.Bytes(addr, size)
+		}
+		if pass > 0 {
+			// A block granted earlier in this access was stolen while a
+			// later one was being fetched: escalate the forward-progress
+			// window so the next grants survive together.
+			n.holdBoost++
+		}
+	}
+}
+
+// ReadF64 reads the float64 at addr.
+func (c *Ctx) ReadF64(addr int) float64 { return view.F64s(c.access(addr, 8, false))[0] }
+
+// WriteF64 writes v at addr.
+func (c *Ctx) WriteF64(addr int, v float64) { view.F64s(c.access(addr, 8, true))[0] = v }
+
+// ReadI32 reads the int32 at addr.
+func (c *Ctx) ReadI32(addr int) int32 { return view.I32s(c.access(addr, 4, false))[0] }
+
+// WriteI32 writes v at addr.
+func (c *Ctx) WriteI32(addr int, v int32) { view.I32s(c.access(addr, 4, true))[0] = v }
+
+// ReadI64 reads the int64 at addr.
+func (c *Ctx) ReadI64(addr int) int64 { return view.I64s(c.access(addr, 8, false))[0] }
+
+// WriteI64 writes v at addr.
+func (c *Ctx) WriteI64(addr int, v int64) { view.I64s(c.access(addr, 8, true))[0] = v }
+
+// BytesR returns a read-only span of size bytes at addr.
+func (c *Ctx) BytesR(addr, size int) []byte { return c.access(addr, size, false) }
+
+// BytesW returns a writable span of size bytes at addr.
+func (c *Ctx) BytesW(addr, size int) []byte { return c.access(addr, size, true) }
+
+// F64sR returns a read-only span of count float64s starting at addr.
+func (c *Ctx) F64sR(addr, count int) []float64 { return view.F64s(c.access(addr, count*8, false)) }
+
+// F64sW returns a writable span of count float64s starting at addr.
+func (c *Ctx) F64sW(addr, count int) []float64 { return view.F64s(c.access(addr, count*8, true)) }
+
+// I32sR returns a read-only span of count int32s starting at addr.
+func (c *Ctx) I32sR(addr, count int) []int32 { return view.I32s(c.access(addr, count*4, false)) }
+
+// I32sW returns a writable span of count int32s starting at addr.
+func (c *Ctx) I32sW(addr, count int) []int32 { return view.I32s(c.access(addr, count*4, true)) }
+
+// I64sR returns a read-only span of count int64s starting at addr.
+func (c *Ctx) I64sR(addr, count int) []int64 { return view.I64s(c.access(addr, count*8, false)) }
+
+// I64sW returns a writable span of count int64s starting at addr.
+func (c *Ctx) I64sW(addr, count int) []int64 { return view.I64s(c.access(addr, count*8, true)) }
+
+// Lock acquires the given lock (blocking). Locks are acquire operations in
+// the release-consistency sense: stale copies named by incoming write
+// notices are invalidated before Lock returns.
+func (c *Ctx) Lock(id int) {
+	if id < 0 {
+		panic(fmt.Sprintf("core: bad lock id %d", id))
+	}
+	n := c.n
+	n.settleChecks()
+	if w := n.machine.cfg.Trace; w != nil {
+		fmt.Fprintf(w, "%12v lock  node%d acquire %d\n", n.engine.Now(), n.id, id)
+	}
+	start := n.engine.Now()
+	n.inRuntime = true
+	n.sync.Acquire(n.id, id)
+	n.inRuntime = false
+	n.stats.LockStall += n.engine.Now() - start
+}
+
+// Unlock releases the lock: a release operation (HLRC flushes diffs here).
+func (c *Ctx) Unlock(id int) {
+	n := c.n
+	start := n.engine.Now()
+	n.inRuntime = true
+	n.sync.Release(n.id, id)
+	n.inRuntime = false
+	n.stats.LockStall += n.engine.Now() - start
+}
+
+// Barrier blocks until every node has entered it. It is both a release and
+// an acquire.
+func (c *Ctx) Barrier() {
+	n := c.n
+	n.settleChecks()
+	if w := n.machine.cfg.Trace; w != nil {
+		fmt.Fprintf(w, "%12v barr  node%d enter\n", n.engine.Now(), n.id)
+	}
+	start := n.engine.Now()
+	n.inRuntime = true
+	n.sync.Barrier(n.id)
+	n.inRuntime = false
+	n.stats.BarrierStall += n.engine.Now() - start
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"dsmsim/internal/mem"
+	"dsmsim/internal/view"
+)
+
+// Heap is the master image of the shared address space. Applications lay
+// out and initialize their shared data here during Setup (the untimed
+// sequential pre-parallel phase) and read final results here in Verify.
+type Heap struct {
+	alloc  *mem.Allocator
+	master []byte
+}
+
+// Alloc reserves n bytes aligned to align (power of two) and returns the
+// shared address.
+func (h *Heap) Alloc(n, align int) int { return h.alloc.Alloc(n, align) }
+
+// AllocF64s reserves count float64s (8-byte aligned).
+func (h *Heap) AllocF64s(count int) int { return h.alloc.Alloc(count*8, 8) }
+
+// AllocI32s reserves count int32s (4-byte aligned).
+func (h *Heap) AllocI32s(count int) int { return h.alloc.Alloc(count*4, 4) }
+
+// AllocI64s reserves count int64s (8-byte aligned).
+func (h *Heap) AllocI64s(count int) int { return h.alloc.Alloc(count*8, 8) }
+
+// AllocPage reserves n bytes aligned to a 4096-byte page, the alignment the
+// SPLASH-2 programs use for per-processor partitions.
+func (h *Heap) AllocPage(n int) int { return h.alloc.Alloc(n, 4096) }
+
+// Used returns the number of heap bytes allocated so far.
+func (h *Heap) Used() int { return h.alloc.Used() }
+
+// Bytes returns the master bytes [addr, addr+n).
+func (h *Heap) Bytes(addr, n int) []byte { return h.master[addr : addr+n : addr+n] }
+
+// F64s views count float64s at addr in the master image.
+func (h *Heap) F64s(addr, count int) []float64 { return view.F64s(h.Bytes(addr, count*8)) }
+
+// I32s views count int32s at addr in the master image.
+func (h *Heap) I32s(addr, count int) []int32 { return view.I32s(h.Bytes(addr, count*4)) }
+
+// I64s views count int64s at addr in the master image.
+func (h *Heap) I64s(addr, count int) []int64 { return view.I64s(h.Bytes(addr, count*8)) }

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"dsmsim/internal/mem"
+	"dsmsim/internal/network"
+	"dsmsim/internal/proto"
+	"dsmsim/internal/sim"
+	"dsmsim/internal/stats"
+	"dsmsim/internal/synch"
+	"dsmsim/internal/timing"
+)
+
+// Node is one simulated processor: an application proc plus the DSM runtime
+// state the protocol and notification model need.
+type Node struct {
+	id      int
+	machine *Machine
+	engine  *sim.Engine
+	model   *timing.Model
+	space   *mem.Space
+	stats   *stats.Node
+	ep      *network.Endpoint
+	proc    *sim.Proc
+
+	protocol proto.Protocol
+	sync     *synch.Sync
+
+	dilation float64
+
+	// inRuntime is true while the app thread is blocked inside the DSM
+	// runtime (fault, lock, barrier, flush); message service is then
+	// immediate instead of waiting for a poll or interrupt.
+	inRuntime bool
+
+	// stolen accumulates protocol service time charged to the current
+	// computation; Compute extends itself by this amount.
+	stolen sim.Time
+
+	// checkDebt counts shared accesses whose software-instrumentation
+	// cost (Config.SoftwareAccessCheck) has not been charged yet; it is
+	// settled at the next Compute or synchronization operation.
+	checkDebt int64
+
+	// holdBoost escalates the post-fault forward-progress window while a
+	// multi-block access keeps losing already-granted blocks; reset on
+	// every clean pass.
+	holdBoost uint
+}
+
+// settleChecks charges the accumulated software access-check cost; proc
+// context. No-op under the hardware access-control model.
+func (n *Node) settleChecks() {
+	if n.checkDebt == 0 {
+		return
+	}
+	cost := sim.Time(n.checkDebt) * n.machine.cfg.SoftwareAccessCheck
+	n.checkDebt = 0
+	n.stats.Compute += cost
+	n.proc.Sleep(cost)
+}
+
+// Computing implements network.Host.
+func (n *Node) Computing() bool { return !n.inRuntime && !n.proc.Done() }
+
+// Steal implements network.Host.
+func (n *Node) Steal(cost sim.Time) {
+	n.stolen += cost
+	n.stats.Stolen += cost
+}
+
+// fault resolves an access violation; proc context.
+func (n *Node) fault(block int, write bool) {
+	if write {
+		n.stats.WriteFaults++
+		n.machine.writers[block] |= 1 << uint(n.id)
+	} else {
+		n.stats.ReadFaults++
+	}
+	if w := n.machine.cfg.Trace; w != nil {
+		kind := "read"
+		if write {
+			kind = "write"
+		}
+		fmt.Fprintf(w, "%12v fault node%d %s block=%d\n", n.engine.Now(), n.id, kind, block)
+	}
+	start := n.engine.Now()
+	n.inRuntime = true
+	n.proc.Sleep(n.model.FaultDelivery)
+	n.protocol.Fault(n.id, block, write)
+	n.inRuntime = false
+	if n.holdBoost == 0 {
+		n.ep.Holdoff()
+	} else {
+		// Contended multi-block access: widen the window exponentially
+		// (capped at 2 ms) so the whole span survives one clean pass.
+		d := n.model.PollDelay << min(n.holdBoost, 10)
+		if limit := 2 * sim.Millisecond; d > limit {
+			d = limit
+		}
+		n.ep.HoldoffFor(d)
+	}
+	if write {
+		n.stats.WriteStall += n.engine.Now() - start
+	} else {
+		n.stats.ReadStall += n.engine.Now() - start
+	}
+}

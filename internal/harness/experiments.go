@@ -1,0 +1,285 @@
+package harness
+
+import (
+	"fmt"
+
+	"dsmsim/internal/apps"
+	"dsmsim/internal/core"
+	"dsmsim/internal/network"
+	"dsmsim/internal/sim"
+)
+
+// sizeLabel describes the problem size used (Table 1's sizes at Paper
+// scale; the reduced test sizes otherwise).
+var sizeLabel = map[string][2]string{
+	"lu":               {"1024×1024 matrix, 16×16 blocks", "64×64 matrix, 8×8 blocks"},
+	"fft":              {"1M complex points", "4K complex points"},
+	"ocean-original":   {"514×514 grid", "66×66 grid"},
+	"ocean-rowwise":    {"514×514 grid", "66×66 grid"},
+	"water-nsquared":   {"4096 molecules, 3 steps", "64 molecules, 2 steps"},
+	"water-spatial":    {"4096 molecules, 5 steps", "64 molecules, 2 steps"},
+	"volrend-original": {"128³ volume, 4 frames", "32³ volume, 2 frames"},
+	"volrend-rowwise":  {"128³ volume, 4 frames", "32³ volume, 2 frames"},
+	"raytrace":         {"256×256 image, 512 spheres", "32×32 image, 32 spheres"},
+	"barnes-original":  {"16384 particles, 2 steps", "128 particles, 2 steps"},
+	"barnes-partree":   {"16384 particles, 2 steps", "128 particles, 2 steps"},
+	"barnes-spatial":   {"16384 particles, 2 steps", "128 particles, 2 steps"},
+}
+
+func (r *Runner) label(app string) string {
+	l, ok := sizeLabel[app]
+	if !ok {
+		return "?"
+	}
+	if r.opts.Size == apps.Paper {
+		return l[0]
+	}
+	return l[1]
+}
+
+// Table1 prints problem sizes and sequential execution times for the eight
+// base benchmarks.
+func (r *Runner) Table1() error {
+	r.printf("Table 1: Benchmarks, problem sizes, and sequential execution times\n")
+	r.printf("%-18s %-32s %s\n", "Benchmark", "Problem Size", "Sequential Time")
+	for _, app := range apps.Originals() {
+		t, err := r.Sequential(app)
+		if err != nil {
+			return err
+		}
+		r.printf("%-18s %-32s %10.3fs\n", app, r.label(app), float64(t)/float64(sim.Second))
+	}
+	return nil
+}
+
+// Fig1 prints the speedups of all twelve applications for every protocol ×
+// granularity combination under polling.
+func (r *Runner) Fig1() error {
+	r.printf("Figure 1: Speedups on %d nodes (polling)\n", r.opts.Nodes)
+	r.printf("%-18s %-6s %8s %8s %8s %8s\n", "Application", "Proto", "64B", "256B", "1KB", "4KB")
+	for _, e := range apps.All() {
+		for _, p := range core.Protocols {
+			r.printf("%-18s %-6s", e.Name, p)
+			for _, g := range core.Granularities {
+				s, err := r.Speedup(e.Name, p, g, network.Polling)
+				if err != nil {
+					return err
+				}
+				r.printf(" %8.2f", s)
+			}
+			r.printf("\n")
+		}
+	}
+	return nil
+}
+
+// Table2 prints the sharing-pattern and synchronization classification.
+func (r *Runner) Table2() error {
+	r.printf("Table 2: Classification of sharing patterns and synchronization granularity\n")
+	r.printf("%-18s %-8s %12s %10s %9s %10s %10s\n",
+		"Application", "Writers", "CompPerSync", "Barriers", "Locks", "BestSpeed", "Best@")
+	for _, e := range apps.All() {
+		// Classify from the paper's page-granularity HLRC run (sharing
+		// patterns are properties of the program, not the protocol).
+		res, err := r.Result(e.Name, core.HLRC, 4096, network.Polling)
+		if err != nil {
+			return err
+		}
+		writers := "single"
+		if res.MultiWriterBlocks > res.BlocksWritten/20 {
+			writers = "multiple"
+		}
+		syncs := res.Total.LockAcquires + res.Total.BarrierEntries
+		comp := "-"
+		if syncs > 0 {
+			per := res.Total.Compute / sim.Time(syncs)
+			comp = per.String()
+		}
+		best, bestAt := 0.0, ""
+		for _, p := range core.Protocols {
+			for _, g := range core.Granularities {
+				s, err := r.Speedup(e.Name, p, g, network.Polling)
+				if err != nil {
+					return err
+				}
+				if s > best {
+					best, bestAt = s, fmt.Sprintf("%s-%d", p, g)
+				}
+			}
+		}
+		r.printf("%-18s %-8s %12s %10d %9d %10.2f %10s\n",
+			e.Name, writers, comp,
+			res.Total.BarrierEntries/int64(r.opts.Nodes),
+			res.Total.LockAcquires, best, bestAt)
+	}
+	return nil
+}
+
+// FaultTable prints per-protocol, per-granularity read and write fault
+// counts for one application (the paper's Tables 3–14).
+func (r *Runner) FaultTable(app string) error {
+	r.printf("Fault counts for %s (totals over %d nodes)\n", app, r.opts.Nodes)
+	r.printf("%-6s %-6s %10s %10s %10s %10s\n", "Fault", "Proto", "64B", "256B", "1KB", "4KB")
+	for _, kind := range []string{"read", "write"} {
+		for _, p := range core.Protocols {
+			r.printf("%-6s %-6s", kind, p)
+			for _, g := range core.Granularities {
+				res, err := r.Result(app, p, g, network.Polling)
+				if err != nil {
+					return err
+				}
+				v := res.Total.ReadFaults
+				if kind == "write" {
+					v = res.Total.WriteFaults
+				}
+				r.printf(" %10d", v)
+			}
+			r.printf("\n")
+		}
+	}
+	return nil
+}
+
+// Table15 prints Barnes-Original's data traffic across protocols and
+// granularities (the paper's fragmentation analysis: HLRC at 4 KB moves
+// far more data than SC at 64 B, and SW-LRC roughly doubles HLRC).
+func (r *Runner) Table15() error {
+	const app = "barnes-original"
+	r.printf("Table 15: %s data traffic (MB total)\n", app)
+	r.printf("%-6s %10s %10s %10s %10s\n", "Proto", "64B", "256B", "1KB", "4KB")
+	for _, p := range core.Protocols {
+		r.printf("%-6s", p)
+		for _, g := range core.Granularities {
+			res, err := r.Result(app, p, g, network.Polling)
+			if err != nil {
+				return err
+			}
+			r.printf(" %10.2f", float64(res.NetBytes)/1e6)
+		}
+		r.printf("\n")
+	}
+	return nil
+}
+
+// reTable computes the HM-of-relative-efficiency table over the given
+// speedup function (Tables 16 and 17 share this shape).
+func (r *Runner) reTable(title string, speedup func(app, proto string, g int) (float64, error), appsList []string) error {
+	// Collect all speedups.
+	sp := map[string]map[string]map[int]float64{}
+	for _, app := range appsList {
+		sp[app] = map[string]map[int]float64{}
+		for _, p := range core.Protocols {
+			sp[app][p] = map[int]float64{}
+			for _, g := range core.Granularities {
+				s, err := speedup(app, p, g)
+				if err != nil {
+					return err
+				}
+				sp[app][p][g] = s
+			}
+		}
+	}
+	maxOf := func(app string) float64 {
+		best := 0.0
+		for _, p := range core.Protocols {
+			for _, g := range core.Granularities {
+				if sp[app][p][g] > best {
+					best = sp[app][p][g]
+				}
+			}
+		}
+		return best
+	}
+	re := func(app, p string, g int) float64 { return sp[app][p][g] / maxOf(app) }
+
+	r.printf("%s\n", title)
+	r.printf("%-8s %8s %8s %8s %8s %8s\n", "Proto", "64B", "256B", "1KB", "4KB", "g_best")
+	for _, p := range core.Protocols {
+		r.printf("%-8s", p)
+		for _, g := range core.Granularities {
+			var res []float64
+			for _, app := range appsList {
+				res = append(res, re(app, p, g))
+			}
+			r.printf(" %8.3f", harmonicMean(res))
+		}
+		// g_best: best granularity per application for this protocol.
+		var best []float64
+		for _, app := range appsList {
+			b := 0.0
+			for _, g := range core.Granularities {
+				if re(app, p, g) > b {
+					b = re(app, p, g)
+				}
+			}
+			best = append(best, b)
+		}
+		r.printf(" %8.3f\n", harmonicMean(best))
+	}
+	// p_best row: best protocol per application for each granularity.
+	r.printf("%-8s", "p_best")
+	for _, g := range core.Granularities {
+		var best []float64
+		for _, app := range appsList {
+			b := 0.0
+			for _, p := range core.Protocols {
+				if re(app, p, g) > b {
+					b = re(app, p, g)
+				}
+			}
+			best = append(best, b)
+		}
+		r.printf(" %8.3f", harmonicMean(best))
+	}
+	r.printf(" %8.3f\n", 1.0)
+	return nil
+}
+
+// Table16 uses only the original implementation of each application.
+func (r *Runner) Table16() error {
+	return r.reTable(
+		"Table 16: HM of relative efficiency (original implementations)",
+		func(app, p string, g int) (float64, error) { return r.Speedup(app, p, g, network.Polling) },
+		apps.Originals())
+}
+
+// Table17 picks, per (protocol, granularity), the best version of each
+// benchmark.
+func (r *Runner) Table17() error {
+	return r.reTable(
+		"Table 17: HM of relative efficiency (best version per combination)",
+		func(base, p string, g int) (float64, error) {
+			best := 0.0
+			for _, v := range apps.Versions(base) {
+				s, err := r.Speedup(v, p, g, network.Polling)
+				if err != nil {
+					return 0, err
+				}
+				if s > best {
+					best = s
+				}
+			}
+			return best, nil
+		},
+		apps.Bases())
+}
+
+// Fig2 prints LU and Water-Nsquared speedups under the interrupt mechanism.
+func (r *Runner) Fig2() error {
+	r.printf("Figure 2: Speedups with the interrupt mechanism\n")
+	r.printf("%-18s %-6s %8s %8s %8s %8s\n", "Application", "Proto", "64B", "256B", "1KB", "4KB")
+	for _, app := range []string{"lu", "water-nsquared"} {
+		for _, p := range core.Protocols {
+			r.printf("%-18s %-6s", app, p)
+			for _, g := range core.Granularities {
+				s, err := r.Speedup(app, p, g, network.Interrupt)
+				if err != nil {
+					return err
+				}
+				r.printf(" %8.2f", s)
+			}
+			r.printf("\n")
+		}
+	}
+	return nil
+}

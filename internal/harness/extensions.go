@@ -1,0 +1,212 @@
+package harness
+
+import (
+	"fmt"
+
+	"dsmsim/internal/apps"
+	"dsmsim/internal/core"
+	"dsmsim/internal/network"
+	"dsmsim/internal/sim"
+)
+
+// The experiments below cover the dimensions §7 of the paper lists as
+// unexamined: memory utilization, larger clusters (the paper's footnote
+// hoped for 32-node runs), and all-software access control.
+
+func init() {
+	extensions = []Experiment{
+		{"memory", "Protocol memory utilization by granularity (§7 future work)", (*Runner).MemoryTable},
+		{"scaling", "Speedup vs cluster size, 1-32 nodes (§7: the hoped-for 32-node runs)", (*Runner).ScalingTable},
+		{"software", "All-software access control: instrumented check cost (§7 future work)", (*Runner).SoftwareTable},
+		{"delayed", "Delayed consistency vs SC across granularities (§7 future work)", (*Runner).DelayedTable},
+		{"bigblocks", "Granularities beyond 4096 bytes (§7: not studied in the paper)", (*Runner).BigBlocksTable},
+		{"breakdown", "Execution-time breakdown per application at the paper's two headline points", (*Runner).BreakdownTable},
+	}
+}
+
+// extensions is appended to Experiments by the registry.
+var extensions []Experiment
+
+// MemoryTable reports each protocol's metadata footprint and peak dynamic
+// allocation across granularities, for a representative multiple-writer
+// application (finer blocks mean more per-block state; HLRC additionally
+// twins).
+func (r *Runner) MemoryTable() error {
+	const app = "water-spatial"
+	r.printf("Protocol memory utilization for %s (KB)\n", app)
+	r.printf("%-6s %-8s %10s %10s %10s %10s\n", "Proto", "Kind", "64B", "256B", "1KB", "4KB")
+	for _, p := range core.Protocols {
+		for _, kind := range []string{"static", "peak-dyn"} {
+			r.printf("%-6s %-8s", p, kind)
+			for _, g := range core.Granularities {
+				res, err := r.Result(app, p, g, network.Polling)
+				if err != nil {
+					return err
+				}
+				v := res.ProtoStaticBytes
+				if kind == "peak-dyn" {
+					v = res.ProtoPeakBytes
+				}
+				r.printf(" %10.1f", float64(v)/1024)
+			}
+			r.printf("\n")
+		}
+	}
+	return nil
+}
+
+// ScalingTable prints speedups at page granularity across cluster sizes
+// for one regular and one irregular application.
+func (r *Runner) ScalingTable() error {
+	sizes := []int{1, 2, 4, 8, 16, 32}
+	r.printf("Speedup vs cluster size (HLRC, 4096B)\n")
+	r.printf("%-18s", "Application")
+	for _, n := range sizes {
+		r.printf(" %6dp", n)
+	}
+	r.printf("\n")
+	for _, app := range []string{"lu", "water-nsquared"} {
+		seq, err := r.Sequential(app)
+		if err != nil {
+			return err
+		}
+		r.printf("%-18s", app)
+		for _, n := range sizes {
+			entry, err := apps.Get(app)
+			if err != nil {
+				return err
+			}
+			m, err := core.NewMachine(core.Config{
+				Nodes: n, BlockSize: 4096, Protocol: core.HLRC, Limit: r.opts.Limit,
+			})
+			if err != nil {
+				return err
+			}
+			res, err := r.runMachine(m, entry)
+			if err != nil {
+				return err
+			}
+			r.progress("run  %-18s hlrc  4096B %2d nodes T=%v", app, n, res.Time)
+			r.printf(" %7.2f", float64(seq)/float64(res.Time))
+		}
+		r.printf("\n")
+	}
+	return nil
+}
+
+// BreakdownTable prints each application's execution-time components —
+// the per-category analysis style of §5.2 — under the paper's two headline
+// configurations, SC-64 and HLRC-4096. Percentages are of summed node
+// time; "proto" is read/write fault stall plus flush, "sync" is lock plus
+// barrier stall.
+func (r *Runner) BreakdownTable() error {
+	r.printf("Execution-time breakdown (%% of summed node time)\n")
+	r.printf("%-18s %-10s %8s %8s %8s %8s\n", "Application", "Config", "compute", "proto", "sync", "stolen")
+	for _, e := range apps.All() {
+		for _, cfg := range []struct {
+			proto string
+			g     int
+		}{{core.SC, 64}, {core.HLRC, 4096}} {
+			res, err := r.Result(e.Name, cfg.proto, cfg.g, network.Polling)
+			if err != nil {
+				return err
+			}
+			tot := res.Total
+			sum := tot.Compute + tot.ReadStall + tot.WriteStall + tot.LockStall + tot.BarrierStall + tot.FlushTime
+			if sum == 0 {
+				continue
+			}
+			pct := func(x sim.Time) float64 { return 100 * float64(x) / float64(sum) }
+			r.printf("%-18s %-10s %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+				e.Name, fmt.Sprintf("%s-%d", cfg.proto, cfg.g),
+				pct(tot.Compute), pct(tot.ReadStall+tot.WriteStall+tot.FlushTime),
+				pct(tot.LockStall+tot.BarrierStall), pct(tot.Stolen))
+		}
+	}
+	return nil
+}
+
+// BigBlocksTable extends Figure 1 past the paper's 4096-byte limit: for a
+// coarse-grain application prefetching keeps helping; for a fine-grain
+// multiple-writer one, fragmentation and false sharing keep growing.
+func (r *Runner) BigBlocksTable() error {
+	blocks := []int{4096, 8192, 16384}
+	r.printf("Block sizes beyond 4096 bytes (speedups)\n")
+	r.printf("%-18s %-6s %8s %8s %8s\n", "Application", "Proto", "4KB", "8KB", "16KB")
+	for _, app := range []string{"lu", "water-spatial"} {
+		for _, p := range []string{core.SC, core.HLRC} {
+			r.printf("%-18s %-6s", app, p)
+			for _, g := range blocks {
+				s, err := r.Speedup(app, p, g, network.Polling)
+				if err != nil {
+					return err
+				}
+				r.printf(" %8.2f", s)
+			}
+			r.printf("\n")
+		}
+	}
+	return nil
+}
+
+// DelayedTable compares SC against the delayed-consistency extension on
+// the applications most exposed to SC's false-sharing ping-pong (§5.4's
+// "interrupts approximate delayed consistency" observation, made explicit).
+func (r *Runner) DelayedTable() error {
+	r.printf("Delayed consistency vs SC (speedups, polling)\n")
+	r.printf("%-18s %-6s %8s %8s %8s %8s\n", "Application", "Proto", "64B", "256B", "1KB", "4KB")
+	for _, app := range []string{"ocean-rowwise", "volrend-original"} {
+		for _, p := range []string{core.SC, core.DC} {
+			r.printf("%-18s %-6s", app, p)
+			for _, g := range core.Granularities {
+				s, err := r.Speedup(app, p, g, network.Polling)
+				if err != nil {
+					return err
+				}
+				r.printf(" %8.2f", s)
+			}
+			r.printf("\n")
+		}
+	}
+	return nil
+}
+
+// SoftwareTable compares the hardware access-control baseline against
+// all-software instrumentation at three per-check costs, on the
+// fine-grain-friendly SC-64 configuration where checks are most frequent.
+func (r *Runner) SoftwareTable() error {
+	const app = "ocean-rowwise"
+	entry, err := apps.Get(app)
+	if err != nil {
+		return err
+	}
+	seq, err := r.Sequential(app)
+	if err != nil {
+		return err
+	}
+	r.printf("All-software access control, %s under SC (speedup on %d nodes)\n", app, r.opts.Nodes)
+	r.printf("%-22s %8s %8s\n", "Check cost", "64B", "4096B")
+	for _, check := range []sim.Time{0, 100, 500} {
+		label := "hardware (T0)"
+		if check > 0 {
+			label = check.String() + "/check"
+		}
+		r.printf("%-22s", label)
+		for _, g := range []int{64, 4096} {
+			m, err := core.NewMachine(core.Config{
+				Nodes: r.opts.Nodes, BlockSize: g, Protocol: core.SC,
+				SoftwareAccessCheck: check, Limit: r.opts.Limit,
+			})
+			if err != nil {
+				return err
+			}
+			res, err := r.runMachine(m, entry)
+			if err != nil {
+				return err
+			}
+			r.printf(" %8.2f", float64(seq)/float64(res.Time))
+		}
+		r.printf("\n")
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§5): the speedup curves of Figure 1 and Figure 2, the
+// classification of Table 2, the per-application fault-count tables, the
+// Barnes data-traffic comparison, and the relative-efficiency harmonic
+// means of Tables 16 and 17.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dsmsim/internal/apps"
+	"dsmsim/internal/core"
+	"dsmsim/internal/network"
+	"dsmsim/internal/sim"
+)
+
+// Options configures a Runner.
+type Options struct {
+	// Size selects problem scale (apps.Paper reproduces Table 1's sizes).
+	Size apps.SizeClass
+	// Nodes is the cluster size (the paper uses 16).
+	Nodes int
+	// Verify re-checks every run's numeric result against the sequential
+	// reference (slower; always on for Small).
+	Verify bool
+	// Out receives the rendered tables.
+	Out io.Writer
+	// Progress, if non-nil, receives one line per completed run.
+	Progress io.Writer
+	// CSV, if non-nil, receives one machine-readable record per completed
+	// run (header written lazily) for plotting and downstream analysis.
+	CSV io.Writer
+	// Limit bounds each run's virtual time (0 = a generous default).
+	Limit sim.Time
+}
+
+type runKey struct {
+	app    string
+	proto  string
+	block  int
+	notify network.Notify
+}
+
+// Runner executes and caches simulation runs; experiments share results
+// (the fault tables reuse Figure 1's runs, for example).
+type Runner struct {
+	opts      Options
+	seq       map[string]sim.Time
+	cache     map[runKey]*core.Result
+	csvHeader bool
+}
+
+// New creates a Runner.
+func New(opts Options) *Runner {
+	if opts.Nodes == 0 {
+		opts.Nodes = 16
+	}
+	if opts.Limit == 0 {
+		opts.Limit = 100000 * sim.Second
+	}
+	return &Runner{opts: opts, seq: map[string]sim.Time{}, cache: map[runKey]*core.Result{}}
+}
+
+// Sequential returns the uninstrumented one-node baseline time for app.
+func (r *Runner) Sequential(app string) (sim.Time, error) {
+	if t, ok := r.seq[app]; ok {
+		return t, nil
+	}
+	entry, err := apps.Get(app)
+	if err != nil {
+		return 0, err
+	}
+	m, err := core.NewMachine(core.Config{
+		Sequential: true, BlockSize: 4096, Limit: r.opts.Limit,
+	})
+	if err != nil {
+		return 0, err
+	}
+	res, err := r.runMachine(m, entry)
+	if err != nil {
+		return 0, err
+	}
+	r.progress("seq  %-18s T=%v", app, res.Time)
+	r.seq[app] = res.Time
+	return res.Time, nil
+}
+
+// Result runs (or returns the cached run of) one configuration.
+func (r *Runner) Result(app, proto string, block int, notify network.Notify) (*core.Result, error) {
+	k := runKey{app, proto, block, notify}
+	if res, ok := r.cache[k]; ok {
+		return res, nil
+	}
+	entry, err := apps.Get(app)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.NewMachine(core.Config{
+		Nodes: r.opts.Nodes, BlockSize: block, Protocol: proto,
+		Notify: notify, Limit: r.opts.Limit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := r.runMachine(m, entry)
+	if err != nil {
+		return nil, err
+	}
+	r.progress("run  %-18s %-5s %4dB %-9s T=%v", app, proto, block, notify, res.Time)
+	r.csv(res)
+	r.cache[k] = res
+	return res, nil
+}
+
+// csv emits one machine-readable record per run.
+func (r *Runner) csv(res *core.Result) {
+	if r.opts.CSV == nil {
+		return
+	}
+	if !r.csvHeader {
+		fmt.Fprintln(r.opts.CSV, "app,protocol,block,notify,nodes,time_ns,read_faults,write_faults,invalidations,twins,diffs,write_notices,lock_acquires,barrier_entries,net_msgs,net_bytes")
+		r.csvHeader = true
+	}
+	t := res.Total
+	fmt.Fprintf(r.opts.CSV, "%s,%s,%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		res.App, res.Protocol, res.BlockSize, res.Notify, res.Nodes, int64(res.Time),
+		t.ReadFaults, t.WriteFaults, t.Invalidations, t.TwinsCreated, t.DiffsCreated,
+		t.WriteNoticesSent, t.LockAcquires, t.BarrierEntries, res.NetMsgs, res.NetBytes)
+}
+
+func (r *Runner) runMachine(m *core.Machine, entry apps.Entry) (*core.Result, error) {
+	app := entry.New(r.opts.Size)
+	if r.opts.Verify || r.opts.Size == apps.Small {
+		return m.RunVerified(app)
+	}
+	return m.Run(app)
+}
+
+// Speedup returns T_seq / T_par for one configuration.
+func (r *Runner) Speedup(app, proto string, block int, notify network.Notify) (float64, error) {
+	seq, err := r.Sequential(app)
+	if err != nil {
+		return 0, err
+	}
+	res, err := r.Result(app, proto, block, notify)
+	if err != nil {
+		return 0, err
+	}
+	return float64(seq) / float64(res.Time), nil
+}
+
+func (r *Runner) progress(format string, args ...any) {
+	if r.opts.Progress != nil {
+		fmt.Fprintf(r.opts.Progress, format+"\n", args...)
+	}
+}
+
+func (r *Runner) printf(format string, args ...any) {
+	fmt.Fprintf(r.opts.Out, format, args...)
+}
+
+// harmonicMean returns the harmonic mean of xs.
+func harmonicMean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += 1 / x
+	}
+	return float64(len(xs)) / s
+}
+
+// Experiment names one regenerable table or figure.
+type Experiment struct {
+	Name string
+	Desc string
+	Run  func(r *Runner) error
+}
+
+// Experiments lists every experiment in paper order.
+func Experiments() []Experiment {
+	exps := []Experiment{
+		{"table1", "Benchmarks, problem sizes, sequential execution times", (*Runner).Table1},
+		{"fig1", "Speedups: 12 apps × 3 protocols × 4 granularities (polling)", (*Runner).Fig1},
+		{"table2", "Classification of sharing patterns and synchronization granularity", (*Runner).Table2},
+	}
+	faultApps := []struct{ exp, app string }{
+		{"table3", "lu"}, {"table4", "ocean-rowwise"}, {"table5", "ocean-original"},
+		{"table6", "fft"}, {"table7", "water-nsquared"}, {"table8", "volrend-rowwise"},
+		{"table9", "volrend-original"}, {"table10", "water-spatial"}, {"table11", "raytrace"},
+		{"table12", "barnes-spatial"}, {"table13", "barnes-original"}, {"table14", "barnes-partree"},
+	}
+	for _, fa := range faultApps {
+		fa := fa
+		exps = append(exps, Experiment{
+			fa.exp, fmt.Sprintf("Read/write fault counts for %s", fa.app),
+			func(r *Runner) error { return r.FaultTable(fa.app) },
+		})
+	}
+	exps = append(exps,
+		Experiment{"table15", "Barnes-Original data traffic by protocol and granularity", (*Runner).Table15},
+		Experiment{"table16", "HM of relative efficiency, original applications", (*Runner).Table16},
+		Experiment{"table17", "HM of relative efficiency, best version per combination", (*Runner).Table17},
+		Experiment{"fig2", "Speedups of LU and Water-Nsquared with the interrupt mechanism", (*Runner).Fig2},
+	)
+	exps = append(exps, extensions...)
+	return exps
+}
+
+// Get returns the named experiment.
+func Get(name string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	var names []string
+	for _, e := range Experiments() {
+		names = append(names, e.Name)
+	}
+	sort.Strings(names)
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have %v)", name, names)
+}

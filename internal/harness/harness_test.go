@@ -1,0 +1,221 @@
+package harness
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dsmsim/internal/apps"
+	"dsmsim/internal/network"
+)
+
+func testRunner(t *testing.T) (*Runner, *bytes.Buffer) {
+	t.Helper()
+	var out bytes.Buffer
+	return New(Options{Size: apps.Small, Nodes: 4, Out: &out}), &out
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if hm := harmonicMean([]float64{1, 1, 1}); hm != 1 {
+		t.Fatalf("hm = %v", hm)
+	}
+	hm := harmonicMean([]float64{0.5, 1})
+	if math.Abs(hm-2.0/3.0) > 1e-12 {
+		t.Fatalf("hm = %v, want 2/3", hm)
+	}
+}
+
+func TestSequentialCached(t *testing.T) {
+	r, _ := testRunner(t)
+	a, err := r.Sequential("lu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Sequential("lu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("sequential time not cached/deterministic")
+	}
+}
+
+func TestResultCached(t *testing.T) {
+	r, _ := testRunner(t)
+	a, err := r.Result("lu", "sc", 1024, network.Polling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Result("lu", "sc", 1024, network.Polling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("result not cached")
+	}
+}
+
+func TestSpeedupPositive(t *testing.T) {
+	r, _ := testRunner(t)
+	s, err := r.Speedup("lu", "hlrc", 4096, network.Polling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 {
+		t.Fatalf("speedup = %v", s)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 25 {
+		t.Fatalf("experiments = %d, want 25 (table1-17, fig1-2, 6 extensions)", len(exps))
+	}
+	if _, err := Get("fig1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Get("nonesuch"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTable1Small(t *testing.T) {
+	r, out := testRunner(t)
+	if err := r.Table1(); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, app := range apps.Originals() {
+		if !strings.Contains(s, app) {
+			t.Fatalf("table 1 missing %s:\n%s", app, s)
+		}
+	}
+}
+
+func TestFaultTableSmall(t *testing.T) {
+	r, out := testRunner(t)
+	if err := r.FaultTable("lu"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "read") || !strings.Contains(out.String(), "write") {
+		t.Fatalf("fault table malformed:\n%s", out.String())
+	}
+}
+
+func TestFig2Small(t *testing.T) {
+	r, out := testRunner(t)
+	if err := r.Fig2(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "interrupt") {
+		t.Fatalf("fig2 malformed:\n%s", out.String())
+	}
+}
+
+// TestTables16And17Small runs the heavyweight statistics end to end at
+// Small size (this exercises every app × protocol × granularity).
+func TestTables16And17Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full cross product")
+	}
+	r, out := testRunner(t)
+	if err := r.Table16(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Table17(); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Table 16") || !strings.Contains(s, "Table 17") || !strings.Contains(s, "p_best") {
+		t.Fatalf("tables malformed:\n%s", s)
+	}
+	// Every numeric field must be a plausible relative efficiency.
+	for _, f := range strings.Fields(s) {
+		if v, err := strconv.ParseFloat(f, 64); err == nil && (v < 0 || v > 20) {
+			t.Fatalf("implausible value %v in:\n%s", v, s)
+		}
+	}
+}
+
+func TestExtensionExperimentsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension sweep")
+	}
+	r, out := testRunner(t)
+	for _, name := range []string{"memory", "scaling", "software", "delayed", "bigblocks", "breakdown"} {
+		e, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(r); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	s := out.String()
+	for _, want := range []string{"memory utilization", "cluster size", "All-software"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig1Table2Table15Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full cross product")
+	}
+	r, out := testRunner(t)
+	if err := r.Fig1(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Table2(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Table15(); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Figure 1", "Table 2", "Table 15", "barnes-original", "multiple"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in output", want)
+		}
+	}
+	// 12 apps × 3 protocols rows in fig1.
+	if n := strings.Count(s, "hlrc"); n < 12 {
+		t.Fatalf("fig1 hlrc rows = %d, want ≥12", n)
+	}
+}
+
+func TestLabelPaperVsSmall(t *testing.T) {
+	small := New(Options{Size: apps.Small, Nodes: 4, Out: io.Discard})
+	paper := New(Options{Size: apps.Paper, Nodes: 4, Out: io.Discard})
+	if small.label("lu") == paper.label("lu") {
+		t.Fatal("labels must differ by size class")
+	}
+	if small.label("nonesuch") != "?" {
+		t.Fatal("unknown label")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var csv bytes.Buffer
+	r := New(Options{Size: apps.Small, Nodes: 4, Out: io.Discard, CSV: &csv})
+	if _, err := r.Result("lu", "hlrc", 4096, network.Polling); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Result("lu", "sc", 64, network.Polling); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want header + 2 records:\n%s", len(lines), csv.String())
+	}
+	if !strings.HasPrefix(lines[0], "app,protocol,block") {
+		t.Fatalf("bad header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "lu,hlrc,4096,polling,4,") {
+		t.Fatalf("bad record: %s", lines[1])
+	}
+}

@@ -1,0 +1,44 @@
+package mem
+
+import "fmt"
+
+// Allocator is a bump allocator over the shared address space. Shared data
+// structures are laid out once, before the parallel phase, exactly like the
+// SPLASH-2 programs' shared-heap mallocs. There is no free: runs are
+// bounded and layouts are static, matching the applications in the paper.
+type Allocator struct {
+	next int
+	size int
+}
+
+// NewAllocator returns an allocator over a heap of the given size.
+func NewAllocator(size int) *Allocator {
+	return &Allocator{size: size}
+}
+
+// Alloc returns the address of a fresh n-byte region aligned to align bytes
+// (align must be a power of two; 0 or 1 means byte alignment). It panics if
+// the heap is exhausted — the applications size their heaps up front.
+func (a *Allocator) Alloc(n, align int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("mem: Alloc(%d)", n))
+	}
+	if align > 1 {
+		if align&(align-1) != 0 {
+			panic(fmt.Sprintf("mem: alignment %d is not a power of two", align))
+		}
+		a.next = (a.next + align - 1) &^ (align - 1)
+	}
+	addr := a.next
+	a.next += n
+	if a.next > a.size {
+		panic(fmt.Sprintf("mem: shared heap exhausted: want %d at %d, heap %d", n, addr, a.size))
+	}
+	return addr
+}
+
+// Used returns the number of bytes allocated so far (including padding).
+func (a *Allocator) Used() int { return a.next }
+
+// Remaining returns the bytes left in the heap.
+func (a *Allocator) Remaining() int { return a.size - a.next }

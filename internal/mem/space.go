@@ -1,0 +1,117 @@
+// Package mem models each node's view of the shared address space.
+//
+// A Space is a local copy of the global shared heap plus one access tag per
+// coherence block — the software equivalent of the Typhoon-0 card's
+// fine-grained access-control tags. Every load or store the application
+// issues is checked against the tag of the block it falls in; a mismatch is
+// an access fault that the coherence protocol must resolve.
+package mem
+
+import "fmt"
+
+// Access is a block's access tag, mirroring the Typhoon-0 states.
+type Access uint8
+
+const (
+	// NoAccess: any load or store faults.
+	NoAccess Access = iota
+	// ReadOnly: loads hit, stores fault.
+	ReadOnly
+	// ReadWrite: loads and stores hit.
+	ReadWrite
+)
+
+func (a Access) String() string {
+	switch a {
+	case NoAccess:
+		return "none"
+	case ReadOnly:
+		return "ro"
+	case ReadWrite:
+		return "rw"
+	default:
+		return fmt.Sprintf("Access(%d)", uint8(a))
+	}
+}
+
+// Allows reports whether the tag permits the given kind of access.
+func (a Access) Allows(write bool) bool {
+	if write {
+		return a == ReadWrite
+	}
+	return a != NoAccess
+}
+
+// Space is one node's local copy of the shared address space, divided into
+// fixed-size coherence blocks, each with an access tag.
+type Space struct {
+	blockSize  int
+	blockShift uint
+	data       []byte
+	tags       []Access
+}
+
+// NewSpace allocates a space of size bytes with the given coherence block
+// size. size must be a multiple of blockSize; blockSize must be a power of
+// two (the paper uses 64, 256, 1024 and 4096).
+func NewSpace(size, blockSize int) *Space {
+	if blockSize <= 0 || blockSize&(blockSize-1) != 0 {
+		panic(fmt.Sprintf("mem: block size %d is not a power of two", blockSize))
+	}
+	if size <= 0 || size%blockSize != 0 {
+		panic(fmt.Sprintf("mem: size %d is not a positive multiple of block size %d", size, blockSize))
+	}
+	shift := uint(0)
+	for 1<<shift != blockSize {
+		shift++
+	}
+	return &Space{
+		blockSize:  blockSize,
+		blockShift: shift,
+		data:       make([]byte, size),
+		tags:       make([]Access, size/blockSize),
+	}
+}
+
+// Size returns the space size in bytes.
+func (s *Space) Size() int { return len(s.data) }
+
+// BlockSize returns the coherence granularity in bytes.
+func (s *Space) BlockSize() int { return s.blockSize }
+
+// NumBlocks returns the number of coherence blocks.
+func (s *Space) NumBlocks() int { return len(s.tags) }
+
+// BlockOf returns the block index containing byte address addr.
+func (s *Space) BlockOf(addr int) int { return addr >> s.blockShift }
+
+// BlockStart returns the byte address where block b begins.
+func (s *Space) BlockStart(b int) int { return b << s.blockShift }
+
+// BlocksIn returns the inclusive block range [first, last] covering the byte
+// range [addr, addr+n). n must be positive.
+func (s *Space) BlocksIn(addr, n int) (first, last int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("mem: BlocksIn with n=%d", n))
+	}
+	return addr >> s.blockShift, (addr + n - 1) >> s.blockShift
+}
+
+// Tag returns block b's access tag.
+func (s *Space) Tag(b int) Access { return s.tags[b] }
+
+// SetTag sets block b's access tag.
+func (s *Space) SetTag(b int, a Access) { s.tags[b] = a }
+
+// Data returns the backing byte slice. Mutations bypass access control; the
+// caller (the protocol layer) is responsible for tag discipline.
+func (s *Space) Data() []byte { return s.data }
+
+// BlockData returns block b's bytes as a sub-slice of the backing store.
+func (s *Space) BlockData(b int) []byte {
+	lo := b << s.blockShift
+	return s.data[lo : lo+s.blockSize : lo+s.blockSize]
+}
+
+// Bytes returns the byte range [addr, addr+n) as a sub-slice.
+func (s *Space) Bytes(addr, n int) []byte { return s.data[addr : addr+n : addr+n] }

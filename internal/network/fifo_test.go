@@ -1,0 +1,55 @@
+package network
+
+import (
+	"testing"
+
+	"dsmsim/internal/sim"
+	"dsmsim/internal/timing"
+)
+
+// TestFIFOPerPair verifies that a small message sent after a large one to
+// the same destination does not overtake it, matching Myrinet's in-order
+// delivery (coherence streams such as HLRC diffs rely on this).
+func TestFIFOPerPair(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := New(eng, timing.Default(), Polling, 2)
+	var order []int
+	nw.Endpoint(1).Bind(&testHost{},
+		func(m *Msg) sim.Time { return 0 },
+		func(m *Msg) { order = append(order, m.Kind) })
+	nw.Endpoint(0).Bind(&testHost{}, func(m *Msg) sim.Time { return 0 }, func(m *Msg) {})
+	eng.Schedule(0, func() {
+		nw.Endpoint(0).Send(&Msg{Src: 0, Dst: 1, Kind: 1, Block: -1, Bytes: 8192})
+		nw.Endpoint(0).Send(&Msg{Src: 0, Dst: 1, Kind: 2, Block: -1, Bytes: 0})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("delivery order = %v, want [1 2] (FIFO)", order)
+	}
+}
+
+// TestNoFIFOAcrossPairs verifies different sources are independent: node 2's
+// small message may be serviced before node 0's large one.
+func TestNoFIFOAcrossPairs(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := New(eng, timing.Default(), Polling, 3)
+	var order []int
+	nw.Endpoint(1).Bind(&testHost{},
+		func(m *Msg) sim.Time { return 0 },
+		func(m *Msg) { order = append(order, m.Kind) })
+	for _, i := range []int{0, 2} {
+		nw.Endpoint(i).Bind(&testHost{}, func(m *Msg) sim.Time { return 0 }, func(m *Msg) {})
+	}
+	eng.Schedule(0, func() {
+		nw.Endpoint(0).Send(&Msg{Src: 0, Dst: 1, Kind: 1, Block: -1, Bytes: 8192})
+		nw.Endpoint(2).Send(&Msg{Src: 2, Dst: 1, Kind: 2, Block: -1, Bytes: 0})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 2 {
+		t.Fatalf("delivery order = %v, want small message from other source first", order)
+	}
+}

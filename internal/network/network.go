@@ -1,0 +1,281 @@
+// Package network models the Myrinet message layer between simulated nodes.
+//
+// Messages carry protocol payloads between endpoints. Delivery time comes
+// from the timing model's one-way latency (calibrated to the paper's
+// microbenchmark). Each endpoint services incoming messages serially on the
+// node's own processor — as on the real testbed, where all protocol
+// processing occurs on the faulting/receiving host CPU. When the
+// application is executing user code, servicing first waits for the
+// notification mechanism (backedge polling or a Solaris-signal interrupt)
+// and the service time is stolen from the application thread.
+package network
+
+import (
+	"fmt"
+	"io"
+
+	"dsmsim/internal/sim"
+	"dsmsim/internal/timing"
+)
+
+// Notify selects the message-arrival notification mechanism (§5.4).
+type Notify int
+
+const (
+	// Polling: applications check a cachable flag on control-flow
+	// backedges; cheap, but dilates computation.
+	Polling Notify = iota
+	// Interrupt: the LANai raises a hardware interrupt, delivered as a
+	// Unix signal (~70 µs) while user code runs.
+	Interrupt
+)
+
+func (n Notify) String() string {
+	if n == Polling {
+		return "polling"
+	}
+	return "interrupt"
+}
+
+// Msg is one protocol message.
+type Msg struct {
+	Src, Dst int
+	Kind     int // protocol-defined discriminator
+	Block    int // block the message concerns, -1 if none
+	Payload  any // protocol-defined body
+
+	// Bytes is the payload wire size, excluding the fixed header.
+	Bytes int
+
+	arrived sim.Time
+}
+
+// Host is the node-side view the endpoint needs for cycle stealing.
+type Host interface {
+	// Computing reports whether the application thread is executing user
+	// code (as opposed to being blocked inside the DSM runtime).
+	Computing() bool
+	// Steal charges protocol service time to the application thread,
+	// extending its current computation.
+	Steal(cost sim.Time)
+}
+
+// Handler services one message; it runs after the message's service cost
+// has elapsed and may send further messages.
+type Handler func(m *Msg)
+
+// CostFunc returns the processor occupancy needed to service a message.
+type CostFunc func(m *Msg) sim.Time
+
+// Stats accumulates per-endpoint traffic counters.
+type Stats struct {
+	MsgsSent     int64
+	BytesSent    int64 // payload + header, i.e. wire bytes
+	MsgsReceived int64
+	ServiceTime  sim.Time // total processor time spent in handlers
+	NotifyWait   sim.Time // total arrival→service-start delay
+}
+
+// Endpoint is one node's network interface.
+type Endpoint struct {
+	id   int
+	net  *Network
+	host Host
+
+	handler Handler
+	cost    CostFunc
+
+	queue        []*Msg
+	busyUntil    sim.Time
+	holdoffUntil sim.Time
+	svcPending   bool
+
+	// lastArrival enforces FIFO delivery per destination, as on Myrinet's
+	// source-routed cut-through fabric: a later (smaller) message never
+	// overtakes an earlier (larger) one on the same src→dst pair.
+	lastArrival []sim.Time
+
+	Stats Stats
+}
+
+// Network connects n endpoints through the latency model.
+type Network struct {
+	engine *sim.Engine
+	model  *timing.Model
+	notify Notify
+	eps    []*Endpoint
+
+	// trace, when non-nil, receives one line per message send and
+	// service, with virtual timestamps. Deterministic like everything
+	// else, so traces diff cleanly between runs.
+	trace io.Writer
+}
+
+// SetTrace directs a message-level event trace to w (nil disables).
+func (n *Network) SetTrace(w io.Writer) { n.trace = w }
+
+// New creates a network of n endpoints. Handlers are attached later with
+// Bind, before any traffic flows.
+func New(engine *sim.Engine, model *timing.Model, notify Notify, n int) *Network {
+	nw := &Network{engine: engine, model: model, notify: notify}
+	for i := 0; i < n; i++ {
+		nw.eps = append(nw.eps, &Endpoint{id: i, net: nw})
+	}
+	return nw
+}
+
+// Notify returns the configured notification mechanism.
+func (n *Network) Notify() Notify { return n.notify }
+
+// Endpoint returns node id's endpoint.
+func (n *Network) Endpoint(id int) *Endpoint { return n.eps[id] }
+
+// Size returns the number of endpoints.
+func (n *Network) Size() int { return len(n.eps) }
+
+// Bind attaches the host, message handler and service-cost function to an
+// endpoint. It must be called once per endpoint before traffic flows.
+func (ep *Endpoint) Bind(host Host, cost CostFunc, handler Handler) {
+	if ep.handler != nil {
+		panic(fmt.Sprintf("network: endpoint %d bound twice", ep.id))
+	}
+	ep.host, ep.cost, ep.handler = host, cost, handler
+}
+
+// ID returns the endpoint's node id.
+func (ep *Endpoint) ID() int { return ep.id }
+
+// Send transmits m to m.Dst. It may be called from proc context or from a
+// handler. Self-sends are delivered through the same path (used by
+// managers that happen to live on the requesting node) with zero wire time.
+func (ep *Endpoint) Send(m *Msg) {
+	if m.Src != ep.id {
+		panic(fmt.Sprintf("network: endpoint %d sending message with Src %d", ep.id, m.Src))
+	}
+	if m.Dst < 0 || m.Dst >= len(ep.net.eps) {
+		panic(fmt.Sprintf("network: bad destination %d", m.Dst))
+	}
+	model := ep.net.model
+	ep.Stats.MsgsSent++
+	ep.Stats.BytesSent += int64(m.Bytes + model.MsgHeader)
+	var wire sim.Time
+	if m.Dst != ep.id {
+		wire = model.OneWayLatency(m.Bytes + model.MsgHeader)
+	}
+	if ep.net.trace != nil {
+		fmt.Fprintf(ep.net.trace, "%12v send %d->%d kind=%d block=%d bytes=%d\n",
+			ep.net.engine.Now(), m.Src, m.Dst, m.Kind, m.Block, m.Bytes)
+	}
+	if ep.lastArrival == nil {
+		ep.lastArrival = make([]sim.Time, len(ep.net.eps))
+	}
+	at := ep.net.engine.Now() + model.SendOverhead + wire
+	if at < ep.lastArrival[m.Dst] {
+		at = ep.lastArrival[m.Dst] // FIFO per src→dst pair
+	}
+	ep.lastArrival[m.Dst] = at
+	dst := ep.net.eps[m.Dst]
+	ep.net.engine.Schedule(at, func() {
+		m.arrived = ep.net.engine.Now()
+		dst.Stats.MsgsReceived++
+		dst.queue = append(dst.queue, m)
+		dst.trySvc()
+	})
+}
+
+// Holdoff opens a forward-progress window after the runtime hands an
+// access to the application. Under the interrupt mechanism this is the
+// §5.4 interrupt-disable window (~the timer resolution), which damps the
+// SC ping-pong effect. Under polling it is one backedge interval: on the
+// real testbed an invalidation can be serviced no sooner than the next
+// poll point, which guarantees the application uses a freshly granted
+// block at least once before losing it again.
+func (ep *Endpoint) Holdoff() {
+	d := ep.net.model.PollDelay
+	if ep.net.notify == Interrupt {
+		d = ep.net.model.InterruptHoldoff
+	}
+	ep.HoldoffFor(d)
+}
+
+// HoldoffFor opens a forward-progress window of an explicit length. The
+// access layer escalates the window under sustained contention: a
+// multi-block access needs every covered block simultaneously valid, and
+// without escalation two such accesses can steal each other's blocks
+// forever.
+func (ep *Endpoint) HoldoffFor(d sim.Time) {
+	t := ep.net.engine.Now() + d
+	if t > ep.holdoffUntil {
+		ep.holdoffUntil = t
+	}
+}
+
+// Poke re-evaluates service scheduling; the core calls it when the
+// application transitions between computing and blocked-in-runtime.
+func (ep *Endpoint) Poke() { ep.trySvc() }
+
+// trySvc schedules service of the head-of-queue message if none is
+// pending. Service happens in two stages: a start event (which re-checks
+// the forward-progress holdoff, since a fault completing in the meantime
+// may have opened a new window) and a completion event after the service
+// cost has elapsed.
+func (ep *Endpoint) trySvc() {
+	if ep.svcPending || len(ep.queue) == 0 {
+		return
+	}
+	eng := ep.net.engine
+	model := ep.net.model
+	m := ep.queue[0]
+
+	ready := m.arrived
+	if ep.host.Computing() {
+		// The app is in user code: wait for notification.
+		if ep.net.notify == Polling {
+			ready += model.PollDelay + model.PollCheck
+		} else {
+			ready += model.InterruptDelivery
+		}
+	}
+	if ep.holdoffUntil > ready {
+		ready = ep.holdoffUntil
+	}
+	start := eng.Now()
+	if ready > start {
+		start = ready
+	}
+	if ep.busyUntil > start {
+		start = ep.busyUntil
+	}
+	ep.svcPending = true
+	eng.Schedule(start, func() {
+		if ep.holdoffUntil > eng.Now() {
+			// A new forward-progress window opened while this service
+			// was queued: start over so the application gets to use its
+			// freshly granted access.
+			ep.svcPending = false
+			ep.trySvc()
+			return
+		}
+		cost := model.HandlerCost + ep.cost(m)
+		done := eng.Now() + cost
+		ep.busyUntil = done
+		ep.Stats.NotifyWait += eng.Now() - m.arrived
+		ep.Stats.ServiceTime += cost
+		if ep.host.Computing() {
+			ep.host.Steal(cost)
+		}
+		if ep.net.trace != nil {
+			fmt.Fprintf(ep.net.trace, "%12v serve node%d kind=%d block=%d (waited %v)\n",
+				eng.Now(), ep.id, m.Kind, m.Block, eng.Now()-m.arrived)
+		}
+		eng.Schedule(done, func() {
+			ep.svcPending = false
+			ep.queue = ep.queue[1:]
+			ep.handler(m)
+			ep.trySvc()
+		})
+	})
+}
+
+// QueueLen reports the number of messages awaiting service (for tests).
+func (ep *Endpoint) QueueLen() int { return len(ep.queue) }

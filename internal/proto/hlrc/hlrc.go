@@ -1,0 +1,503 @@
+// Package hlrc implements the home-based lazy release consistency protocol
+// of §2.3 (Zhou et al.): a multiple-writer protocol using twins and diffs.
+// Writers twin a block on the first write after an acquire and write into
+// their copy; at a release the dirty copies are diffed against the twins
+// and the diffs sent eagerly to each block's home, which keeps its copy
+// up to date. Read faults fetch the whole block from the home. Write
+// notices exchanged at acquires and barriers invalidate stale copies.
+//
+// One simplification relative to the original HLRC implementation is
+// documented in DESIGN.md: a release waits for diff acknowledgements from
+// the homes instead of using version-number waits at the home on fetch.
+// Both schemes make the same fetches see the same data; ack-waiting moves
+// the (small) wait from the fetch path to the release path.
+package hlrc
+
+import (
+	"fmt"
+	"sort"
+
+	"dsmsim/internal/mem"
+	"dsmsim/internal/network"
+	"dsmsim/internal/proto"
+	"dsmsim/internal/sim"
+)
+
+// Message kinds.
+const (
+	kFetch = proto.ProtoKindBase + iota
+	kFetchData
+	kDiff
+	kDiffAck
+)
+
+type fetchReq struct {
+	node      int
+	wantClaim bool // the requester is write-faulting; claim if unclaimed
+}
+
+type fetchData struct {
+	data       []byte
+	home       int32 // real home for the requester's cache; -1 if unclaimed
+	youAreHome bool
+}
+
+type diffMsg struct {
+	node    int
+	diff    mem.Diff
+	needAck bool // release-time flushes wait for acks; early flushes don't
+}
+
+type pendingFault struct {
+	block      int
+	write      bool
+	becameHome bool
+}
+
+// Protocol is the HLRC implementation.
+type Protocol struct {
+	env *proto.Env
+
+	twins        []map[int][]byte      // per node: block → twin (persists while streaming)
+	written      []map[int]int32       // per node: home blocks written this interval → seq
+	seq          []map[int]int32       // per node: per-block diff sequence counter
+	earlyNotices [][]proto.WriteNotice // per node: notices owed from early flushes
+
+	// twinBytes tracks current and peak twin storage across all nodes,
+	// the protocol's dominant dynamic memory cost (§7's unexamined
+	// memory-utilization dimension).
+	twinBytes     int64
+	twinBytesPeak int64
+	pending       []pendingFault
+	flushAcks     []int  // per node: outstanding diff acks during a release
+	flushWaiting  []bool // per node: proc is blocked in PreRelease
+	installing    map[int][]*network.Msg
+	installSet    map[int]bool
+}
+
+// New creates the HLRC protocol over env.
+func New(env *proto.Env) *Protocol {
+	n := env.Nodes()
+	p := &Protocol{
+		env:          env,
+		pending:      make([]pendingFault, n),
+		flushAcks:    make([]int, n),
+		flushWaiting: make([]bool, n),
+		installing:   make(map[int][]*network.Msg),
+		installSet:   make(map[int]bool),
+	}
+	p.earlyNotices = make([][]proto.WriteNotice, n)
+	for i := 0; i < n; i++ {
+		p.twins = append(p.twins, make(map[int][]byte))
+		p.written = append(p.written, make(map[int]int32))
+		p.seq = append(p.seq, make(map[int]int32))
+	}
+	return p
+}
+
+// Name implements proto.Protocol.
+func (p *Protocol) Name() string { return "hlrc" }
+
+// UsesIntervals implements proto.Protocol.
+func (p *Protocol) UsesIntervals() bool { return true }
+
+// OnAcquireComplete implements proto.Protocol: all acquire-time work
+// happens through the write-notice mechanism (ApplyNotices).
+func (p *Protocol) OnAcquireComplete(node int) {}
+
+// isHome reports whether node is block b's (claimed) home.
+func (p *Protocol) isHome(node, b int) bool {
+	return p.env.Homes.Claimed(b) && p.env.Homes.Home(b) == node
+}
+
+// Fault implements proto.Protocol. Proc context.
+func (p *Protocol) Fault(node, block int, write bool) {
+	sp := p.env.Spaces[node]
+	model := p.env.Model
+	homes := p.env.Homes
+
+	if write && sp.Tag(block) == mem.ReadOnly {
+		// Valid copy: this is the multiple-writer upgrade path.
+		if p.isHome(node, block) {
+			p.markHomeWrite(node, block)
+			return
+		}
+		if !homes.Claimed(block) {
+			// First store to this block anywhere: claim the home (§2:
+			// a "touch" is a store for HLRC). The directory round trip
+			// to the static home is modeled as a sleep; the claim
+			// itself is atomic in the sequential engine. A claim is a
+			// mapping fault, not a coherence miss — undo the count.
+			homes.Claim(block, node)
+			p.env.Stats[node].HomeMigrations++
+			p.env.Stats[node].WriteFaults--
+			p.env.Procs[node].Sleep(model.RoundTrip(8))
+			p.markHomeWrite(node, block)
+			return
+		}
+		p.makeTwin(node, block)
+		return
+	}
+
+	// No valid copy (or a write fault on an invalid block): fetch from the
+	// home; for writes on unclaimed blocks the fetch claims the home.
+	p.pending[node] = pendingFault{block: block, write: write}
+	target := homes.Static(block)
+	if homes.Claimed(block) {
+		target = homes.Home(block)
+	}
+	p.env.Send(node, &network.Msg{
+		Dst: target, Kind: kFetch, Block: block,
+		Payload: fetchReq{node: node, wantClaim: write}, Bytes: 8,
+	})
+	what := "read"
+	if write {
+		what = "write"
+	}
+	p.env.Procs[node].Block(fmt.Sprintf("hlrc %s fetch block %d", what, block))
+
+	pf := p.pending[node]
+	if write && !pf.becameHome {
+		p.makeTwin(node, block)
+	}
+	if write && pf.becameHome {
+		p.markHomeWrite(node, block)
+	}
+}
+
+// markHomeWrite records a write by the home itself: no twin or diff is
+// needed, but the block joins the interval's write set so notices go out,
+// and the tag is raised for direct writes.
+func (p *Protocol) markHomeWrite(node, block int) {
+	p.env.Spaces[node].SetTag(block, mem.ReadWrite)
+	if _, ok := p.written[node][block]; !ok {
+		p.seq[node][block]++
+		p.written[node][block] = p.seq[node][block]
+	}
+}
+
+// makeTwin creates the clean copy enabling multiple concurrent writers.
+// Proc context; charges the twin-copy cost.
+func (p *Protocol) makeTwin(node, block int) {
+	sp := p.env.Spaces[node]
+	cur := sp.BlockData(block)
+	twin := make([]byte, len(cur))
+	copy(twin, cur)
+	p.twins[node][block] = twin
+	sp.SetTag(block, mem.ReadWrite)
+	p.env.Stats[node].TwinsCreated++
+	p.twinBytes += int64(len(twin))
+	if p.twinBytes > p.twinBytesPeak {
+		p.twinBytesPeak = p.twinBytes
+	}
+	p.env.Procs[node].Sleep(p.env.Model.TwinCreate(len(cur)))
+}
+
+// PreRelease implements proto.Protocol: diff every dirty block against its
+// twin, send the non-empty diffs to the homes, wait for the
+// acknowledgements, and return the interval's write notices. Blocks that
+// produced a diff stay WRITABLE with a refreshed twin — a streaming writer
+// faults once per block, not once per interval (this is what keeps HLRC's
+// write-fault counts in Tables 8–12 an order of magnitude below SC's).
+// A block with an empty diff is idle: drop its twin and re-protect it.
+// Proc context.
+func (p *Protocol) PreRelease(node int) []proto.WriteNotice {
+	sp := p.env.Spaces[node]
+	model := p.env.Model
+	start := p.env.Engine.Now()
+
+	notices := p.earlyNotices[node]
+	p.earlyNotices[node] = nil
+	var diffCost sim.Time
+	type outDiff struct {
+		block int
+		diff  mem.Diff
+	}
+	var out []outDiff
+
+	// Map iteration order is randomized; the simulation must be
+	// deterministic, so process blocks in ascending order.
+	blocks := make([]int, 0, len(p.twins[node]))
+	for b := range p.twins[node] {
+		blocks = append(blocks, b)
+	}
+	sort.Ints(blocks)
+	for _, b := range blocks {
+		twin := p.twins[node][b]
+		diffCost += model.DiffCreate(sp.BlockSize())
+		d := mem.MakeDiff(twin, sp.BlockData(b)).Clone()
+		p.env.Stats[node].DiffsCreated++
+		if d.Empty() {
+			// Idle since the last flush: stop tracking, re-protect.
+			delete(p.twins[node], b)
+			p.twinBytes -= int64(len(twin))
+			if sp.Tag(b) == mem.ReadWrite {
+				sp.SetTag(b, mem.ReadOnly)
+			}
+			continue
+		}
+		// Streaming: refresh the twin, keep the block writable.
+		copy(twin, sp.BlockData(b))
+		diffCost += model.TwinCreate(sp.BlockSize())
+		p.seq[node][b]++
+		notices = append(notices, proto.WriteNotice{Block: int32(b), Seq: p.seq[node][b]})
+		out = append(out, outDiff{block: b, diff: d})
+	}
+	// Home blocks written this interval (tracked by their faults).
+	hblocks := make([]int, 0, len(p.written[node]))
+	for b := range p.written[node] {
+		hblocks = append(hblocks, b)
+	}
+	sort.Ints(hblocks)
+	for _, b := range hblocks {
+		notices = append(notices, proto.WriteNotice{Block: int32(b), Seq: p.written[node][b]})
+	}
+	clear(p.written[node])
+
+	if diffCost > 0 {
+		p.env.Procs[node].Sleep(diffCost)
+	}
+	if len(out) > 0 {
+		p.flushAcks[node] = len(out)
+		p.flushWaiting[node] = true
+		for _, od := range out {
+			target := p.env.Homes.Home(od.block) // claimed: we wrote it
+			p.env.Stats[node].DiffPayloadBytes += int64(od.diff.PayloadBytes())
+			p.env.Send(node, &network.Msg{
+				Dst: target, Kind: kDiff, Block: od.block,
+				Payload: diffMsg{node: node, diff: od.diff, needAck: true},
+				Bytes:   od.diff.WireBytes(model.DiffEntryOverhead) + 8,
+			})
+		}
+		p.env.Procs[node].Block("hlrc diff flush")
+		p.flushWaiting[node] = false
+	}
+	p.env.Stats[node].FlushTime += p.env.Engine.Now() - start
+	return notices
+}
+
+// ApplyNotices implements proto.Protocol: invalidate stale copies. A block
+// the node itself is home to is skipped — the home copy is kept current by
+// the (acknowledged) eager diffs. A locally dirty block is flushed early
+// before invalidation so no writes are lost to false sharing.
+func (p *Protocol) ApplyNotices(node int, ivs []proto.Interval) {
+	sp := p.env.Spaces[node]
+	for _, iv := range ivs {
+		if int(iv.Node) == node {
+			continue
+		}
+		for _, wn := range iv.Notices {
+			b := int(wn.Block)
+			if p.isHome(node, b) {
+				continue
+			}
+			if twin, ok := p.twins[node][b]; ok {
+				p.earlyFlush(node, b, twin)
+			}
+			if sp.Tag(b) != mem.NoAccess {
+				sp.SetTag(b, mem.NoAccess)
+				p.env.Stats[node].Invalidations++
+			}
+		}
+	}
+}
+
+// earlyFlush sends the diff of a still-dirty block that is about to be
+// invalidated by a notice (write-write false sharing across locks).
+func (p *Protocol) earlyFlush(node, b int, twin []byte) {
+	sp := p.env.Spaces[node]
+	d := mem.MakeDiff(twin, sp.BlockData(b)).Clone()
+	delete(p.twins[node], b)
+	p.twinBytes -= int64(len(twin))
+	p.env.Stats[node].DiffsCreated++
+	if d.Empty() {
+		return
+	}
+	// The flushed writes still need a notice at our next release.
+	p.seq[node][b]++
+	p.earlyNotices[node] = append(p.earlyNotices[node],
+		proto.WriteNotice{Block: int32(b), Seq: p.seq[node][b]})
+	p.env.Stats[node].DiffPayloadBytes += int64(d.PayloadBytes())
+	p.env.Send(node, &network.Msg{
+		Dst: p.env.Homes.Home(b), Kind: kDiff, Block: b,
+		Payload: diffMsg{node: node, diff: d, needAck: false},
+		Bytes:   d.WireBytes(p.env.Model.DiffEntryOverhead) + 8,
+	})
+}
+
+// ServiceCost implements proto.Protocol.
+func (p *Protocol) ServiceCost(m *network.Msg) sim.Time {
+	model := p.env.Model
+	switch m.Kind {
+	case kFetchData:
+		return model.MemCopy(len(m.Payload.(fetchData).data))
+	case kDiff:
+		return model.DiffApply(m.Payload.(diffMsg).diff.PayloadBytes())
+	default:
+		return 0
+	}
+}
+
+// Handle implements proto.Protocol.
+func (p *Protocol) Handle(m *network.Msg) {
+	switch m.Kind {
+	case kFetch:
+		p.handleFetch(m)
+	case kFetchData:
+		p.handleFetchData(m)
+	case kDiff:
+		p.handleDiff(m)
+	case kDiffAck:
+		p.handleDiffAck(m)
+	default:
+		panic(fmt.Sprintf("hlrc: unknown message kind %d", m.Kind))
+	}
+}
+
+func (p *Protocol) handleFetch(m *network.Msg) {
+	here := m.Dst
+	b := m.Block
+	req := m.Payload.(fetchReq)
+	homes := p.env.Homes
+
+	if p.installSet[b] {
+		p.installing[b] = append(p.installing[b], m)
+		return
+	}
+	if !homes.Claimed(b) {
+		if here != homes.Static(b) {
+			panic(fmt.Sprintf("hlrc: unclaimed block %d fetch at non-static node %d", b, here))
+		}
+		data := append([]byte(nil), p.env.Spaces[here].BlockData(b)...)
+		if req.wantClaim {
+			// First touch by store: a mapping fault, not a coherence
+			// miss — undo the count.
+			homes.Claim(b, req.node)
+			p.env.Stats[req.node].HomeMigrations++
+			p.env.Stats[req.node].WriteFaults--
+			p.installSet[b] = true
+			p.env.Send(here, &network.Msg{
+				Dst: req.node, Kind: kFetchData, Block: b,
+				Payload: fetchData{data: data, home: int32(req.node), youAreHome: true},
+				Bytes:   len(data) + 8,
+			})
+			return
+		}
+		p.env.Send(here, &network.Msg{
+			Dst: req.node, Kind: kFetchData, Block: b,
+			Payload: fetchData{data: data, home: -1},
+			Bytes:   len(data) + 8,
+		})
+		return
+	}
+	home := homes.Home(b)
+	if here != home {
+		p.env.Stats[here].Forwards++
+		p.env.Send(here, &network.Msg{Dst: home, Kind: kFetch, Block: b, Payload: req, Bytes: m.Bytes})
+		return
+	}
+	// Downgrade-on-serve: once a reader holds a copy, a later write by
+	// the home must fault again so its notice goes out. Blocks never
+	// served stay silently writable, which is why a block written only by
+	// its home takes no write faults (LU, Table 3).
+	if p.env.Spaces[here].Tag(b) == mem.ReadWrite {
+		p.env.Spaces[here].SetTag(b, mem.ReadOnly)
+	}
+	data := append([]byte(nil), p.env.Spaces[here].BlockData(b)...)
+	p.env.Send(here, &network.Msg{
+		Dst: req.node, Kind: kFetchData, Block: b,
+		Payload: fetchData{data: data, home: int32(home)},
+		Bytes:   len(data) + 8,
+	})
+}
+
+func (p *Protocol) handleFetchData(m *network.Msg) {
+	node := m.Dst
+	b := m.Block
+	d := m.Payload.(fetchData)
+	sp := p.env.Spaces[node]
+	copy(sp.BlockData(b), d.data)
+	if d.youAreHome {
+		sp.SetTag(b, mem.ReadWrite)
+		p.pending[node].becameHome = true
+		delete(p.installSet, b)
+		waiting := p.installing[b]
+		delete(p.installing, b)
+		for _, wm := range waiting {
+			wm := wm
+			p.env.Engine.After(0, func() { p.handleFetch(wm) })
+		}
+	} else {
+		sp.SetTag(b, mem.ReadOnly)
+	}
+	if p.pending[node].block != b {
+		panic(fmt.Sprintf("hlrc: node %d got data for block %d, pending %d", node, b, p.pending[node].block))
+	}
+	p.env.Procs[node].Unblock()
+}
+
+func (p *Protocol) handleDiff(m *network.Msg) {
+	here := m.Dst
+	b := m.Block
+	dm := m.Payload.(diffMsg)
+	homes := p.env.Homes
+	if p.installSet[b] {
+		p.installing[b] = append(p.installing[b], m)
+		return
+	}
+	home := homes.Home(b)
+	if here != home {
+		p.env.Stats[here].Forwards++
+		p.env.Send(here, &network.Msg{Dst: home, Kind: kDiff, Block: b, Payload: dm, Bytes: m.Bytes})
+		return
+	}
+	dm.diff.Apply(p.env.Spaces[here].BlockData(b))
+	p.env.Stats[here].DiffsApplied++
+	if dm.needAck {
+		p.env.Send(here, &network.Msg{Dst: dm.node, Kind: kDiffAck, Block: b, Bytes: 8})
+	}
+}
+
+func (p *Protocol) handleDiffAck(m *network.Msg) {
+	node := m.Dst
+	p.flushAcks[node]--
+	if p.flushAcks[node] == 0 && p.flushWaiting[node] {
+		p.env.Procs[node].Unblock()
+	}
+}
+
+// Finalize implements proto.Protocol: apply any outstanding dirty diffs
+// directly (the run is over; no cost modeled).
+func (p *Protocol) Finalize() {
+	for node := range p.twins {
+		sp := p.env.Spaces[node]
+		blocks := make([]int, 0, len(p.twins[node]))
+		for b := range p.twins[node] {
+			blocks = append(blocks, b)
+		}
+		sort.Ints(blocks)
+		for _, b := range blocks {
+			d := mem.MakeDiff(p.twins[node][b], sp.BlockData(b))
+			home := p.env.Homes.Home(b)
+			d.Apply(p.env.Spaces[home].BlockData(b))
+		}
+		p.twins[node] = make(map[int][]byte)
+	}
+}
+
+// Collect implements proto.Protocol.
+func (p *Protocol) Collect(b int) []byte {
+	homes := p.env.Homes
+	if !homes.Claimed(b) {
+		return p.env.Spaces[homes.Static(b)].BlockData(b)
+	}
+	return p.env.Spaces[homes.Home(b)].BlockData(b)
+}
+
+// MemFootprint implements proto.MemReporter: fixed metadata (the global
+// home map plus the per-node sequence/interval bookkeeping estimate) and
+// the peak twin storage.
+func (p *Protocol) MemFootprint() (int64, int64) {
+	static := int64(p.env.Homes.NumBlocks()) * 4 // home map
+	return static, p.twinBytesPeak
+}

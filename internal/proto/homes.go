@@ -1,0 +1,64 @@
+package proto
+
+// Homes tracks block home assignment. Before the parallel phase, block b is
+// statically homed at (b mod nodes). When the parallel phase begins, homes
+// are cleared and migrate to the first node that "touches" each block — a
+// load or store for SC and SW-LRC, a store for HLRC (§2). The static home
+// remains the directory: it always knows the current home and forwards or
+// redirects requests from nodes holding stale cached homes.
+type Homes struct {
+	nodes      int
+	home       []int32
+	firstTouch bool
+}
+
+// NewHomes returns the static assignment for the given block count.
+func NewHomes(nodes, numBlocks int) *Homes {
+	h := &Homes{nodes: nodes, home: make([]int32, numBlocks)}
+	for b := range h.home {
+		h.home[b] = int32(b % nodes)
+	}
+	return h
+}
+
+// Static returns block b's static home — the directory node.
+func (h *Homes) Static(b int) int { return b % h.nodes }
+
+// Home returns block b's current home.
+func (h *Homes) Home(b int) int { return int(h.home[b]) }
+
+// NumBlocks returns the number of blocks tracked.
+func (h *Homes) NumBlocks() int { return len(h.home) }
+
+// BeginFirstTouch clears every assignment and enables first-touch
+// migration. Until a block is claimed, its data lives at the static home.
+func (h *Homes) BeginFirstTouch() {
+	h.firstTouch = true
+	for b := range h.home {
+		h.home[b] = -1
+	}
+}
+
+// Claimed reports whether block b has a first-touch home yet. Before
+// BeginFirstTouch every block counts as claimed (statically).
+func (h *Homes) Claimed(b int) bool { return h.home[b] >= 0 }
+
+// Claim makes node the home of block b if it has none, and returns the
+// resulting home plus whether this call performed the migration.
+func (h *Homes) Claim(b, node int) (home int, migrated bool) {
+	if h.home[b] < 0 {
+		h.home[b] = int32(node)
+		return node, true
+	}
+	return int(h.home[b]), false
+}
+
+// ClaimToStatic assigns the static home to any still-unclaimed block
+// (used when a block must have a home but the toucher does not qualify,
+// e.g. an HLRC load before any store).
+func (h *Homes) ClaimToStatic(b int) int {
+	if h.home[b] < 0 {
+		h.home[b] = int32(h.Static(b))
+	}
+	return int(h.home[b])
+}

@@ -1,0 +1,127 @@
+package proto
+
+import (
+	"dsmsim/internal/mem"
+	"dsmsim/internal/network"
+	"dsmsim/internal/sim"
+	"dsmsim/internal/stats"
+	"dsmsim/internal/timing"
+)
+
+// Message kinds below SyncKindBase belong to the synchronization layer
+// (internal/synch); protocol implementations number their kinds from
+// ProtoKindBase up. The core dispatches on this split.
+const (
+	SyncKindBase  = 0
+	ProtoKindBase = 100
+)
+
+// Env is the shared environment a protocol operates in. The core runtime
+// constructs it and fills every field before the first fault.
+type Env struct {
+	Engine *sim.Engine
+	Model  *timing.Model
+	Net    *network.Network
+	Homes  *Homes
+
+	// Per-node state, indexed by node id.
+	Spaces []*mem.Space
+	Stats  []*stats.Node
+	Procs  []*sim.Proc
+
+	// Log is the global interval-publication log and VCs the per-node
+	// vector clocks (unused by SC).
+	Log *Log
+	VCs []VC
+
+	// Master is the authoritative pre-parallel image of the shared heap,
+	// used to seed the static homes at the parallel-phase boundary.
+	Master []byte
+}
+
+// Nodes returns the node count.
+func (e *Env) Nodes() int { return len(e.Spaces) }
+
+// Send transmits a protocol message from node src.
+func (e *Env) Send(src int, m *network.Msg) {
+	m.Src = src
+	e.Net.Endpoint(src).Send(m)
+}
+
+// SeedHomes copies the master image into each block's static home. Every
+// tag — including the static home's own — starts NoAccess, so the first
+// touch anywhere (even at the static home) faults and performs the
+// first-touch home claim. Called at the parallel-phase boundary, after
+// Homes.BeginFirstTouch.
+func (e *Env) SeedHomes() {
+	bs := e.Spaces[0].BlockSize()
+	for b := 0; b < e.Spaces[0].NumBlocks(); b++ {
+		s := e.Homes.Static(b)
+		for n, sp := range e.Spaces {
+			if n == s {
+				copy(sp.BlockData(b), e.Master[b*bs:(b+1)*bs])
+			}
+			sp.SetTag(b, mem.NoAccess)
+		}
+	}
+}
+
+// Protocol is a coherence protocol. Fault and the synchronization hooks run
+// in the faulting node's proc context and may block; ServiceCost and Handle
+// run in engine context when a message is serviced.
+type Protocol interface {
+	// Name returns the protocol's short name ("sc", "swlrc", "hlrc").
+	Name() string
+
+	// Fault resolves an access violation by node on block. It runs in the
+	// node's proc context after fault-delivery cost has been charged, and
+	// returns only when the access is permitted by the local tag.
+	Fault(node, block int, write bool)
+
+	// ServiceCost returns the processor occupancy of servicing m, charged
+	// before Handle runs.
+	ServiceCost(m *network.Msg) sim.Time
+
+	// Handle services a protocol message.
+	Handle(m *network.Msg)
+
+	// PreRelease runs in proc context immediately before node releases a
+	// lock or enters a barrier. HLRC flushes diffs here. It returns the
+	// notices describing the blocks node wrote this interval; the caller
+	// publishes them as one interval (nil under SC).
+	PreRelease(node int) []WriteNotice
+
+	// ApplyNotices processes incoming write notices at an acquire or
+	// barrier release: it invalidates the node's stale copies. It runs in
+	// engine context while the node is blocked in the runtime; the caller
+	// charges the per-notice cost through the message service cost.
+	ApplyNotices(node int, ivs []Interval)
+
+	// OnAcquireComplete runs in engine context whenever node completes an
+	// acquire (a lock grant or a barrier release), for protocols with
+	// acquire-time work outside the write-notice mechanism — the delayed
+	// consistency variant applies its buffered invalidations here.
+	OnAcquireComplete(node int)
+
+	// UsesIntervals reports whether the protocol exchanges vector clocks
+	// and write notices at synchronization (false for SC).
+	UsesIntervals() bool
+
+	// Finalize runs after the parallel phase in engine context; it must
+	// make every block's authoritative content available via Collect
+	// (e.g. HLRC flushes outstanding diffs home instantly — the run is
+	// over, so no cost is modeled).
+	Finalize()
+
+	// Collect returns block b's authoritative bytes after Finalize.
+	Collect(b int) []byte
+}
+
+// MemReporter is implemented by protocols that can report their memory
+// footprint: the fixed per-block/per-node metadata and the peak dynamic
+// allocation (twins under HLRC). The paper's §7 lists memory utilization
+// as unexamined future work; the harness's "memory" experiment covers it.
+type MemReporter interface {
+	// MemFootprint returns (staticBytes, peakDynamicBytes).
+	MemFootprint() (int64, int64)
+}

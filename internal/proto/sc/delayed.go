@@ -1,0 +1,55 @@
+package sc
+
+import (
+	"dsmsim/internal/mem"
+	"dsmsim/internal/network"
+	"dsmsim/internal/proto"
+)
+
+// Delayed consistency (Dubois et al. [8]) is the §7 extension the paper
+// names but does not evaluate: the directory protocol is unchanged, but a
+// receiver acknowledges an invalidation immediately and keeps using its
+// (now stale) read-only copy until its next synchronization point, where
+// the buffered invalidations are applied. This removes the false-sharing
+// ping-pong without LRC's per-synchronization protocol machinery —
+// properly-synchronized programs cannot observe the staleness.
+//
+// NewDelayed returns the SC implementation with delayed invalidations;
+// Name reports "dc".
+
+// NewDelayed creates the delayed-consistency protocol over env.
+func NewDelayed(env *proto.Env) *Protocol {
+	p := New(env)
+	p.delayed = true
+	p.pendingInval = make([]map[int]bool, env.Nodes())
+	for i := range p.pendingInval {
+		p.pendingInval[i] = make(map[int]bool)
+	}
+	return p
+}
+
+// handleInvalDelayed acks at once and buffers the invalidation.
+func (p *Protocol) handleInvalDelayed(m *network.Msg) {
+	node := m.Dst
+	p.pendingInval[node][m.Block] = true
+	home := p.env.Homes.Home(m.Block)
+	p.env.Send(node, &network.Msg{Dst: home, Kind: kInvalAck, Block: m.Block, Bytes: 8})
+}
+
+// OnAcquireComplete implements proto.Protocol: apply the invalidations
+// buffered since the last synchronization point.
+func (p *Protocol) OnAcquireComplete(node int) {
+	if !p.delayed || len(p.pendingInval[node]) == 0 {
+		return
+	}
+	sp := p.env.Spaces[node]
+	for b := range p.pendingInval[node] {
+		// A block we re-acquired (our own fault completed) since the
+		// invalidation arrived is current again; see complete().
+		if sp.Tag(b) != mem.NoAccess {
+			sp.SetTag(b, mem.NoAccess)
+			p.env.Stats[node].Invalidations++
+		}
+	}
+	clear(p.pendingInval[node])
+}

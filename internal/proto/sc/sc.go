@@ -1,0 +1,489 @@
+// Package sc implements the sequentially consistent protocol of §2.1: a
+// Stache-style directory protocol run in software. Each block has a home
+// holding the directory and (when no exclusive copy exists) valid data.
+// Reads and writes that miss send a request to the home; the home collects
+// invalidation acknowledgements or write-backs before forwarding data.
+// Synchronization involves no protocol activity.
+package sc
+
+import (
+	"fmt"
+
+	"dsmsim/internal/mem"
+	"dsmsim/internal/network"
+	"dsmsim/internal/proto"
+	"dsmsim/internal/sim"
+)
+
+// Message kinds.
+const (
+	kReadReq = proto.ProtoKindBase + iota
+	kWriteReq
+	kData   // home → requester: RO data grant
+	kDataEx // home → requester: RW grant (data nil on upgrade)
+	kInval  // home → sharer
+	kInvalAck
+	kWBReq  // home → exclusive owner: write back (and maybe invalidate)
+	kWBData // owner → home
+)
+
+type reqPayload struct{ node int } // original requester (survives forwarding)
+
+type dataPayload struct {
+	data []byte
+	home int32 // real home, for the requester's cache
+}
+
+type wbReq struct{ inval bool }
+
+type wbData struct{ data []byte }
+
+// txn is an in-flight home-side transaction for one block. install marks a
+// first-touch claim whose data grant is still in flight to the new home;
+// requests forwarded there meanwhile wait in waitq.
+type txn struct {
+	write     bool
+	requester int
+	acksLeft  int
+	install   bool
+	waitq     []*network.Msg
+}
+
+type pendingFault struct {
+	block int
+	write bool
+}
+
+// Protocol is the SC implementation.
+type Protocol struct {
+	env *proto.Env
+
+	// Directory, indexed by block. owner == -1 means the home copy is
+	// valid and sharers lists the remote read-only copies; otherwise the
+	// single read-write copy is at owner.
+	owner   []int16
+	sharers []uint64
+
+	txns map[int]*txn
+
+	homeCache [][]int32      // per node: cached home per block
+	pending   []pendingFault // per node: the single outstanding fault
+
+	// Delayed-consistency mode (see delayed.go): invalidations are acked
+	// immediately and buffered per node until its next acquire.
+	delayed      bool
+	pendingInval []map[int]bool
+}
+
+// New creates the SC protocol over env.
+func New(env *proto.Env) *Protocol {
+	nb := env.Homes.NumBlocks()
+	n := env.Nodes()
+	p := &Protocol{
+		env:     env,
+		owner:   make([]int16, nb),
+		sharers: make([]uint64, nb),
+		txns:    make(map[int]*txn),
+		pending: make([]pendingFault, n),
+	}
+	for b := range p.owner {
+		p.owner[b] = -1
+	}
+	for i := 0; i < n; i++ {
+		cache := make([]int32, nb)
+		for b := range cache {
+			cache[b] = int32(env.Homes.Static(b))
+		}
+		p.homeCache = append(p.homeCache, cache)
+	}
+	return p
+}
+
+// Name implements proto.Protocol.
+func (p *Protocol) Name() string {
+	if p.delayed {
+		return "dc"
+	}
+	return "sc"
+}
+
+// UsesIntervals implements proto.Protocol: SC exchanges no write notices.
+func (p *Protocol) UsesIntervals() bool { return false }
+
+// PreRelease implements proto.Protocol: nothing to flush under SC.
+func (p *Protocol) PreRelease(node int) []proto.WriteNotice { return nil }
+
+// ApplyNotices implements proto.Protocol: no notices under SC.
+func (p *Protocol) ApplyNotices(node int, ivs []proto.Interval) {}
+
+// Fault implements proto.Protocol. Proc context; blocks until resolved.
+func (p *Protocol) Fault(node, block int, write bool) {
+	p.pending[node] = pendingFault{block: block, write: write}
+	kind := kReadReq
+	if write {
+		kind = kWriteReq
+	}
+	p.env.Send(node, &network.Msg{
+		Dst: int(p.homeCache[node][block]), Kind: kind, Block: block,
+		Payload: reqPayload{node: node}, Bytes: 8,
+	})
+	what := "read"
+	if write {
+		what = "write"
+	}
+	p.env.Procs[node].Block(fmt.Sprintf("sc %s fault block %d", what, block))
+}
+
+// ServiceCost implements proto.Protocol.
+func (p *Protocol) ServiceCost(m *network.Msg) sim.Time {
+	switch m.Kind {
+	case kData, kDataEx:
+		return p.env.Model.MemCopy(len(m.Payload.(dataPayload).data))
+	case kWBData:
+		return p.env.Model.MemCopy(len(m.Payload.(wbData).data))
+	case kWBReq:
+		return p.env.Model.MemCopy(p.env.Spaces[0].BlockSize())
+	default:
+		return 0
+	}
+}
+
+// Handle implements proto.Protocol.
+func (p *Protocol) Handle(m *network.Msg) {
+	switch m.Kind {
+	case kReadReq, kWriteReq:
+		p.handleReq(m.Dst, m)
+	case kData:
+		p.handleData(m, false)
+	case kDataEx:
+		p.handleData(m, true)
+	case kInval:
+		p.handleInval(m)
+	case kInvalAck:
+		p.handleInvalAck(m)
+	case kWBReq:
+		p.handleWBReq(m)
+	case kWBData:
+		p.handleWBData(m)
+	default:
+		panic(fmt.Sprintf("sc: unknown message kind %d", m.Kind))
+	}
+}
+
+// handleReq runs at the node a request arrived at: the home, the static
+// home (directory), or a stale cached home.
+func (p *Protocol) handleReq(here int, m *network.Msg) {
+	b := m.Block
+	homes := p.env.Homes
+	req := m.Payload.(reqPayload)
+	if !homes.Claimed(b) {
+		if here != homes.Static(b) {
+			panic(fmt.Sprintf("sc: unclaimed block %d request at non-static node %d", b, here))
+		}
+		// First touch: the requester becomes home (§2). Ship the seeded
+		// copy; the new home installs it and serves itself. This is a
+		// mapping fault, not a coherence miss: the paper's fault tables
+		// exclude it (LU's write faults are zero), so undo the count.
+		homes.Claim(b, req.node)
+		p.env.Stats[req.node].HomeMigrations++
+		if m.Kind == kWriteReq {
+			p.env.Stats[req.node].WriteFaults--
+		} else {
+			p.env.Stats[req.node].ReadFaults--
+		}
+		p.owner[b] = int16(req.node)
+		if req.node == here {
+			p.installHome(here, b)
+			return
+		}
+		// Requests forwarded to the new home before its data arrives
+		// must wait for the installation.
+		p.txns[b] = &txn{install: true, requester: req.node}
+		data := append([]byte(nil), p.env.Spaces[here].BlockData(b)...)
+		p.env.Spaces[here].SetTag(b, mem.NoAccess)
+		p.env.Send(here, &network.Msg{
+			Dst: req.node, Kind: kDataEx, Block: b,
+			Payload: dataPayload{data: data, home: int32(req.node)},
+			Bytes:   len(data) + 8,
+		})
+		return
+	}
+	home := homes.Home(b)
+	if here != home {
+		// Stale cache or directory lookup: forward to the real home.
+		p.env.Stats[here].Forwards++
+		fwd := *m
+		p.env.Send(here, &network.Msg{
+			Dst: home, Kind: fwd.Kind, Block: b, Payload: fwd.Payload, Bytes: fwd.Bytes,
+		})
+		return
+	}
+	if t := p.txns[b]; t != nil {
+		t.waitq = append(t.waitq, m)
+		return
+	}
+	p.startTxn(home, b, m)
+}
+
+// startTxn begins serving a read or write request at the home.
+func (p *Protocol) startTxn(home, b int, m *network.Msg) {
+	req := m.Payload.(reqPayload)
+	write := m.Kind == kWriteReq
+	sp := p.env.Spaces[home]
+	owner := int(p.owner[b])
+
+	if owner >= 0 && owner != home {
+		// Remote exclusive copy: write it back (and invalidate for a
+		// write request) before serving.
+		t := &txn{write: write, requester: req.node, acksLeft: 1}
+		p.txns[b] = t
+		p.env.Send(home, &network.Msg{
+			Dst: owner, Kind: kWBReq, Block: b,
+			Payload: wbReq{inval: write}, Bytes: 8,
+		})
+		return
+	}
+	if owner == home {
+		// Home itself holds the RW copy: downgrade locally, no messages.
+		p.owner[b] = -1
+		if write {
+			sp.SetTag(b, mem.NoAccess)
+		} else {
+			sp.SetTag(b, mem.ReadOnly)
+		}
+	}
+	if write {
+		p.finishWrite(home, b, req.node, nil)
+		return
+	}
+	p.grantRead(home, b, req.node)
+}
+
+// grantRead serves a read request from a valid home copy.
+func (p *Protocol) grantRead(home, b, requester int) {
+	sp := p.env.Spaces[home]
+	if requester == home {
+		// Home reading its own (now valid) copy.
+		if sp.Tag(b) == mem.NoAccess {
+			sp.SetTag(b, mem.ReadOnly)
+		}
+		p.complete(home, b, int32(home), nil, false)
+		p.drain(b)
+		return
+	}
+	p.sharers[b] |= 1 << uint(requester)
+	if sp.Tag(b) == mem.ReadWrite {
+		sp.SetTag(b, mem.ReadOnly)
+	}
+	data := append([]byte(nil), sp.BlockData(b)...)
+	p.env.Send(home, &network.Msg{
+		Dst: requester, Kind: kData, Block: b,
+		Payload: dataPayload{data: data, home: int32(home)},
+		Bytes:   len(data) + 8,
+	})
+	p.drain(b)
+}
+
+// finishWrite invalidates the remaining sharers and then grants RW.
+// Precondition: no remote exclusive copy (owner is -1).
+func (p *Protocol) finishWrite(home, b, requester int, t *txn) {
+	mask := p.sharers[b] &^ (1 << uint(requester))
+	if mask != 0 {
+		if t == nil {
+			t = &txn{write: true, requester: requester}
+			p.txns[b] = t
+		}
+		t.acksLeft = 0
+		for s := 0; s < p.env.Nodes(); s++ {
+			if mask&(1<<uint(s)) != 0 {
+				t.acksLeft++
+				p.env.Send(home, &network.Msg{Dst: s, Kind: kInval, Block: b, Bytes: 8})
+			}
+		}
+		return
+	}
+	p.grantWrite(home, b, requester)
+}
+
+// grantWrite completes a write transaction: all other copies are gone.
+func (p *Protocol) grantWrite(home, b, requester int) {
+	sp := p.env.Spaces[home]
+	wasSharer := p.sharers[b]&(1<<uint(requester)) != 0
+	p.sharers[b] = 0
+	p.owner[b] = int16(requester)
+	if requester == home {
+		sp.SetTag(b, mem.ReadWrite)
+		p.complete(home, b, int32(home), nil, true)
+		p.drain(b)
+		return
+	}
+	sp.SetTag(b, mem.NoAccess)
+	var data []byte
+	if !wasSharer {
+		data = append([]byte(nil), sp.BlockData(b)...)
+	}
+	p.env.Send(home, &network.Msg{
+		Dst: requester, Kind: kDataEx, Block: b,
+		Payload: dataPayload{data: data, home: int32(home)},
+		Bytes:   len(data) + 8,
+	})
+	p.drain(b)
+}
+
+// drain re-dispatches requests queued behind a finished transaction.
+func (p *Protocol) drain(b int) {
+	t := p.txns[b]
+	if t == nil {
+		return
+	}
+	delete(p.txns, b)
+	for _, m := range t.waitq {
+		m := m
+		p.env.Engine.After(0, func() { p.handleReq(m.Dst, m) })
+	}
+}
+
+// handleData installs a granted copy at the requester and resumes it.
+func (p *Protocol) handleData(m *network.Msg, exclusive bool) {
+	node := m.Dst
+	d := m.Payload.(dataPayload)
+	sp := p.env.Spaces[node]
+	if d.data != nil {
+		copy(sp.BlockData(m.Block), d.data)
+	}
+	p.homeCache[node][m.Block] = d.home
+	p.complete(node, m.Block, d.home, d.data, exclusive)
+	if t := p.txns[m.Block]; t != nil && t.install {
+		p.drain(m.Block) // installation finished: serve waiting requests
+	}
+}
+
+// complete finishes node's outstanding fault on block b.
+func (p *Protocol) complete(node, b int, home int32, data []byte, exclusive bool) {
+	sp := p.env.Spaces[node]
+	if exclusive {
+		sp.SetTag(b, mem.ReadWrite)
+	} else if sp.Tag(b) == mem.NoAccess {
+		sp.SetTag(b, mem.ReadOnly)
+	}
+	pf := p.pending[node]
+	if pf.block != b {
+		panic(fmt.Sprintf("sc: node %d completed block %d but pending fault is %d", node, b, pf.block))
+	}
+	if p.delayed {
+		delete(p.pendingInval[node], b)
+	}
+	p.homeCache[node][b] = home
+	p.env.Procs[node].Unblock()
+}
+
+// installHome makes node the first-touch home of block b using its static
+// seed data already present locally (node == static home case).
+func (p *Protocol) installHome(node, b int) {
+	p.env.Spaces[node].SetTag(b, mem.ReadWrite)
+	if p.pending[node].block != b {
+		panic("sc: installHome without matching pending fault")
+	}
+	p.env.Procs[node].Unblock()
+}
+
+func (p *Protocol) handleInval(m *network.Msg) {
+	if p.delayed {
+		p.handleInvalDelayed(m)
+		return
+	}
+	node := m.Dst
+	p.env.Spaces[node].SetTag(m.Block, mem.NoAccess)
+	p.env.Stats[node].Invalidations++
+	home := p.env.Homes.Home(m.Block)
+	p.env.Send(node, &network.Msg{Dst: home, Kind: kInvalAck, Block: m.Block, Bytes: 8})
+}
+
+func (p *Protocol) handleInvalAck(m *network.Msg) {
+	b := m.Block
+	home := m.Dst
+	t := p.txns[b]
+	if t == nil {
+		panic(fmt.Sprintf("sc: stray inval ack for block %d", b))
+	}
+	p.sharers[b] &^= 1 << uint(m.Src)
+	t.acksLeft--
+	if t.acksLeft == 0 {
+		p.grantWrite(home, b, t.requester)
+	}
+}
+
+func (p *Protocol) handleWBReq(m *network.Msg) {
+	node := m.Dst
+	sp := p.env.Spaces[node]
+	req := m.Payload.(wbReq)
+	data := append([]byte(nil), sp.BlockData(m.Block)...)
+	if req.inval {
+		sp.SetTag(m.Block, mem.NoAccess)
+		p.env.Stats[node].Invalidations++
+	} else {
+		sp.SetTag(m.Block, mem.ReadOnly)
+	}
+	home := p.env.Homes.Home(m.Block)
+	p.env.Send(node, &network.Msg{
+		Dst: home, Kind: kWBData, Block: m.Block,
+		Payload: wbData{data: data}, Bytes: len(data) + 8,
+	})
+}
+
+func (p *Protocol) handleWBData(m *network.Msg) {
+	b := m.Block
+	home := m.Dst
+	t := p.txns[b]
+	if t == nil {
+		panic(fmt.Sprintf("sc: stray write-back for block %d", b))
+	}
+	sp := p.env.Spaces[home]
+	copy(sp.BlockData(b), m.Payload.(wbData).data)
+	old := int(p.owner[b])
+	p.owner[b] = -1
+	if t.write {
+		// Old owner invalidated itself; proceed to invalidate sharers.
+		t.acksLeft = 0
+		p.finishWrite(home, b, t.requester, t)
+		return
+	}
+	// Read request: old owner kept a read-only copy.
+	p.sharers[b] |= 1 << uint(old)
+	sp.SetTag(b, mem.ReadOnly)
+	p.grantRead(home, b, t.requester)
+}
+
+// Finalize implements proto.Protocol: pull every dirty exclusive copy back
+// to the home image so Collect sees final data. Engine context, zero cost.
+func (p *Protocol) Finalize() {
+	for b := 0; b < p.env.Homes.NumBlocks(); b++ {
+		o := int(p.owner[b])
+		if !p.env.Homes.Claimed(b) {
+			continue
+		}
+		home := p.env.Homes.Home(b)
+		if o >= 0 && o != home {
+			copy(p.env.Spaces[home].BlockData(b), p.env.Spaces[o].BlockData(b))
+		}
+	}
+}
+
+// Collect implements proto.Protocol.
+func (p *Protocol) Collect(b int) []byte {
+	homes := p.env.Homes
+	if !homes.Claimed(b) {
+		return p.env.Spaces[homes.Static(b)].BlockData(b)
+	}
+	return p.env.Spaces[homes.Home(b)].BlockData(b)
+}
+
+// MemFootprint implements proto.MemReporter: the directory (owner +
+// sharer set per block) plus every node's home cache; SC allocates nothing
+// dynamically.
+func (p *Protocol) MemFootprint() (int64, int64) {
+	nb := int64(len(p.owner))
+	static := nb*2 + nb*8 // owner int16 + sharers uint64
+	static += int64(len(p.homeCache)) * nb * 4
+	return static, 0
+}

@@ -1,0 +1,439 @@
+// Package swlrc implements the single-writer lazy release consistency
+// protocol of §2.2: one writable copy coexists with multiple read-only
+// copies. A write fault migrates ownership without invalidating readers;
+// stale read-only copies are invalidated lazily, at the acquire, using the
+// write notices that travel with the lock. Blocks are versioned every time
+// ownership changes or the owner publishes new writes, which lets a read
+// fault be serviced in a one-hop round trip by any node whose copy is
+// recent enough for the reader's causal requirements.
+package swlrc
+
+import (
+	"fmt"
+	"sort"
+
+	"dsmsim/internal/mem"
+	"dsmsim/internal/network"
+	"dsmsim/internal/proto"
+	"dsmsim/internal/sim"
+)
+
+// Message kinds.
+const (
+	kRead = proto.ProtoKindBase + iota
+	kReadData
+	kOwn
+	kOwnData
+)
+
+type readReq struct {
+	node   int
+	minVer int32 // causal floor from the reader's write notices
+}
+
+type readData struct {
+	data   []byte
+	ver    int32
+	server int32
+}
+
+type ownReq struct {
+	node    int
+	haveVer int32 // version of the requester's copy, -1 if none
+}
+
+type ownData struct {
+	data []byte // nil when the requester's copy is already current
+	ver  int32
+}
+
+type pendingFault struct {
+	block      int
+	write      bool
+	becameHome bool
+}
+
+// Protocol is the SW-LRC implementation.
+type Protocol struct {
+	env *proto.Env
+
+	owner   []int16 // current single-writer owner, -1 before claim
+	version []int32 // authoritative block version, held by the owner
+
+	localVer  [][]int32 // per node: version of the local copy
+	lastKnown [][]int32 // per node: owner hint from notices, -1 none
+	required  [][]int32 // per node: minimum version causality demands
+
+	written []map[int]bool // per node: blocks written this interval
+	pending []pendingFault
+
+	installing map[int][]*network.Msg
+	installSet map[int]bool
+}
+
+// New creates the SW-LRC protocol over env.
+func New(env *proto.Env) *Protocol {
+	nb := env.Homes.NumBlocks()
+	n := env.Nodes()
+	p := &Protocol{
+		env:        env,
+		owner:      make([]int16, nb),
+		version:    make([]int32, nb),
+		pending:    make([]pendingFault, n),
+		installing: make(map[int][]*network.Msg),
+		installSet: make(map[int]bool),
+	}
+	for b := range p.owner {
+		p.owner[b] = -1
+	}
+	for i := 0; i < n; i++ {
+		lv := make([]int32, nb)
+		lk := make([]int32, nb)
+		for b := range lk {
+			lk[b] = -1
+		}
+		p.localVer = append(p.localVer, lv)
+		p.lastKnown = append(p.lastKnown, lk)
+		p.required = append(p.required, make([]int32, nb))
+		p.written = append(p.written, make(map[int]bool))
+	}
+	return p
+}
+
+// Name implements proto.Protocol.
+func (p *Protocol) Name() string { return "swlrc" }
+
+// UsesIntervals implements proto.Protocol.
+func (p *Protocol) UsesIntervals() bool { return true }
+
+// OnAcquireComplete implements proto.Protocol: all acquire-time work
+// happens through the write-notice mechanism (ApplyNotices).
+func (p *Protocol) OnAcquireComplete(node int) {}
+
+// Fault implements proto.Protocol. Proc context.
+func (p *Protocol) Fault(node, block int, write bool) {
+	sp := p.env.Spaces[node]
+
+	if write && int(p.owner[block]) == node {
+		// The owner's first write of a new interval: purely local.
+		sp.SetTag(block, mem.ReadWrite)
+		p.written[node][block] = true
+		return
+	}
+
+	p.pending[node] = pendingFault{block: block, write: write}
+	var target int
+	var kind int
+	var payload any
+	switch {
+	case write:
+		kind = kOwn
+		have := int32(-1)
+		if sp.Tag(block) != mem.NoAccess {
+			have = p.localVer[node][block]
+		}
+		payload = ownReq{node: node, haveVer: have}
+		target = p.ownTarget(node, block)
+	default:
+		kind = kRead
+		payload = readReq{node: node, minVer: p.required[node][block]}
+		target = p.readTarget(node, block)
+	}
+	p.env.Send(node, &network.Msg{
+		Dst: target, Kind: kind, Block: block, Payload: payload, Bytes: 12,
+	})
+	what := "read"
+	if write {
+		what = "write"
+	}
+	p.env.Procs[node].Block(fmt.Sprintf("swlrc %s fault block %d", what, block))
+
+	if write {
+		p.written[node][block] = true
+	}
+}
+
+// ownTarget picks where to send an ownership request: the directory (static
+// home) when unclaimed, otherwise the known owner or the directory.
+func (p *Protocol) ownTarget(node, block int) int {
+	if p.owner[block] < 0 {
+		return p.env.Homes.Static(block)
+	}
+	if lk := p.lastKnown[node][block]; lk >= 0 {
+		return int(lk)
+	}
+	return p.env.Homes.Static(block)
+}
+
+// readTarget picks where to send a read request: the notice-supplied owner
+// hint gives the one-hop path (§2.2); otherwise the directory.
+func (p *Protocol) readTarget(node, block int) int {
+	if lk := p.lastKnown[node][block]; lk >= 0 {
+		return int(lk)
+	}
+	return p.env.Homes.Static(block)
+}
+
+// PreRelease implements proto.Protocol: version the written blocks and emit
+// their notices; nothing is flushed (the single writable copy is already
+// authoritative). A block whose ownership migrated away mid-interval is
+// still noticed — the migration bump already covers its writes, which
+// travelled with the data to the new owner.
+func (p *Protocol) PreRelease(node int) []proto.WriteNotice {
+	var notices []proto.WriteNotice
+	blocks := make([]int, 0, len(p.written[node]))
+	for b := range p.written[node] {
+		blocks = append(blocks, b)
+	}
+	sort.Ints(blocks) // map order is random; the simulator must not be
+	for _, b := range blocks {
+		if int(p.owner[b]) == node {
+			p.version[b]++
+			p.localVer[node][b] = p.version[b]
+		}
+		notices = append(notices, proto.WriteNotice{Block: int32(b), Version: p.version[b]})
+	}
+	clear(p.written[node])
+	return notices
+}
+
+// ApplyNotices implements proto.Protocol: record owner hints and causal
+// floors, and invalidate copies older than the noticed versions.
+func (p *Protocol) ApplyNotices(node int, ivs []proto.Interval) {
+	sp := p.env.Spaces[node]
+	for _, iv := range ivs {
+		if int(iv.Node) == node {
+			continue
+		}
+		for _, wn := range iv.Notices {
+			b := int(wn.Block)
+			p.lastKnown[node][b] = iv.Node
+			if wn.Version > p.required[node][b] {
+				p.required[node][b] = wn.Version
+			}
+			if int(p.owner[b]) == node {
+				continue // the current owner is never stale
+			}
+			if sp.Tag(b) != mem.NoAccess && p.localVer[node][b] < wn.Version {
+				sp.SetTag(b, mem.NoAccess)
+				p.env.Stats[node].Invalidations++
+			}
+		}
+	}
+}
+
+// ServiceCost implements proto.Protocol.
+func (p *Protocol) ServiceCost(m *network.Msg) sim.Time {
+	switch m.Kind {
+	case kReadData:
+		return p.env.Model.MemCopy(len(m.Payload.(readData).data))
+	case kOwnData:
+		return p.env.Model.MemCopy(len(m.Payload.(ownData).data))
+	default:
+		return 0
+	}
+}
+
+// Handle implements proto.Protocol.
+func (p *Protocol) Handle(m *network.Msg) {
+	switch m.Kind {
+	case kRead:
+		p.handleRead(m)
+	case kReadData:
+		p.handleReadData(m)
+	case kOwn:
+		p.handleOwn(m)
+	case kOwnData:
+		p.handleOwnData(m)
+	default:
+		panic(fmt.Sprintf("swlrc: unknown message kind %d", m.Kind))
+	}
+}
+
+// claim performs the first-touch home/ownership claim at the static home.
+// A claim is a mapping fault, not a coherence miss: undo the fault count.
+func (p *Protocol) claim(here int, m *network.Msg, requester int) {
+	b := m.Block
+	if _, migrated := p.env.Homes.Claim(b, requester); migrated {
+		p.env.Stats[requester].HomeMigrations++
+	}
+	if m.Kind == kOwn && p.pending[requester].write {
+		p.env.Stats[requester].WriteFaults--
+	} else {
+		p.env.Stats[requester].ReadFaults--
+	}
+	p.owner[b] = int16(requester)
+	p.version[b] = 1
+	data := append([]byte(nil), p.env.Spaces[here].BlockData(b)...)
+	p.env.Spaces[here].SetTag(b, mem.NoAccess)
+	if requester == here {
+		sp := p.env.Spaces[here]
+		copy(sp.BlockData(b), data)
+		p.localVer[here][b] = 1
+		if p.pending[here].write {
+			sp.SetTag(b, mem.ReadWrite)
+		} else {
+			sp.SetTag(b, mem.ReadOnly)
+		}
+		p.pending[here].becameHome = true
+		p.env.Procs[here].Unblock()
+		return
+	}
+	p.installSet[b] = true
+	p.env.Send(here, &network.Msg{
+		Dst: requester, Kind: kOwnData, Block: b,
+		Payload: ownData{data: data, ver: 1}, Bytes: len(data) + 12,
+	})
+}
+
+func (p *Protocol) handleRead(m *network.Msg) {
+	here := m.Dst
+	b := m.Block
+	req := m.Payload.(readReq)
+	if p.installSet[b] {
+		p.installing[b] = append(p.installing[b], m)
+		return
+	}
+	if p.owner[b] < 0 {
+		if here != p.env.Homes.Static(b) {
+			panic(fmt.Sprintf("swlrc: unclaimed block %d read at non-static node %d", b, here))
+		}
+		p.claim(here, m, req.node) // a load is a touch for SW-LRC
+		return
+	}
+	sp := p.env.Spaces[here]
+	isOwner := int(p.owner[b]) == here
+	ver := p.localVer[here][b]
+	if isOwner {
+		ver = p.version[b]
+	}
+	if (isOwner || sp.Tag(b) != mem.NoAccess) && ver >= req.minVer {
+		// Downgrade-on-serve: once a reader holds a copy, a later write
+		// by the owner must fault so it is versioned and noticed. Blocks
+		// never served stay silently writable across releases, which is
+		// why LU takes no write faults (Table 3).
+		if isOwner && sp.Tag(b) == mem.ReadWrite {
+			sp.SetTag(b, mem.ReadOnly)
+		}
+		data := append([]byte(nil), sp.BlockData(b)...)
+		p.env.Send(here, &network.Msg{
+			Dst: req.node, Kind: kReadData, Block: b,
+			Payload: readData{data: data, ver: ver, server: int32(here)},
+			Bytes:   len(data) + 12,
+		})
+		return
+	}
+	// Too stale (or no copy): forward to the current owner.
+	p.env.Stats[here].Forwards++
+	p.env.Send(here, &network.Msg{Dst: int(p.owner[b]), Kind: kRead, Block: b, Payload: req, Bytes: m.Bytes})
+}
+
+func (p *Protocol) handleReadData(m *network.Msg) {
+	node := m.Dst
+	b := m.Block
+	d := m.Payload.(readData)
+	sp := p.env.Spaces[node]
+	copy(sp.BlockData(b), d.data)
+	sp.SetTag(b, mem.ReadOnly)
+	p.localVer[node][b] = d.ver
+	p.lastKnown[node][b] = d.server
+	if p.pending[node].block != b {
+		panic(fmt.Sprintf("swlrc: node %d got read data for block %d, pending %d", node, b, p.pending[node].block))
+	}
+	p.env.Procs[node].Unblock()
+}
+
+func (p *Protocol) handleOwn(m *network.Msg) {
+	here := m.Dst
+	b := m.Block
+	req := m.Payload.(ownReq)
+	if p.installSet[b] {
+		p.installing[b] = append(p.installing[b], m)
+		return
+	}
+	if p.owner[b] < 0 {
+		if here != p.env.Homes.Static(b) {
+			panic(fmt.Sprintf("swlrc: unclaimed block %d own-req at non-static node %d", b, here))
+		}
+		p.claim(here, m, req.node)
+		return
+	}
+	if int(p.owner[b]) != here {
+		p.env.Stats[here].Forwards++
+		p.env.Send(here, &network.Msg{Dst: int(p.owner[b]), Kind: kOwn, Block: b, Payload: req, Bytes: m.Bytes})
+		return
+	}
+	// Migrate ownership: bump the version, keep a read-only copy.
+	sp := p.env.Spaces[here]
+	preVer := p.version[b]
+	p.version[b]++
+	p.localVer[here][b] = preVer // our copy predates the new owner's writes
+	if sp.Tag(b) == mem.ReadWrite {
+		sp.SetTag(b, mem.ReadOnly)
+	}
+	// written[here] keeps b if we wrote it this interval: our release must
+	// still notice those writes even though ownership moved on.
+	p.owner[b] = int16(req.node)
+	p.installSet[b] = true
+	// Always ship the data: block versions advance only at interval
+	// closes, so version equality does NOT imply the requester's copy is
+	// current (the owner may hold unpublished writes).
+	data := append([]byte(nil), sp.BlockData(b)...)
+	p.env.Send(here, &network.Msg{
+		Dst: req.node, Kind: kOwnData, Block: b,
+		Payload: ownData{data: data, ver: p.version[b]}, Bytes: len(data) + 12,
+	})
+}
+
+func (p *Protocol) handleOwnData(m *network.Msg) {
+	node := m.Dst
+	b := m.Block
+	d := m.Payload.(ownData)
+	sp := p.env.Spaces[node]
+	if d.data != nil {
+		copy(sp.BlockData(b), d.data)
+	}
+	if p.pending[node].write {
+		sp.SetTag(b, mem.ReadWrite)
+	} else {
+		// A read-touch claim: the new owner holds the block read-only so
+		// its first write still faults and is recorded for notices.
+		sp.SetTag(b, mem.ReadOnly)
+	}
+	p.localVer[node][b] = d.ver
+	p.lastKnown[node][b] = int32(node)
+	if p.pending[node].block != b {
+		panic(fmt.Sprintf("swlrc: node %d got ownership of block %d, pending %d", node, b, p.pending[node].block))
+	}
+	delete(p.installSet, b)
+	waiting := p.installing[b]
+	delete(p.installing, b)
+	p.env.Procs[node].Unblock()
+	for _, wm := range waiting {
+		wm := wm
+		p.env.Engine.After(0, func() { p.Handle(wm) })
+	}
+}
+
+// Finalize implements proto.Protocol: the owner copies are authoritative;
+// nothing to flush.
+func (p *Protocol) Finalize() {}
+
+// Collect implements proto.Protocol.
+func (p *Protocol) Collect(b int) []byte {
+	if p.owner[b] < 0 {
+		return p.env.Spaces[p.env.Homes.Static(b)].BlockData(b)
+	}
+	return p.env.Spaces[int(p.owner[b])].BlockData(b)
+}
+
+// MemFootprint implements proto.MemReporter: the owner/version tables plus
+// the per-node version, owner-hint and causal-floor tables; nothing is
+// allocated dynamically.
+func (p *Protocol) MemFootprint() (int64, int64) {
+	nb := int64(len(p.owner))
+	nodes := int64(p.env.Nodes())
+	static := nb * (2 + 4)       // owner + version
+	static += nodes * nb * 3 * 4 // localVer + lastKnown + required
+	return static, 0
+}

@@ -1,0 +1,189 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine models a cluster of nodes with virtual time. Simulated
+// processors are represented as Procs: goroutines that run application or
+// protocol code and explicitly yield to the engine whenever virtual time
+// must pass (Sleep) or an external completion is awaited (Block/Unblock).
+// Exactly one goroutine — either the engine itself or a single Proc — runs
+// at any moment, so execution is fully deterministic: events fire in
+// (time, sequence) order and identical inputs produce identical schedules.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is virtual time in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations, in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by (time, sequence number).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// DeadlockError reports that the event queue drained while one or more Procs
+// were still alive and blocked, i.e. nothing can ever make progress again.
+type DeadlockError struct {
+	// Blocked lists the name and block reason of every stuck Proc.
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock, %d procs blocked: %v", len(e.Blocked), e.Blocked)
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	procs  []*Proc
+	limit  Time // 0 means no limit
+
+	// yield is signalled by a Proc when it hands control back to the engine.
+	yield chan struct{}
+
+	running   bool
+	stopped   bool
+	procPanic *procPanic
+}
+
+// NewEngine returns an engine with virtual time 0 and no events.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// SetLimit aborts Run with an error if virtual time would exceed limit.
+// A limit of 0 (the default) means no limit.
+func (e *Engine) SetLimit(limit Time) { e.limit = limit }
+
+// Schedule registers fn to run at virtual time at. If at is in the past it
+// runs at the current time (after already-queued events for that time).
+// Schedule may be called from event callbacks and from Proc context.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time.
+func (e *Engine) After(d Time, fn func()) { e.Schedule(e.now+d, fn) }
+
+// Stop makes Run return after the current event completes. Pending events
+// are discarded. Alive procs are killed.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run processes events until the queue is empty and every Proc has finished.
+// It returns a *DeadlockError if the queue drains while procs are blocked,
+// or a limit error if SetLimit was exceeded. On return all Proc goroutines
+// have exited.
+func (e *Engine) Run() error {
+	if e.running {
+		return fmt.Errorf("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() {
+		e.running = false
+		e.killAll()
+	}()
+
+	for !e.stopped {
+		if len(e.events) == 0 {
+			if blocked := e.blockedProcs(); len(blocked) > 0 {
+				return &DeadlockError{Blocked: blocked}
+			}
+			return nil
+		}
+		ev := heap.Pop(&e.events).(*event)
+		if e.limit > 0 && ev.at > e.limit {
+			return fmt.Errorf("sim: virtual time limit %v exceeded (event at %v)", e.limit, ev.at)
+		}
+		e.now = ev.at
+		ev.fn()
+		if e.procPanic != nil {
+			panic(e.procPanic.String())
+		}
+	}
+	return nil
+}
+
+// blockedProcs returns descriptions of all alive procs, sorted for
+// deterministic error messages.
+func (e *Engine) blockedProcs() []string {
+	var out []string
+	for _, p := range e.procs {
+		if !p.done {
+			out = append(out, fmt.Sprintf("%s (%s)", p.name, p.reason))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// killAll force-terminates every unfinished proc goroutine.
+func (e *Engine) killAll() {
+	for _, p := range e.procs {
+		if p.done || !p.started {
+			continue
+		}
+		p.killed = true
+		p.resume <- struct{}{}
+		<-e.yield
+	}
+	// Procs never started don't hold goroutines yet; mark them done.
+	for _, p := range e.procs {
+		p.done = true
+	}
+}

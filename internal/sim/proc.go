@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// procKilled is the panic value used to unwind a Proc goroutine when the
+// engine shuts down before the proc finished.
+type procKilled struct{}
+
+// procPanic carries an application panic from a proc goroutine to the
+// engine goroutine.
+type procPanic struct {
+	proc  string
+	value any
+	stack []byte
+}
+
+func (p *procPanic) String() string {
+	return fmt.Sprintf("sim: proc %s panicked: %v\n%s", p.proc, p.value, p.stack)
+}
+
+// Proc is a simulated thread of control (one per simulated processor).
+// Its body runs in a dedicated goroutine, but only while it holds the
+// engine's baton: every Sleep or Block hands control back to the engine.
+//
+// All Proc methods except Unblock must be called from inside the proc's own
+// body. Unblock must be called from engine context (an event callback or
+// another proc holding the baton).
+type Proc struct {
+	e      *Engine
+	name   string
+	body   func(*Proc)
+	resume chan struct{}
+
+	started bool
+	done    bool
+	killed  bool
+	blocked bool
+	reason  string // why the proc is blocked, for deadlock reports
+}
+
+// NewProc registers a proc whose body starts running at time start.
+// The body receives the proc itself so it can Sleep and Block.
+func (e *Engine) NewProc(name string, start Time, body func(*Proc)) *Proc {
+	p := &Proc{e: e, name: name, body: body, resume: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	e.Schedule(start, func() { e.startProc(p) })
+	return p
+}
+
+func (e *Engine) startProc(p *Proc) {
+	p.started = true
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procKilled); !ok {
+					// Hand application bugs to the engine goroutine, which
+					// re-panics them with the original stack attached.
+					p.e.procPanic = &procPanic{proc: p.name, value: r, stack: debug.Stack()}
+				}
+			}
+			p.done = true
+			p.e.yield <- struct{}{}
+		}()
+		p.body(p)
+	}()
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
+// Name returns the proc's name.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Engine returns the engine this proc runs on.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// yieldToEngine parks the proc until the engine resumes it.
+func (p *Proc) yieldToEngine() {
+	p.e.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(procKilled{})
+	}
+}
+
+// Sleep advances the proc's virtual time by d. Other events may run in
+// between. d <= 0 yields without advancing time (other events scheduled for
+// the current instant run first).
+func (p *Proc) Sleep(d Time) {
+	at := p.e.now
+	if d > 0 {
+		at += d
+	}
+	p.e.Schedule(at, func() {
+		p.resume <- struct{}{}
+		<-p.e.yield
+	})
+	p.yieldToEngine()
+}
+
+// Block parks the proc until Unblock is called. reason appears in deadlock
+// reports. Block panics if the proc is already blocked (a bug).
+func (p *Proc) Block(reason string) {
+	if p.blocked {
+		panic(fmt.Sprintf("sim: proc %s double-blocked (%s, was %s)", p.name, reason, p.reason))
+	}
+	p.blocked = true
+	p.reason = reason
+	p.yieldToEngine()
+}
+
+// Blocked reports whether the proc is currently parked in Block.
+func (p *Proc) Blocked() bool { return p.blocked }
+
+// Done reports whether the proc's body has finished.
+func (p *Proc) Done() bool { return p.done }
+
+// Unblock schedules the proc to resume at the current virtual time. It must
+// be called from engine context, and panics if the proc is not blocked:
+// wakeups in this simulator are always targeted, never racy.
+func (p *Proc) Unblock() {
+	if !p.blocked {
+		panic(fmt.Sprintf("sim: Unblock of non-blocked proc %s", p.name))
+	}
+	p.blocked = false
+	p.reason = ""
+	p.e.Schedule(p.e.now, func() {
+		p.resume <- struct{}{}
+		<-p.e.yield
+	})
+}

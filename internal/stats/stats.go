@@ -1,0 +1,65 @@
+// Package stats collects the per-node counters and time breakdown the
+// paper reports: read/write fault counts (Tables 3–14), data traffic
+// (Table 15), and the execution-time components behind the speedup curves.
+package stats
+
+import "dsmsim/internal/sim"
+
+// Node holds one simulated node's counters. It is written only from engine
+// context (one goroutine active at a time), so no locking is needed.
+type Node struct {
+	// Fault counts, the paper's per-app tables.
+	ReadFaults  int64
+	WriteFaults int64
+
+	// Protocol activity.
+	Invalidations    int64 // blocks invalidated (remote requests or notices)
+	TwinsCreated     int64
+	DiffsCreated     int64
+	DiffsApplied     int64
+	DiffPayloadBytes int64
+	WriteNoticesSent int64
+	WriteNoticesRecv int64
+	HomeMigrations   int64 // blocks this node claimed by first touch
+	Forwards         int64 // requests this node forwarded to the real home
+
+	// Synchronization.
+	LockAcquires   int64
+	BarrierEntries int64
+
+	// Time breakdown of the node's critical path.
+	Compute      sim.Time // user computation (including polling dilation)
+	ReadStall    sim.Time // blocked in read faults
+	WriteStall   sim.Time // blocked in write faults
+	LockStall    sim.Time // blocked acquiring locks
+	BarrierStall sim.Time // blocked at barriers
+	FlushTime    sim.Time // release-time diff creation and flushing (HLRC)
+	Stolen       sim.Time // protocol service stolen from computation
+}
+
+// Add accumulates other into n.
+func (n *Node) Add(other *Node) {
+	n.ReadFaults += other.ReadFaults
+	n.WriteFaults += other.WriteFaults
+	n.Invalidations += other.Invalidations
+	n.TwinsCreated += other.TwinsCreated
+	n.DiffsCreated += other.DiffsCreated
+	n.DiffsApplied += other.DiffsApplied
+	n.DiffPayloadBytes += other.DiffPayloadBytes
+	n.WriteNoticesSent += other.WriteNoticesSent
+	n.WriteNoticesRecv += other.WriteNoticesRecv
+	n.HomeMigrations += other.HomeMigrations
+	n.Forwards += other.Forwards
+	n.LockAcquires += other.LockAcquires
+	n.BarrierEntries += other.BarrierEntries
+	n.Compute += other.Compute
+	n.ReadStall += other.ReadStall
+	n.WriteStall += other.WriteStall
+	n.LockStall += other.LockStall
+	n.BarrierStall += other.BarrierStall
+	n.FlushTime += other.FlushTime
+	n.Stolen += other.Stolen
+}
+
+// Reset zeroes every counter (used at the parallel-phase boundary).
+func (n *Node) Reset() { *n = Node{} }

@@ -1,0 +1,40 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestAddCoversEveryField uses reflection to guarantee Add stays in sync
+// with the struct: setting every field to 1 and adding twice must yield 2
+// everywhere.
+func TestAddCoversEveryField(t *testing.T) {
+	var a, b Node
+	rv := reflect.ValueOf(&b).Elem()
+	for i := 0; i < rv.NumField(); i++ {
+		f := rv.Field(i)
+		switch f.Kind() {
+		case reflect.Int64:
+			f.SetInt(1)
+		default:
+			t.Fatalf("unhandled field kind %v for %s", f.Kind(), rv.Type().Field(i).Name)
+		}
+	}
+	a.Add(&b)
+	a.Add(&b)
+	ra := reflect.ValueOf(a)
+	for i := 0; i < ra.NumField(); i++ {
+		if got := ra.Field(i).Int(); got != 2 {
+			t.Errorf("field %s = %d after two Adds, want 2 (Add out of sync with struct)",
+				ra.Type().Field(i).Name, got)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	n := Node{ReadFaults: 5, Compute: 100}
+	n.Reset()
+	if n != (Node{}) {
+		t.Fatalf("Reset left state: %+v", n)
+	}
+}

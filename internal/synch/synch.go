@@ -1,0 +1,327 @@
+// Package synch implements the message-based synchronization layer: a
+// distributed lock manager and a centralized barrier.
+//
+// Locks follow the LRC-style flow (§2.2–2.3): the acquirer sends its vector
+// clock to the lock's home; the home forwards the grant duty to the last
+// releaser, which replies directly with the write notices the acquirer has
+// not yet seen. Under SC the home grants directly with no consistency
+// payload — the paper notes synchronization is much cheaper under SC
+// because it involves no protocol activity.
+package synch
+
+import (
+	"fmt"
+
+	"dsmsim/internal/network"
+	"dsmsim/internal/proto"
+	"dsmsim/internal/sim"
+)
+
+// Message kinds (all below proto.ProtoKindBase).
+const (
+	kLockAcquire = iota
+	kLockGrantReq
+	kLockGrant
+	kLockRelease
+	kBarArrive
+	kBarRelease
+)
+
+type acquireReq struct {
+	lock int
+	vc   proto.VC
+}
+
+type grantReq struct {
+	lock int
+	to   int
+	toVC proto.VC
+}
+
+type grant struct {
+	lock   int
+	ivs    []proto.Interval
+	fromVC proto.VC
+}
+
+type releaseMsg struct{ lock int }
+
+type barArrive struct{ vc proto.VC }
+
+type barRelease struct {
+	ivs    []proto.Interval
+	merged proto.VC
+}
+
+type waiter struct {
+	node int
+	vc   proto.VC
+}
+
+type lockState struct {
+	held         bool
+	holder       int
+	lastReleaser int
+	queue        []waiter
+}
+
+// Sync is the synchronization manager for one machine run.
+type Sync struct {
+	env   *proto.Env
+	proto proto.Protocol
+
+	locks map[int]*lockState
+
+	// Barrier state (master is node 0).
+	barCount int
+	barVCs   []proto.VC
+}
+
+// New creates the manager. The protocol must be set with SetProtocol before
+// the first synchronization operation.
+func New(env *proto.Env) *Sync {
+	return &Sync{env: env, locks: make(map[int]*lockState)}
+}
+
+// SetProtocol attaches the coherence protocol whose hooks the manager calls.
+func (s *Sync) SetProtocol(p proto.Protocol) { s.proto = p }
+
+// lockHome returns the node managing the given lock.
+func (s *Sync) lockHome(lock int) int { return lock % s.env.Nodes() }
+
+func (s *Sync) vcBytes() int { return s.env.Nodes() * s.env.Model.VCEntryBytes }
+
+func (s *Sync) noticeCount(ivs []proto.Interval) int {
+	n := 0
+	for _, iv := range ivs {
+		n += len(iv.Notices)
+	}
+	return n
+}
+
+// Acquire obtains the lock for node. Proc context; blocks until granted.
+func (s *Sync) Acquire(node, lock int) {
+	s.env.Stats[node].LockAcquires++
+	var vc proto.VC
+	bytes := 8
+	if s.proto.UsesIntervals() {
+		vc = s.env.VCs[node].Clone()
+		bytes += s.vcBytes()
+	}
+	s.env.Send(node, &network.Msg{
+		Dst: s.lockHome(lock), Kind: kLockAcquire, Block: -1,
+		Payload: acquireReq{lock: lock, vc: vc}, Bytes: bytes,
+	})
+	s.env.Procs[node].Block(fmt.Sprintf("lock %d acquire", lock))
+}
+
+// Release releases the lock held by node. Proc context. It closes the
+// node's interval first (PreRelease may block, e.g. HLRC's diff flush).
+func (s *Sync) Release(node, lock int) {
+	s.closeInterval(node)
+	s.env.Send(node, &network.Msg{
+		Dst: s.lockHome(lock), Kind: kLockRelease, Block: -1,
+		Payload: releaseMsg{lock: lock}, Bytes: 8,
+	})
+}
+
+// closeInterval flushes node's pending writes and publishes its notices as
+// a new interval (no-op under SC).
+func (s *Sync) closeInterval(node int) {
+	notices := s.proto.PreRelease(node)
+	if !s.proto.UsesIntervals() {
+		return
+	}
+	idx := s.env.Log.Publish(node, notices)
+	s.env.VCs[node][node] = idx
+	s.env.Stats[node].WriteNoticesSent += int64(len(notices))
+}
+
+// Barrier enters the global barrier. Proc context; blocks until all nodes
+// arrive and the master releases.
+func (s *Sync) Barrier(node int) {
+	s.env.Stats[node].BarrierEntries++
+	s.closeInterval(node)
+	var vc proto.VC
+	bytes := 8
+	if s.proto.UsesIntervals() {
+		vc = s.env.VCs[node].Clone()
+		bytes += s.vcBytes()
+	}
+	s.env.Send(node, &network.Msg{
+		Dst: 0, Kind: kBarArrive, Block: -1,
+		Payload: barArrive{vc: vc}, Bytes: bytes,
+	})
+	s.env.Procs[node].Block("barrier")
+}
+
+// ServiceCost returns the processor occupancy for servicing m.
+func (s *Sync) ServiceCost(m *network.Msg) sim.Time {
+	model := s.env.Model
+	switch m.Kind {
+	case kLockGrant:
+		g := m.Payload.(grant)
+		return model.LockHandling + sim.Time(s.noticeCount(g.ivs))*model.NoticeApply
+	case kBarRelease:
+		b := m.Payload.(barRelease)
+		return model.BarrierHandling + sim.Time(s.noticeCount(b.ivs))*model.NoticeApply
+	case kBarArrive:
+		return model.BarrierHandling
+	default:
+		return model.LockHandling
+	}
+}
+
+// Handle services a synchronization message (engine context).
+func (s *Sync) Handle(m *network.Msg) {
+	switch m.Kind {
+	case kLockAcquire:
+		s.handleAcquire(m)
+	case kLockRelease:
+		s.handleRelease(m)
+	case kLockGrantReq:
+		s.handleGrantReq(m)
+	case kLockGrant:
+		s.handleGrant(m)
+	case kBarArrive:
+		s.handleBarArrive(m)
+	case kBarRelease:
+		s.handleBarRelease(m)
+	default:
+		panic(fmt.Sprintf("synch: unknown message kind %d", m.Kind))
+	}
+}
+
+func (s *Sync) lock(id int) *lockState {
+	st := s.locks[id]
+	if st == nil {
+		st = &lockState{lastReleaser: -1}
+		s.locks[id] = st
+	}
+	return st
+}
+
+func (s *Sync) handleAcquire(m *network.Msg) {
+	req := m.Payload.(acquireReq)
+	st := s.lock(req.lock)
+	if st.held {
+		st.queue = append(st.queue, waiter{node: m.Src, vc: req.vc})
+		return
+	}
+	st.held = true
+	st.holder = m.Src
+	s.grantFrom(m.Dst, st.lastReleaser, req.lock, m.Src, req.vc)
+}
+
+func (s *Sync) handleRelease(m *network.Msg) {
+	rel := m.Payload.(releaseMsg)
+	st := s.lock(rel.lock)
+	if !st.held || st.holder != m.Src {
+		panic(fmt.Sprintf("synch: release of lock %d by %d, holder %d held=%v", rel.lock, m.Src, st.holder, st.held))
+	}
+	st.lastReleaser = m.Src
+	if len(st.queue) == 0 {
+		st.held = false
+		return
+	}
+	w := st.queue[0]
+	st.queue = st.queue[1:]
+	st.holder = w.node
+	s.grantFrom(m.Dst, st.lastReleaser, rel.lock, w.node, w.vc)
+}
+
+// grantFrom routes the grant for lock to acquirer: directly from the home
+// when there is no consistency payload to compute, otherwise via the last
+// releaser, which knows which write notices the acquirer is missing.
+func (s *Sync) grantFrom(home, lastReleaser, lock, acquirer int, acqVC proto.VC) {
+	if !s.proto.UsesIntervals() || lastReleaser < 0 {
+		s.env.Send(home, &network.Msg{
+			Dst: acquirer, Kind: kLockGrant, Block: -1,
+			Payload: grant{lock: lock}, Bytes: 8,
+		})
+		return
+	}
+	s.env.Send(home, &network.Msg{
+		Dst: lastReleaser, Kind: kLockGrantReq, Block: -1,
+		Payload: grantReq{lock: lock, to: acquirer, toVC: acqVC},
+		Bytes:   8 + s.vcBytes(),
+	})
+}
+
+func (s *Sync) handleGrantReq(m *network.Msg) {
+	req := m.Payload.(grantReq)
+	r := m.Dst // the last releaser computes the notices
+	myVC := s.env.VCs[r]
+	var ivs []proto.Interval
+	for j := 0; j < s.env.Nodes(); j++ {
+		ivs = append(ivs, s.env.Log.Between(j, req.toVC[j], myVC[j])...)
+	}
+	s.env.Send(r, &network.Msg{
+		Dst: req.to, Kind: kLockGrant, Block: -1,
+		Payload: grant{lock: req.lock, ivs: ivs, fromVC: myVC.Clone()},
+		Bytes:   8 + s.vcBytes() + s.noticeCount(ivs)*s.env.Model.WriteNoticeBytes,
+	})
+}
+
+func (s *Sync) handleGrant(m *network.Msg) {
+	g := m.Payload.(grant)
+	node := m.Dst
+	if s.proto.UsesIntervals() {
+		s.proto.ApplyNotices(node, g.ivs)
+		s.env.Stats[node].WriteNoticesRecv += int64(s.noticeCount(g.ivs))
+		if g.fromVC != nil {
+			s.env.VCs[node].Merge(g.fromVC)
+		}
+	}
+	s.proto.OnAcquireComplete(node)
+	s.env.Procs[node].Unblock()
+}
+
+func (s *Sync) handleBarArrive(m *network.Msg) {
+	if s.barVCs == nil {
+		s.barVCs = make([]proto.VC, s.env.Nodes())
+	}
+	s.barVCs[m.Src] = m.Payload.(barArrive).vc
+	s.barCount++
+	if s.barCount < s.env.Nodes() {
+		return
+	}
+	// All arrived: merge and release everyone.
+	n := s.env.Nodes()
+	uses := s.proto.UsesIntervals()
+	var merged proto.VC
+	if uses {
+		merged = proto.NewVC(n)
+		for _, vc := range s.barVCs {
+			merged.Merge(vc)
+		}
+	}
+	for i := 0; i < n; i++ {
+		var ivs []proto.Interval
+		bytes := 8
+		if uses {
+			for j := 0; j < n; j++ {
+				ivs = append(ivs, s.env.Log.Between(j, s.barVCs[i][j], merged[j])...)
+			}
+			bytes += s.vcBytes() + s.noticeCount(ivs)*s.env.Model.WriteNoticeBytes
+		}
+		s.env.Send(0, &network.Msg{
+			Dst: i, Kind: kBarRelease, Block: -1,
+			Payload: barRelease{ivs: ivs, merged: merged}, Bytes: bytes,
+		})
+	}
+	s.barCount = 0
+	s.barVCs = nil
+}
+
+func (s *Sync) handleBarRelease(m *network.Msg) {
+	b := m.Payload.(barRelease)
+	node := m.Dst
+	if s.proto.UsesIntervals() {
+		s.proto.ApplyNotices(node, b.ivs)
+		s.env.Stats[node].WriteNoticesRecv += int64(s.noticeCount(b.ivs))
+		s.env.VCs[node].Merge(b.merged)
+	}
+	s.proto.OnAcquireComplete(node)
+	s.env.Procs[node].Unblock()
+}

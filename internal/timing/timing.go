@@ -1,0 +1,171 @@
+// Package timing defines the cost model of the simulated testbed.
+//
+// The numbers are calibrated to the platform described in §3 of the paper:
+// 16 SPARCstation-20 nodes (66 MHz HyperSPARC) connected by Myrinet, with
+// Typhoon-0 fine-grained access-control hardware. The paper's own
+// microbenchmark reports round-trip times of 40, 61, 100, 256 and 876 µs for
+// 4, 64, 256, 1024 and 4096-byte messages; the one-way latency table below
+// is derived from it (one-way(s) = roundtrip(s) − one-way(4), with
+// one-way(4) = 20 µs = half the small-message round trip).
+package timing
+
+import "dsmsim/internal/sim"
+
+// Model holds every cost constant used by the simulator. All durations are
+// virtual nanoseconds (sim.Time). The zero value is not useful; start from
+// Default().
+type Model struct {
+	// FaultDelivery is the cost of delivering an access-control violation
+	// to the runtime (the Typhoon-0 fast exception path, ~5 µs).
+	FaultDelivery sim.Time
+
+	// MsgHeader is the number of wire bytes added to every message payload.
+	MsgHeader int
+
+	// latencyPts is the one-way latency table, derived from the paper's
+	// round-trip microbenchmark. Sizes must be ascending.
+	latencyPts []latencyPoint
+
+	// SendOverhead is host-processor occupancy to initiate a send.
+	SendOverhead sim.Time
+
+	// HandlerCost is the fixed protocol-processing cost per received
+	// message, on top of any data-dependent costs below.
+	HandlerCost sim.Time
+
+	// MemCopyPerByte is the per-byte cost of copying block data between
+	// the network buffers and the local space (Mbus-limited).
+	MemCopyPerByte sim.Time
+
+	// DiffCreatePerByte is the per-byte cost of comparing a dirty block
+	// against its twin to produce a diff (HLRC).
+	DiffCreatePerByte sim.Time
+
+	// DiffApplyPerByte is the per-byte cost of applying a received diff to
+	// the home copy (HLRC).
+	DiffApplyPerByte sim.Time
+
+	// TwinCreatePerByte is the per-byte cost of creating a twin (clean
+	// copy) of a block on the first write after an acquire (HLRC).
+	TwinCreatePerByte sim.Time
+
+	// InterruptDelivery is the cost of a Solaris signal delivering a
+	// message-arrival interrupt while user code is executing (~70 µs).
+	InterruptDelivery sim.Time
+
+	// InterruptHoldoff models the forward-progress window during which
+	// interrupts stay disabled after the runtime hands a block to the
+	// application (§5.4: this delays invalidations and damps ping-pong
+	// under SC). Incoming requests wait out the remainder of the holdoff.
+	InterruptHoldoff sim.Time
+
+	// PollDelay is the mean delay until a computing processor reaches the
+	// next backedge poll and notices a pending message.
+	PollDelay sim.Time
+
+	// PollCheck is the cost of one backedge poll when a message IS
+	// pending (clearing the T0 register with an uncached store, ~1.5 µs).
+	PollCheck sim.Time
+
+	// LockHandling is the lock manager's processing cost per lock
+	// operation, and BarrierHandling likewise per barrier message.
+	LockHandling    sim.Time
+	BarrierHandling sim.Time
+
+	// NoticeApply is the cost of processing one received write notice
+	// (table lookup plus tag invalidation).
+	NoticeApply sim.Time
+
+	// WriteNoticeBytes is the wire size of one write notice; VCEntryBytes
+	// the wire size of one vector-clock entry; DiffEntryOverhead the
+	// per-run overhead bytes inside an encoded diff.
+	WriteNoticeBytes  int
+	VCEntryBytes      int
+	DiffEntryOverhead int
+
+	// PageMapCost is the one-time cost of mapping a page of the shared
+	// address space on first local use (VM setup, amortized; cheap next
+	// to protocol activity).
+	PageMapCost sim.Time
+}
+
+type latencyPoint struct {
+	bytes int
+	lat   sim.Time
+}
+
+// Default returns the model calibrated to the paper's testbed.
+func Default() *Model {
+	us := sim.Microsecond
+	return &Model{
+		FaultDelivery: 5 * us,
+		MsgHeader:     16,
+		latencyPts: []latencyPoint{
+			{4, 20 * us},
+			{64, 41 * us},
+			{256, 80 * us},
+			{1024, 236 * us},
+			{4096, 856 * us},
+		},
+		SendOverhead:      3 * us,
+		HandlerCost:       4 * us,
+		MemCopyPerByte:    sim.Time(10), // 10 ns/B ≈ 100 MB/s local copy
+		DiffCreatePerByte: sim.Time(15), // word-compare against twin
+		DiffApplyPerByte:  sim.Time(10),
+		TwinCreatePerByte: sim.Time(10),
+		InterruptDelivery: 70 * us,
+		InterruptHoldoff:  300 * us,
+		PollDelay:         3 * us,
+		PollCheck:         sim.Time(1500),
+		LockHandling:      10 * us,
+		BarrierHandling:   8 * us,
+		NoticeApply:       sim.Time(500),
+		WriteNoticeBytes:  8,
+		VCEntryBytes:      4,
+		DiffEntryOverhead: 4,
+		PageMapCost:       20 * us,
+	}
+}
+
+// OneWayLatency returns the wire time for a message of the given payload
+// size. The calibration points are the paper's message sizes, which already
+// include framing (MsgHeader is used only for traffic accounting). Between
+// points it interpolates linearly; beyond the last point it extrapolates
+// with the final slope.
+func (m *Model) OneWayLatency(payloadBytes int) sim.Time {
+	s := payloadBytes
+	pts := m.latencyPts
+	if s <= pts[0].bytes {
+		return pts[0].lat
+	}
+	for i := 1; i < len(pts); i++ {
+		if s <= pts[i].bytes {
+			return interp(pts[i-1], pts[i], s)
+		}
+	}
+	// Extrapolate using the last segment's slope.
+	return interp(pts[len(pts)-2], pts[len(pts)-1], s)
+}
+
+func interp(a, b latencyPoint, s int) sim.Time {
+	frac := float64(s-a.bytes) / float64(b.bytes-a.bytes)
+	return a.lat + sim.Time(frac*float64(b.lat-a.lat))
+}
+
+// RoundTrip returns the modeled round-trip time for a small request with a
+// payloadBytes response, matching the paper's microbenchmark methodology.
+func (m *Model) RoundTrip(payloadBytes int) sim.Time {
+	return m.OneWayLatency(0) + m.OneWayLatency(payloadBytes)
+}
+
+// MemCopy returns the local copy cost for n bytes.
+func (m *Model) MemCopy(n int) sim.Time { return sim.Time(n) * m.MemCopyPerByte }
+
+// DiffCreate returns the cost of diffing an n-byte block against its twin.
+func (m *Model) DiffCreate(n int) sim.Time { return sim.Time(n) * m.DiffCreatePerByte }
+
+// DiffApply returns the cost of applying a diff covering n payload bytes.
+func (m *Model) DiffApply(n int) sim.Time { return sim.Time(n) * m.DiffApplyPerByte }
+
+// TwinCreate returns the cost of twinning an n-byte block.
+func (m *Model) TwinCreate(n int) sim.Time { return sim.Time(n) * m.TwinCreatePerByte }

@@ -1,0 +1,92 @@
+package timing
+
+import (
+	"testing"
+
+	"dsmsim/internal/sim"
+)
+
+func TestRoundTripMatchesPaperMicrobenchmark(t *testing.T) {
+	m := Default()
+	us := sim.Microsecond
+	// The paper reports round trips of 40, 61, 100, 256 and 876 µs for 4-,
+	// 64-, 256-, 1K- and 4K-byte messages. Our model must land within a few
+	// percent at those exact sizes (header bytes shift the interpolation
+	// point slightly).
+	cases := []struct {
+		bytes int
+		want  sim.Time
+	}{
+		{4, 40 * us},
+		{64, 61 * us},
+		{256, 100 * us},
+		{1024, 256 * us},
+		{4096, 876 * us},
+	}
+	for _, c := range cases {
+		got := m.RoundTrip(c.bytes)
+		lo, hi := c.want*95/100, c.want*105/100
+		if got < lo || got > hi {
+			t.Errorf("RoundTrip(%d) = %v, want ≈%v", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestOneWayLatencyMonotone(t *testing.T) {
+	m := Default()
+	prev := sim.Time(-1)
+	for s := 0; s <= 20000; s += 64 {
+		l := m.OneWayLatency(s)
+		if l < prev {
+			t.Fatalf("latency not monotone at %d bytes: %v < %v", s, l, prev)
+		}
+		prev = l
+	}
+}
+
+func TestOneWayLatencyExtrapolation(t *testing.T) {
+	m := Default()
+	// Beyond 4096 the model extrapolates with the last slope
+	// (856−236)µs / (4096−1024)B ≈ 0.2 µs/B.
+	l8k := m.OneWayLatency(8192)
+	l4k := m.OneWayLatency(4096)
+	slope := float64(l8k-l4k) / 4096.0 // ns per byte
+	if slope < 150 || slope > 260 {
+		t.Errorf("extrapolation slope = %.1f ns/B, want ≈200", slope)
+	}
+}
+
+func TestSmallMessageFloor(t *testing.T) {
+	m := Default()
+	if got, want := m.OneWayLatency(0), 20*sim.Microsecond; got != want {
+		t.Errorf("OneWayLatency(0) = %v, want %v (floor)", got, want)
+	}
+}
+
+func TestPerByteCosts(t *testing.T) {
+	m := Default()
+	if m.MemCopy(4096) != 4096*m.MemCopyPerByte {
+		t.Error("MemCopy not linear")
+	}
+	if m.DiffCreate(100) != 100*m.DiffCreatePerByte {
+		t.Error("DiffCreate not linear")
+	}
+	if m.DiffApply(100) != 100*m.DiffApplyPerByte {
+		t.Error("DiffApply not linear")
+	}
+	if m.TwinCreate(100) != 100*m.TwinCreatePerByte {
+		t.Error("TwinCreate not linear")
+	}
+}
+
+func TestSyncMinimumEmerges(t *testing.T) {
+	// §5.2.1: "the minimum time in handling a synchronization event is
+	// around 150 microseconds". A 3-hop lock acquisition (request to home,
+	// forward to releaser, grant to acquirer) plus handling should be in
+	// that ballpark under the default model.
+	m := Default()
+	threeHop := 3*m.OneWayLatency(8) + 3*m.HandlerCost + m.LockHandling
+	if threeHop < 60*sim.Microsecond || threeHop > 300*sim.Microsecond {
+		t.Errorf("3-hop lock cost = %v, want order of 150µs", threeHop)
+	}
+}
