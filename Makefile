@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test test-short bench examples paper verify-paper clean
+.PHONY: all test test-short bench examples paper verify-paper trace-demo clean
 
 all: test
 
@@ -38,5 +38,11 @@ verify-paper:
 	$(GO) run ./cmd/dsmbench -exp all -size paper -nodes 16 -verify \
 		-csv results.csv > results_paper.txt
 
+# Produce a sample execution trace from the quickstart example; open
+# trace.json at https://ui.perfetto.dev (or chrome://tracing).
+trace-demo:
+	$(GO) run ./examples/quickstart -trace-json trace.json
+	@echo "wrote trace.json — open it at https://ui.perfetto.dev"
+
 clean:
-	rm -f results.csv
+	rm -f results.csv trace.json

@@ -27,6 +27,7 @@ func main() {
 		verify   = flag.Bool("verify", false, "verify every run's numeric result (slow at paper size)")
 		progress = flag.Bool("progress", true, "print one line per completed run to stderr")
 		csvPath  = flag.String("csv", "", "append one machine-readable record per run to this file")
+		latency  = flag.Bool("latency", false, "print latency-distribution summaries with progress lines")
 		list     = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -50,13 +51,19 @@ func main() {
 	if *progress {
 		opts.Progress = os.Stderr
 	}
+	opts.Histograms = *latency
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
+		// Append, as documented: records from successive invocations
+		// accumulate, and the header is only written to a fresh file.
+		f, err := os.OpenFile(*csvPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dsmbench:", err)
 			os.Exit(1)
 		}
 		defer f.Close()
+		if st, err := f.Stat(); err == nil && st.Size() > 0 {
+			opts.CSVHasHeader = true
+		}
 		opts.CSV = f
 	}
 	r := harness.New(opts)

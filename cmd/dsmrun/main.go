@@ -27,7 +27,8 @@ func main() {
 		size     = flag.String("size", "small", "problem size: small or paper")
 		verify   = flag.Bool("verify", true, "check the numeric result against the sequential reference")
 		static   = flag.Bool("static-homes", false, "disable first-touch home migration (ablation)")
-		trace    = flag.String("trace", "", "write a deterministic event trace to this file")
+		trace    = flag.String("trace", "", "write a deterministic line-format event trace to this file")
+		traceJS  = flag.String("trace-json", "", "write a Chrome trace-event JSON file (view in Perfetto)")
 	)
 	flag.Parse()
 
@@ -52,6 +53,16 @@ func main() {
 		w := bufio.NewWriter(f)
 		defer w.Flush()
 		cfg.Trace = w
+	}
+	if *traceJS != "" {
+		f, err := os.Create(*traceJS)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w := bufio.NewWriter(f)
+		defer w.Flush()
+		cfg.TraceJSON = w
 	}
 	m, err := dsmsim.NewMachine(cfg)
 	if err != nil {
@@ -101,6 +112,12 @@ func main() {
 		res.Total.Compute, res.Total.ReadStall, res.Total.WriteStall)
 	fmt.Printf("    lock     %v  barrier    %v  flush       %v  stolen %v\n",
 		res.Total.LockStall, res.Total.BarrierStall, res.Total.FlushTime, res.Total.Stolen)
+	fmt.Printf("  latency distributions:\n")
+	fmt.Printf("    read fault   %s\n", res.Total.ReadFaultTime.Summary())
+	fmt.Printf("    write fault  %s\n", res.Total.WriteFaultTime.Summary())
+	fmt.Printf("    message      %s\n", res.MsgLatency.Summary())
+	fmt.Printf("    lock wait    %s\n", res.Total.LockWait.Summary())
+	fmt.Printf("    barrier wait %s\n", res.Total.BarrierWait.Summary())
 }
 
 func fatal(err error) {

@@ -7,8 +7,11 @@
 package main
 
 import (
+	"bufio"
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"dsmsim"
 )
@@ -80,11 +83,24 @@ func (h *histogram) Verify(heap *dsmsim.Heap) error {
 }
 
 func main() {
+	traceJS := flag.String("trace-json", "", "write a Chrome trace-event JSON file (view in Perfetto)")
+	flag.Parse()
+
 	cfg := dsmsim.Config{
 		Nodes:     4,
 		BlockSize: 4096,
 		Protocol:  dsmsim.HLRC,
 		Notify:    dsmsim.Polling,
+	}
+	if *traceJS != "" {
+		f, err := os.Create(*traceJS)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w := bufio.NewWriter(f)
+		defer w.Flush()
+		cfg.TraceJSON = w
 	}
 	res, err := dsmsim.Run(cfg, &histogram{})
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -259,42 +260,164 @@ func TestMemFootprintReported(t *testing.T) {
 	}
 }
 
-// TestTraceDeterministic: identical runs emit byte-identical traces, and
-// the trace contains fault, lock, barrier, send and serve events.
-func TestTraceDeterministic(t *testing.T) {
+// traceTestApp is the small lock+barrier workload the tracing tests share.
+func traceTestApp() App {
 	var base int
-	mk := func() App {
-		return &testApp{
-			name: "trace", heap: 32 * 1024,
-			setup: func(h *Heap) { base = h.AllocI64s(64) },
-			run: func(c *Ctx) {
-				c.Lock(0)
-				c.WriteI64(base, c.ReadI64(base)+1)
-				c.Unlock(0)
-				c.Barrier()
-			},
-			verify: func(h *Heap) error { return nil },
+	return &testApp{
+		name: "trace", heap: 32 * 1024,
+		setup: func(h *Heap) { base = h.AllocI64s(64) },
+		run: func(c *Ctx) {
+			c.Lock(0)
+			c.WriteI64(base, c.ReadI64(base)+1)
+			c.Unlock(0)
+			c.Barrier()
+		},
+		verify: func(h *Heap) error { return nil },
+	}
+}
+
+// TestTraceDeterministic: under every protocol, identical runs emit
+// byte-identical traces, and the trace contains fault, lock, barrier, send
+// and serve events.
+func TestTraceDeterministic(t *testing.T) {
+	for _, p := range append(append([]string{}, Protocols...), DC) {
+		p := p
+		t.Run(p, func(t *testing.T) {
+			run := func() string {
+				var buf strings.Builder
+				m, err := NewMachine(Config{Nodes: 2, BlockSize: 256, Protocol: p,
+					Trace: &buf, Limit: 10 * sim.Second})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := m.RunVerified(traceTestApp()); err != nil {
+					t.Fatal(err)
+				}
+				return buf.String()
+			}
+			a, b := run(), run()
+			if a != b {
+				t.Fatal("traces of identical runs differ")
+			}
+			for _, want := range []string{"fault", "lock", "barr", "send", "serve"} {
+				if !strings.Contains(a, want) {
+					t.Fatalf("trace missing %q events:\n%s", want, a)
+				}
+			}
+		})
+	}
+}
+
+// TestTracingDoesNotPerturbTiming: enabling both trace sinks must leave the
+// simulated execution identical — same finish time, same fault counts.
+func TestTracingDoesNotPerturbTiming(t *testing.T) {
+	for _, p := range Protocols {
+		p := p
+		t.Run(p, func(t *testing.T) {
+			run := func(traced bool) *Result {
+				cfg := Config{Nodes: 2, BlockSize: 256, Protocol: p, Limit: 10 * sim.Second}
+				var line, json strings.Builder
+				if traced {
+					cfg.Trace = &line
+					cfg.TraceJSON = &json
+					cfg.TraceDispatch = true
+				}
+				m, err := NewMachine(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := m.RunVerified(traceTestApp())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			plain, traced := run(false), run(true)
+			if plain.Time != traced.Time {
+				t.Errorf("tracing changed finish time: %v vs %v", plain.Time, traced.Time)
+			}
+			if plain.Total.ReadFaults != traced.Total.ReadFaults ||
+				plain.Total.WriteFaults != traced.Total.WriteFaults {
+				t.Errorf("tracing changed fault counts")
+			}
+			if plain.NetMsgs != traced.NetMsgs {
+				t.Errorf("tracing changed message count: %d vs %d", plain.NetMsgs, traced.NetMsgs)
+			}
+		})
+	}
+}
+
+// TestTraceJSONValid: the JSON sink produces a parseable Chrome trace-event
+// array with events from several categories.
+func TestTraceJSONValid(t *testing.T) {
+	var buf strings.Builder
+	m, err := NewMachine(Config{Nodes: 2, BlockSize: 256, Protocol: HLRC,
+		TraceJSON: &buf, Limit: 10 * sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunVerified(traceTestApp()); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &events); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	cats := map[string]bool{}
+	phases := map[string]bool{}
+	for _, ev := range events {
+		if c, ok := ev["cat"].(string); ok {
+			cats[c] = true
+		}
+		if ph, ok := ev["ph"].(string); ok {
+			phases[ph] = true
 		}
 	}
-	run := func() string {
-		var buf strings.Builder
-		m, err := NewMachine(Config{Nodes: 2, BlockSize: 256, Protocol: HLRC,
-			Trace: &buf, Limit: 10 * sim.Second})
-		if err != nil {
-			t.Fatal(err)
+	for _, want := range []string{"sim", "mem", "synch", "proto", "net"} {
+		if !cats[want] {
+			t.Errorf("no %q events in JSON trace", want)
 		}
-		if _, err := m.RunVerified(mk()); err != nil {
-			t.Fatal(err)
-		}
-		return buf.String()
 	}
-	a, b := run(), run()
-	if a != b {
-		t.Fatal("traces of identical runs differ")
+	if !phases["X"] || !phases["i"] {
+		t.Errorf("expected both span (X) and instant (i) phases, got %v", phases)
 	}
-	for _, want := range []string{"fault", "lock", "barr", "send", "serve"} {
-		if !strings.Contains(a, want) {
-			t.Fatalf("trace missing %q events:\n%s", want, a)
-		}
+}
+
+// TestLatencyHistogramsPopulated: a traced-or-not run fills the fault,
+// lock/barrier wait and message latency distributions.
+func TestLatencyHistogramsPopulated(t *testing.T) {
+	m, err := NewMachine(Config{Nodes: 2, BlockSize: 256, Protocol: HLRC, Limit: 10 * sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.RunVerified(traceTestApp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.ReadFaultTime.Count != res.Total.ReadFaults {
+		t.Errorf("read fault histogram count %d != fault count %d",
+			res.Total.ReadFaultTime.Count, res.Total.ReadFaults)
+	}
+	// The histogram observes every write-fault service, including the
+	// first-touch home claims the WriteFaults counter excludes (they are
+	// mapping faults, not coherence misses) — so >= rather than ==.
+	if res.Total.WriteFaultTime.Count < res.Total.WriteFaults {
+		t.Errorf("write fault histogram count %d < fault count %d",
+			res.Total.WriteFaultTime.Count, res.Total.WriteFaults)
+	}
+	if res.Total.LockWait.Count != res.Total.LockAcquires {
+		t.Errorf("lock wait histogram count %d != acquires %d",
+			res.Total.LockWait.Count, res.Total.LockAcquires)
+	}
+	if res.Total.BarrierWait.Count != res.Total.BarrierEntries {
+		t.Errorf("barrier wait histogram count %d != entries %d",
+			res.Total.BarrierWait.Count, res.Total.BarrierEntries)
+	}
+	if res.MsgLatency.Count != res.NetMsgs {
+		t.Errorf("message latency count %d != messages sent %d",
+			res.MsgLatency.Count, res.NetMsgs)
+	}
+	if res.MsgLatency.P50() <= 0 {
+		t.Errorf("message latency p50 = %d, want > 0", res.MsgLatency.P50())
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"dsmsim/internal/stats"
 	"dsmsim/internal/synch"
 	"dsmsim/internal/timing"
+	"dsmsim/internal/trace"
 )
 
 // Protocol names accepted by Config.Protocol.
@@ -67,10 +68,17 @@ type Config struct {
 	SoftwareAccessCheck sim.Time
 	// Limit aborts runs exceeding this much virtual time (0 = none).
 	Limit sim.Time
-	// Trace, when non-nil, receives a deterministic event log: every
-	// fault, synchronization operation, message send and message service
-	// with virtual timestamps. Traces of identical runs diff empty.
+	// Trace, when non-nil, receives a deterministic line-format event log:
+	// every fault, synchronization operation, message send and message
+	// service with virtual timestamps. Traces of identical runs diff empty.
 	Trace io.Writer
+	// TraceJSON, when non-nil, receives the same events as a Chrome
+	// trace-event JSON array (load in Perfetto or chrome://tracing; one
+	// process per node, one thread lane per event category).
+	TraceJSON io.Writer
+	// TraceDispatch additionally logs every engine event dispatch — very
+	// verbose; useful when debugging the simulation core itself.
+	TraceDispatch bool
 }
 
 // Validate checks the configuration.
@@ -132,9 +140,12 @@ type Result struct {
 	// PerNode are the per-node statistics; Total their sum.
 	PerNode []stats.Node
 	Total   stats.Node
-	// NetMsgs and NetBytes are whole-machine traffic totals.
-	NetMsgs  int64
-	NetBytes int64
+	// NetMsgs and NetBytes are whole-machine traffic totals; MsgLatency
+	// is the end-to-end message latency distribution (send call to
+	// service start) merged across every endpoint.
+	NetMsgs    int64
+	NetBytes   int64
+	MsgLatency stats.Histogram
 
 	// BlocksWritten counts blocks written by at least one node, and
 	// MultiWriterBlocks those written by more than one — the paper's
@@ -191,8 +202,16 @@ func (m *Machine) Run(app App) (*Result, error) {
 		engine.SetLimit(cfg.Limit)
 	}
 	net := network.New(engine, model, cfg.Notify, cfg.Nodes)
-	if cfg.Trace != nil {
-		net.SetTrace(cfg.Trace)
+	var tr *trace.Tracer // nil when tracing is off: every emit site costs one branch
+	if cfg.Trace != nil || cfg.TraceJSON != nil {
+		tr = trace.New(engine)
+		if cfg.Trace != nil {
+			tr.SetLine(cfg.Trace)
+		}
+		if cfg.TraceJSON != nil {
+			tr.SetJSON(cfg.TraceJSON)
+		}
+		net.SetTracer(tr)
 	}
 
 	env := &proto.Env{
@@ -202,6 +221,7 @@ func (m *Machine) Run(app App) (*Result, error) {
 		Homes:  proto.NewHomes(cfg.Nodes, heapSize/cfg.BlockSize),
 		Log:    proto.NewLog(cfg.Nodes),
 		Master: master,
+		Tracer: tr,
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		env.Spaces = append(env.Spaces, mem.NewSpace(heapSize, cfg.BlockSize))
@@ -231,6 +251,17 @@ func (m *Machine) Run(app App) (*Result, error) {
 	if cfg.Sequential {
 		preclaim(env)
 	}
+	if tr != nil {
+		// Wire the tag-transition observer only now, so the untimed heap
+		// seeding and baseline preclaim above do not spam the trace.
+		for i, sp := range env.Spaces {
+			i := i
+			sp.OnTag = func(b int, old, new mem.Access) {
+				tr.InstantMsg(i, trace.CatMem, "tag", old.String()+"->"+new.String(),
+					trace.A("block", int64(b)))
+			}
+		}
+	}
 
 	nodes := make([]*Node, cfg.Nodes)
 	dilation := info.PollDilation
@@ -249,6 +280,7 @@ func (m *Machine) Run(app App) (*Result, error) {
 			protocol: p,
 			sync:     sy,
 			dilation: dilation,
+			tracer:   tr,
 		}
 		nodes[i] = n
 		n.ep.Bind(n, m.serviceCost(sy, p), m.handler(sy, p))
@@ -261,9 +293,36 @@ func (m *Machine) Run(app App) (*Result, error) {
 		})
 		env.Procs = append(env.Procs, n.proc)
 	}
+	if tr != nil {
+		procIdx := make(map[*sim.Proc]int, cfg.Nodes)
+		for i, pr := range env.Procs {
+			procIdx[pr] = i
+		}
+		hooks := sim.Hooks{
+			ProcBlock: func(pr *sim.Proc, reason string) {
+				if i, ok := procIdx[pr]; ok {
+					tr.InstantMsg(i, trace.CatSim, "block", reason)
+				}
+			},
+			ProcUnblock: func(pr *sim.Proc) {
+				if i, ok := procIdx[pr]; ok {
+					tr.Instant(i, trace.CatSim, "unblock")
+				}
+			},
+		}
+		if cfg.TraceDispatch {
+			hooks.Dispatch = func(at sim.Time, queued int) {
+				tr.Instant(trace.EngineNode, trace.CatSim, "dispatch",
+					trace.A("queued", int64(queued)))
+			}
+		}
+		engine.SetHooks(hooks)
+	}
 
-	if err := engine.Run(); err != nil {
-		return nil, fmt.Errorf("core: %s/%s/%d: %w", info.Name, cfg.Protocol, cfg.BlockSize, err)
+	runErr := engine.Run()
+	tr.Flush() // nil-safe; flush even when the run aborted so the partial trace is inspectable
+	if runErr != nil {
+		return nil, fmt.Errorf("core: %s/%s/%d: %w", info.Name, cfg.Protocol, cfg.BlockSize, runErr)
 	}
 
 	p.Finalize()
@@ -287,6 +346,7 @@ func (m *Machine) Run(app App) (*Result, error) {
 		s := net.Endpoint(i).Stats
 		res.NetMsgs += s.MsgsSent
 		res.NetBytes += s.BytesSent
+		res.MsgLatency.Merge(&s.Latency)
 	}
 	for _, w := range m.writers {
 		if w == 0 {

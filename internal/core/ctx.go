@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dsmsim/internal/sim"
+	"dsmsim/internal/trace"
 	"dsmsim/internal/view"
 )
 
@@ -151,14 +152,16 @@ func (c *Ctx) Lock(id int) {
 	}
 	n := c.n
 	n.settleChecks()
-	if w := n.machine.cfg.Trace; w != nil {
-		fmt.Fprintf(w, "%12v lock  node%d acquire %d\n", n.engine.Now(), n.id, id)
-	}
 	start := n.engine.Now()
 	n.inRuntime = true
 	n.sync.Acquire(n.id, id)
 	n.inRuntime = false
-	n.stats.LockStall += n.engine.Now() - start
+	elapsed := n.engine.Now() - start
+	n.stats.LockStall += elapsed
+	n.stats.LockWait.ObserveTime(elapsed)
+	if tr := n.tracer; tr != nil {
+		tr.Span(n.id, trace.CatSynch, "lock", start, trace.A("id", int64(id)))
+	}
 }
 
 // Unlock releases the lock: a release operation (HLRC flushes diffs here).
@@ -169,6 +172,9 @@ func (c *Ctx) Unlock(id int) {
 	n.sync.Release(n.id, id)
 	n.inRuntime = false
 	n.stats.LockStall += n.engine.Now() - start
+	if tr := n.tracer; tr != nil {
+		tr.Span(n.id, trace.CatSynch, "release", start, trace.A("id", int64(id)))
+	}
 }
 
 // Barrier blocks until every node has entered it. It is both a release and
@@ -176,12 +182,14 @@ func (c *Ctx) Unlock(id int) {
 func (c *Ctx) Barrier() {
 	n := c.n
 	n.settleChecks()
-	if w := n.machine.cfg.Trace; w != nil {
-		fmt.Fprintf(w, "%12v barr  node%d enter\n", n.engine.Now(), n.id)
-	}
 	start := n.engine.Now()
 	n.inRuntime = true
 	n.sync.Barrier(n.id)
 	n.inRuntime = false
-	n.stats.BarrierStall += n.engine.Now() - start
+	elapsed := n.engine.Now() - start
+	n.stats.BarrierStall += elapsed
+	n.stats.BarrierWait.ObserveTime(elapsed)
+	if tr := n.tracer; tr != nil {
+		tr.Span(n.id, trace.CatSynch, "barrier", start)
+	}
 }

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"dsmsim/internal/mem"
 	"dsmsim/internal/network"
 	"dsmsim/internal/proto"
@@ -10,6 +8,7 @@ import (
 	"dsmsim/internal/stats"
 	"dsmsim/internal/synch"
 	"dsmsim/internal/timing"
+	"dsmsim/internal/trace"
 )
 
 // Node is one simulated processor: an application proc plus the DSM runtime
@@ -26,6 +25,7 @@ type Node struct {
 
 	protocol proto.Protocol
 	sync     *synch.Sync
+	tracer   *trace.Tracer // nil when tracing is off
 
 	dilation float64
 
@@ -78,13 +78,6 @@ func (n *Node) fault(block int, write bool) {
 	} else {
 		n.stats.ReadFaults++
 	}
-	if w := n.machine.cfg.Trace; w != nil {
-		kind := "read"
-		if write {
-			kind = "write"
-		}
-		fmt.Fprintf(w, "%12v fault node%d %s block=%d\n", n.engine.Now(), n.id, kind, block)
-	}
 	start := n.engine.Now()
 	n.inRuntime = true
 	n.proc.Sleep(n.model.FaultDelivery)
@@ -101,9 +94,16 @@ func (n *Node) fault(block int, write bool) {
 		}
 		n.ep.HoldoffFor(d)
 	}
+	elapsed := n.engine.Now() - start
 	if write {
-		n.stats.WriteStall += n.engine.Now() - start
+		n.stats.WriteStall += elapsed
+		n.stats.WriteFaultTime.ObserveTime(elapsed)
 	} else {
-		n.stats.ReadStall += n.engine.Now() - start
+		n.stats.ReadStall += elapsed
+		n.stats.ReadFaultTime.ObserveTime(elapsed)
+	}
+	if tr := n.tracer; tr != nil {
+		tr.Span(n.id, trace.CatMem, "fault", start,
+			trace.A("block", int64(block)), trace.A("write", trace.Bool(write)))
 	}
 }

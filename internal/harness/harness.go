@@ -14,6 +14,7 @@ import (
 	"dsmsim/internal/core"
 	"dsmsim/internal/network"
 	"dsmsim/internal/sim"
+	"dsmsim/internal/stats"
 )
 
 // Options configures a Runner.
@@ -32,6 +33,13 @@ type Options struct {
 	// CSV, if non-nil, receives one machine-readable record per completed
 	// run (header written lazily) for plotting and downstream analysis.
 	CSV io.Writer
+	// CSVHasHeader suppresses the header row: the CSV sink already holds
+	// records from an earlier invocation (dsmbench opens its -csv file in
+	// append mode and sets this when the file is non-empty).
+	CSVHasHeader bool
+	// Histograms adds a latency-distribution progress line (fault service
+	// time, message latency, lock wait) after each completed run.
+	Histograms bool
 	// Limit bounds each run's virtual time (0 = a generous default).
 	Limit sim.Time
 }
@@ -60,7 +68,8 @@ func New(opts Options) *Runner {
 	if opts.Limit == 0 {
 		opts.Limit = 100000 * sim.Second
 	}
-	return &Runner{opts: opts, seq: map[string]sim.Time{}, cache: map[runKey]*core.Result{}}
+	return &Runner{opts: opts, seq: map[string]sim.Time{}, cache: map[runKey]*core.Result{},
+		csvHeader: opts.CSVHasHeader}
 }
 
 // Sequential returns the uninstrumented one-node baseline time for app.
@@ -109,9 +118,22 @@ func (r *Runner) Result(app, proto string, block int, notify network.Notify) (*c
 		return nil, err
 	}
 	r.progress("run  %-18s %-5s %4dB %-9s T=%v", app, proto, block, notify, res.Time)
+	if r.opts.Histograms {
+		fault := faultHist(res)
+		r.progress("lat  %-18s fault[%s] msg[%s] lock[%s]",
+			app, fault.Summary(), res.MsgLatency.Summary(), res.Total.LockWait.Summary())
+	}
 	r.csv(res)
 	r.cache[k] = res
 	return res, nil
+}
+
+// faultHist merges the read- and write-fault service-time distributions.
+func faultHist(res *core.Result) stats.Histogram {
+	var h stats.Histogram
+	h.Merge(&res.Total.ReadFaultTime)
+	h.Merge(&res.Total.WriteFaultTime)
+	return h
 }
 
 // csv emits one machine-readable record per run.
@@ -120,14 +142,18 @@ func (r *Runner) csv(res *core.Result) {
 		return
 	}
 	if !r.csvHeader {
-		fmt.Fprintln(r.opts.CSV, "app,protocol,block,notify,nodes,time_ns,read_faults,write_faults,invalidations,twins,diffs,write_notices,lock_acquires,barrier_entries,net_msgs,net_bytes")
+		fmt.Fprintln(r.opts.CSV, "app,protocol,block,notify,nodes,time_ns,read_faults,write_faults,invalidations,twins,diffs,write_notices,lock_acquires,barrier_entries,net_msgs,net_bytes,fault_p50_ns,fault_p90_ns,fault_p99_ns,msg_p50_ns,msg_p90_ns,msg_p99_ns,lock_p50_ns,lock_p90_ns,lock_p99_ns")
 		r.csvHeader = true
 	}
 	t := res.Total
-	fmt.Fprintf(r.opts.CSV, "%s,%s,%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+	fault := faultHist(res)
+	fmt.Fprintf(r.opts.CSV, "%s,%s,%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 		res.App, res.Protocol, res.BlockSize, res.Notify, res.Nodes, int64(res.Time),
 		t.ReadFaults, t.WriteFaults, t.Invalidations, t.TwinsCreated, t.DiffsCreated,
-		t.WriteNoticesSent, t.LockAcquires, t.BarrierEntries, res.NetMsgs, res.NetBytes)
+		t.WriteNoticesSent, t.LockAcquires, t.BarrierEntries, res.NetMsgs, res.NetBytes,
+		fault.P50(), fault.P90(), fault.P99(),
+		res.MsgLatency.P50(), res.MsgLatency.P90(), res.MsgLatency.P99(),
+		t.LockWait.P50(), t.LockWait.P90(), t.LockWait.P99())
 }
 
 func (r *Runner) runMachine(m *core.Machine, entry apps.Entry) (*core.Result, error) {

@@ -49,6 +49,12 @@ type Space struct {
 	blockShift uint
 	data       []byte
 	tags       []Access
+
+	// OnTag, when non-nil, observes every effective tag transition (old
+	// != new) before it is applied. The runtime wires it to the event
+	// tracer; it must not touch the space. Nil costs one check per
+	// SetTag, keeping the untraced path as fast as before.
+	OnTag func(b int, old, new Access)
 }
 
 // NewSpace allocates a space of size bytes with the given coherence block
@@ -101,7 +107,12 @@ func (s *Space) BlocksIn(addr, n int) (first, last int) {
 func (s *Space) Tag(b int) Access { return s.tags[b] }
 
 // SetTag sets block b's access tag.
-func (s *Space) SetTag(b int, a Access) { s.tags[b] = a }
+func (s *Space) SetTag(b int, a Access) {
+	if s.OnTag != nil && s.tags[b] != a {
+		s.OnTag(b, s.tags[b], a)
+	}
+	s.tags[b] = a
+}
 
 // Data returns the backing byte slice. Mutations bypass access control; the
 // caller (the protocol layer) is responsible for tag discipline.

@@ -1,0 +1,30 @@
+package mem
+
+import "testing"
+
+// TestOnTagObservesTransitions: the hook sees every effective transition
+// with the pre-change tag, and redundant SetTag calls are filtered out.
+func TestOnTagObservesTransitions(t *testing.T) {
+	s := NewSpace(1024, 256)
+	type tr struct{ b int; old, new Access }
+	var got []tr
+	s.OnTag = func(b int, old, new Access) { got = append(got, tr{b, old, new}) }
+
+	s.SetTag(1, ReadOnly)
+	s.SetTag(1, ReadOnly) // no-op: same tag
+	s.SetTag(1, ReadWrite)
+	s.SetTag(3, NoAccess) // no-op: already NoAccess
+
+	want := []tr{{1, NoAccess, ReadOnly}, {1, ReadOnly, ReadWrite}}
+	if len(got) != len(want) {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transition %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if s.Tag(1) != ReadWrite {
+		t.Fatal("tag not applied")
+	}
+}

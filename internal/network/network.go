@@ -12,10 +12,11 @@ package network
 
 import (
 	"fmt"
-	"io"
 
 	"dsmsim/internal/sim"
+	"dsmsim/internal/stats"
 	"dsmsim/internal/timing"
+	"dsmsim/internal/trace"
 )
 
 // Notify selects the message-arrival notification mechanism (§5.4).
@@ -47,6 +48,7 @@ type Msg struct {
 	// Bytes is the payload wire size, excluding the fixed header.
 	Bytes int
 
+	sent    sim.Time // when Send was called (end-to-end latency origin)
 	arrived sim.Time
 }
 
@@ -74,6 +76,11 @@ type Stats struct {
 	MsgsReceived int64
 	ServiceTime  sim.Time // total processor time spent in handlers
 	NotifyWait   sim.Time // total arrival→service-start delay
+
+	// Latency is the distribution of end-to-end message latency at this
+	// receiving endpoint: send call → service start, so it includes wire
+	// time, FIFO queueing, notification wait and holdoff.
+	Latency stats.Histogram
 }
 
 // Endpoint is one node's network interface.
@@ -105,14 +112,16 @@ type Network struct {
 	notify Notify
 	eps    []*Endpoint
 
-	// trace, when non-nil, receives one line per message send and
-	// service, with virtual timestamps. Deterministic like everything
-	// else, so traces diff cleanly between runs.
-	trace io.Writer
+	// tracer, when non-nil, receives one structured event per message
+	// send, delivery and service, with virtual timestamps. Deterministic
+	// like everything else, so traces diff cleanly between runs.
+	tracer *trace.Tracer
 }
 
-// SetTrace directs a message-level event trace to w (nil disables).
-func (n *Network) SetTrace(w io.Writer) { n.trace = w }
+// SetTracer attaches the structured event tracer (nil disables). It
+// replaces the old ad-hoc fprintf trace; the deterministic line format is
+// available through the tracer's line sink.
+func (n *Network) SetTracer(t *trace.Tracer) { n.tracer = t }
 
 // New creates a network of n endpoints. Handlers are attached later with
 // Bind, before any traffic flows.
@@ -158,13 +167,15 @@ func (ep *Endpoint) Send(m *Msg) {
 	model := ep.net.model
 	ep.Stats.MsgsSent++
 	ep.Stats.BytesSent += int64(m.Bytes + model.MsgHeader)
+	m.sent = ep.net.engine.Now()
 	var wire sim.Time
 	if m.Dst != ep.id {
 		wire = model.OneWayLatency(m.Bytes + model.MsgHeader)
 	}
-	if ep.net.trace != nil {
-		fmt.Fprintf(ep.net.trace, "%12v send %d->%d kind=%d block=%d bytes=%d\n",
-			ep.net.engine.Now(), m.Src, m.Dst, m.Kind, m.Block, m.Bytes)
+	if tr := ep.net.tracer; tr != nil {
+		tr.Instant(ep.id, trace.CatNet, "send",
+			trace.A("dst", int64(m.Dst)), trace.A("kind", int64(m.Kind)),
+			trace.A("block", int64(m.Block)), trace.A("bytes", int64(m.Bytes)))
 	}
 	if ep.lastArrival == nil {
 		ep.lastArrival = make([]sim.Time, len(ep.net.eps))
@@ -178,6 +189,11 @@ func (ep *Endpoint) Send(m *Msg) {
 	ep.net.engine.Schedule(at, func() {
 		m.arrived = ep.net.engine.Now()
 		dst.Stats.MsgsReceived++
+		if tr := ep.net.tracer; tr != nil {
+			tr.Instant(dst.id, trace.CatNet, "recv",
+				trace.A("src", int64(m.Src)), trace.A("kind", int64(m.Kind)),
+				trace.A("block", int64(m.Block)))
+		}
 		dst.queue = append(dst.queue, m)
 		dst.trySvc()
 	})
@@ -257,20 +273,23 @@ func (ep *Endpoint) trySvc() {
 			return
 		}
 		cost := model.HandlerCost + ep.cost(m)
-		done := eng.Now() + cost
+		svcStart := eng.Now()
+		done := svcStart + cost
 		ep.busyUntil = done
-		ep.Stats.NotifyWait += eng.Now() - m.arrived
+		ep.Stats.NotifyWait += svcStart - m.arrived
+		ep.Stats.Latency.ObserveTime(svcStart - m.sent)
 		ep.Stats.ServiceTime += cost
 		if ep.host.Computing() {
 			ep.host.Steal(cost)
 		}
-		if ep.net.trace != nil {
-			fmt.Fprintf(ep.net.trace, "%12v serve node%d kind=%d block=%d (waited %v)\n",
-				eng.Now(), ep.id, m.Kind, m.Block, eng.Now()-m.arrived)
-		}
 		eng.Schedule(done, func() {
 			ep.svcPending = false
 			ep.queue = ep.queue[1:]
+			if tr := ep.net.tracer; tr != nil {
+				tr.Span(ep.id, trace.CatNet, "serve", svcStart,
+					trace.A("src", int64(m.Src)), trace.A("kind", int64(m.Kind)),
+					trace.A("block", int64(m.Block)), trace.A("wait", int64(svcStart-m.arrived)))
+			}
 			ep.handler(m)
 			ep.trySvc()
 		})

@@ -1,10 +1,12 @@
 package network
 
 import (
+	"strings"
 	"testing"
 
 	"dsmsim/internal/sim"
 	"dsmsim/internal/timing"
+	"dsmsim/internal/trace"
 )
 
 // testHost is a controllable Host.
@@ -234,6 +236,48 @@ func TestDoubleBindPanics(t *testing.T) {
 		}
 	}()
 	ep.Bind(&testHost{}, func(m *Msg) sim.Time { return 0 }, func(m *Msg) {})
+}
+
+// TestTracerEventsAndLatency: the structured tracer (which replaced the
+// old SetTrace fprintf path) records send/recv/serve events, and the
+// endpoint latency histogram matches the known send→service-start time.
+func TestTracerEventsAndLatency(t *testing.T) {
+	eng, nw, _, got := setup(t, Polling, 2)
+	model := timing.Default()
+	var sb strings.Builder
+	tr := trace.New(eng)
+	tr.SetLine(&sb)
+	nw.SetTracer(tr)
+	eng.Schedule(0, func() {
+		nw.Endpoint(0).Send(&Msg{Src: 0, Dst: 1, Kind: 7, Block: 3, Bytes: 16})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 1 {
+		t.Fatalf("deliveries = %d", len(*got))
+	}
+	out := sb.String()
+	for _, want := range []string{"send", "recv", "serve", "kind=7", "block=3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	// Idle receiver: service starts at arrival, so latency = overhead + wire.
+	lat := nw.Endpoint(1).Stats.Latency
+	if lat.Count != 1 {
+		t.Fatalf("latency samples = %d", lat.Count)
+	}
+	want := int64(model.SendOverhead + model.OneWayLatency(16+model.MsgHeader))
+	if lat.Sum != want {
+		t.Fatalf("latency = %d, want %d", lat.Sum, want)
+	}
+	if nw.Endpoint(0).Stats.Latency.Count != 0 {
+		t.Fatal("latency recorded at the sender")
+	}
 }
 
 func TestNotifyString(t *testing.T) {

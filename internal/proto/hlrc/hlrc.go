@@ -21,6 +21,7 @@ import (
 	"dsmsim/internal/network"
 	"dsmsim/internal/proto"
 	"dsmsim/internal/sim"
+	"dsmsim/internal/trace"
 )
 
 // Message kinds.
@@ -146,6 +147,11 @@ func (p *Protocol) Fault(node, block int, write bool) {
 	if homes.Claimed(block) {
 		target = homes.Home(block)
 	}
+	if tr := p.env.Tracer; tr != nil {
+		tr.Instant(node, trace.CatProto, "fetch",
+			trace.A("block", int64(block)), trace.A("write", trace.Bool(write)),
+			trace.A("target", int64(target)))
+	}
 	p.env.Send(node, &network.Msg{
 		Dst: target, Kind: kFetch, Block: block,
 		Payload: fetchReq{node: node, wantClaim: write}, Bytes: 8,
@@ -186,6 +192,10 @@ func (p *Protocol) makeTwin(node, block int) {
 	p.twins[node][block] = twin
 	sp.SetTag(block, mem.ReadWrite)
 	p.env.Stats[node].TwinsCreated++
+	if tr := p.env.Tracer; tr != nil {
+		tr.Instant(node, trace.CatProto, "twin",
+			trace.A("block", int64(block)), trace.A("bytes", int64(len(twin))))
+	}
 	p.twinBytes += int64(len(twin))
 	if p.twinBytes > p.twinBytesPeak {
 		p.twinBytesPeak = p.twinBytes
@@ -263,6 +273,11 @@ func (p *Protocol) PreRelease(node int) []proto.WriteNotice {
 		for _, od := range out {
 			target := p.env.Homes.Home(od.block) // claimed: we wrote it
 			p.env.Stats[node].DiffPayloadBytes += int64(od.diff.PayloadBytes())
+			if tr := p.env.Tracer; tr != nil {
+				tr.Instant(node, trace.CatProto, "diff",
+					trace.A("block", int64(od.block)), trace.A("home", int64(target)),
+					trace.A("bytes", int64(od.diff.PayloadBytes())))
+			}
 			p.env.Send(node, &network.Msg{
 				Dst: target, Kind: kDiff, Block: od.block,
 				Payload: diffMsg{node: node, diff: od.diff, needAck: true},
@@ -273,6 +288,10 @@ func (p *Protocol) PreRelease(node int) []proto.WriteNotice {
 		p.flushWaiting[node] = false
 	}
 	p.env.Stats[node].FlushTime += p.env.Engine.Now() - start
+	if tr := p.env.Tracer; tr != nil {
+		tr.Span(node, trace.CatProto, "flush", start,
+			trace.A("diffs", int64(len(out))), trace.A("notices", int64(len(notices))))
+	}
 	return notices
 }
 
@@ -318,6 +337,10 @@ func (p *Protocol) earlyFlush(node, b int, twin []byte) {
 	p.earlyNotices[node] = append(p.earlyNotices[node],
 		proto.WriteNotice{Block: int32(b), Seq: p.seq[node][b]})
 	p.env.Stats[node].DiffPayloadBytes += int64(d.PayloadBytes())
+	if tr := p.env.Tracer; tr != nil {
+		tr.Instant(node, trace.CatProto, "diff-early",
+			trace.A("block", int64(b)), trace.A("bytes", int64(d.PayloadBytes())))
+	}
 	p.env.Send(node, &network.Msg{
 		Dst: p.env.Homes.Home(b), Kind: kDiff, Block: b,
 		Payload: diffMsg{node: node, diff: d, needAck: false},
@@ -393,6 +416,10 @@ func (p *Protocol) handleFetch(m *network.Msg) {
 	home := homes.Home(b)
 	if here != home {
 		p.env.Stats[here].Forwards++
+		if tr := p.env.Tracer; tr != nil {
+			tr.Instant(here, trace.CatProto, "forward",
+				trace.A("block", int64(b)), trace.A("home", int64(home)))
+		}
 		p.env.Send(here, &network.Msg{Dst: home, Kind: kFetch, Block: b, Payload: req, Bytes: m.Bytes})
 		return
 	}
@@ -448,11 +475,19 @@ func (p *Protocol) handleDiff(m *network.Msg) {
 	home := homes.Home(b)
 	if here != home {
 		p.env.Stats[here].Forwards++
+		if tr := p.env.Tracer; tr != nil {
+			tr.Instant(here, trace.CatProto, "forward",
+				trace.A("block", int64(b)), trace.A("home", int64(home)))
+		}
 		p.env.Send(here, &network.Msg{Dst: home, Kind: kDiff, Block: b, Payload: dm, Bytes: m.Bytes})
 		return
 	}
 	dm.diff.Apply(p.env.Spaces[here].BlockData(b))
 	p.env.Stats[here].DiffsApplied++
+	if tr := p.env.Tracer; tr != nil {
+		tr.Instant(here, trace.CatProto, "diff-apply",
+			trace.A("block", int64(b)), trace.A("from", int64(dm.node)))
+	}
 	if dm.needAck {
 		p.env.Send(here, &network.Msg{Dst: dm.node, Kind: kDiffAck, Block: b, Bytes: 8})
 	}

@@ -6,6 +6,7 @@ import (
 	"dsmsim/internal/sim"
 	"dsmsim/internal/stats"
 	"dsmsim/internal/timing"
+	"dsmsim/internal/trace"
 )
 
 // Message kinds below SyncKindBase belong to the synchronization layer
@@ -37,6 +38,11 @@ type Env struct {
 	// Master is the authoritative pre-parallel image of the shared heap,
 	// used to seed the static homes at the parallel-phase boundary.
 	Master []byte
+
+	// Tracer is the structured event tracer, nil when tracing is off.
+	// Protocols guard every emit (and its argument construction) behind
+	// a nil check so disabled tracing costs one branch.
+	Tracer *trace.Tracer
 }
 
 // Nodes returns the node count.

@@ -1,9 +1,12 @@
 package sc
 
 import (
+	"sort"
+
 	"dsmsim/internal/mem"
 	"dsmsim/internal/network"
 	"dsmsim/internal/proto"
+	"dsmsim/internal/trace"
 )
 
 // Delayed consistency (Dubois et al. [8]) is the §7 extension the paper
@@ -32,6 +35,9 @@ func NewDelayed(env *proto.Env) *Protocol {
 func (p *Protocol) handleInvalDelayed(m *network.Msg) {
 	node := m.Dst
 	p.pendingInval[node][m.Block] = true
+	if tr := p.env.Tracer; tr != nil {
+		tr.Instant(node, trace.CatProto, "inval-defer", trace.A("block", int64(m.Block)))
+	}
 	home := p.env.Homes.Home(m.Block)
 	p.env.Send(node, &network.Msg{Dst: home, Kind: kInvalAck, Block: m.Block, Bytes: 8})
 }
@@ -43,12 +49,22 @@ func (p *Protocol) OnAcquireComplete(node int) {
 		return
 	}
 	sp := p.env.Spaces[node]
+	// Map iteration order is randomized; apply in ascending block order so
+	// the trace of tag transitions stays deterministic.
+	blocks := make([]int, 0, len(p.pendingInval[node]))
 	for b := range p.pendingInval[node] {
+		blocks = append(blocks, b)
+	}
+	sort.Ints(blocks)
+	for _, b := range blocks {
 		// A block we re-acquired (our own fault completed) since the
 		// invalidation arrived is current again; see complete().
 		if sp.Tag(b) != mem.NoAccess {
 			sp.SetTag(b, mem.NoAccess)
 			p.env.Stats[node].Invalidations++
+			if tr := p.env.Tracer; tr != nil {
+				tr.Instant(node, trace.CatProto, "inval", trace.A("block", int64(b)))
+			}
 		}
 	}
 	clear(p.pendingInval[node])

@@ -13,6 +13,7 @@ import (
 	"dsmsim/internal/network"
 	"dsmsim/internal/proto"
 	"dsmsim/internal/sim"
+	"dsmsim/internal/trace"
 )
 
 // Message kinds.
@@ -123,6 +124,11 @@ func (p *Protocol) Fault(node, block int, write bool) {
 	if write {
 		kind = kWriteReq
 	}
+	if tr := p.env.Tracer; tr != nil {
+		tr.Instant(node, trace.CatProto, "fetch",
+			trace.A("block", int64(block)), trace.A("write", trace.Bool(write)),
+			trace.A("home", int64(p.homeCache[node][block])))
+	}
 	p.env.Send(node, &network.Msg{
 		Dst: int(p.homeCache[node][block]), Kind: kind, Block: block,
 		Payload: reqPayload{node: node}, Bytes: 8,
@@ -212,6 +218,10 @@ func (p *Protocol) handleReq(here int, m *network.Msg) {
 	if here != home {
 		// Stale cache or directory lookup: forward to the real home.
 		p.env.Stats[here].Forwards++
+		if tr := p.env.Tracer; tr != nil {
+			tr.Instant(here, trace.CatProto, "forward",
+				trace.A("block", int64(b)), trace.A("home", int64(home)))
+		}
 		fwd := *m
 		p.env.Send(here, &network.Msg{
 			Dst: home, Kind: fwd.Kind, Block: b, Payload: fwd.Payload, Bytes: fwd.Bytes,
@@ -395,6 +405,9 @@ func (p *Protocol) handleInval(m *network.Msg) {
 	node := m.Dst
 	p.env.Spaces[node].SetTag(m.Block, mem.NoAccess)
 	p.env.Stats[node].Invalidations++
+	if tr := p.env.Tracer; tr != nil {
+		tr.Instant(node, trace.CatProto, "inval", trace.A("block", int64(m.Block)))
+	}
 	home := p.env.Homes.Home(m.Block)
 	p.env.Send(node, &network.Msg{Dst: home, Kind: kInvalAck, Block: m.Block, Bytes: 8})
 }

@@ -16,6 +16,7 @@ import (
 	"dsmsim/internal/network"
 	"dsmsim/internal/proto"
 	"dsmsim/internal/sim"
+	"dsmsim/internal/trace"
 )
 
 // Message kinds.
@@ -139,6 +140,11 @@ func (p *Protocol) Fault(node, block int, write bool) {
 		payload = readReq{node: node, minVer: p.required[node][block]}
 		target = p.readTarget(node, block)
 	}
+	if tr := p.env.Tracer; tr != nil {
+		tr.Instant(node, trace.CatProto, "fetch",
+			trace.A("block", int64(block)), trace.A("write", trace.Bool(write)),
+			trace.A("target", int64(target)))
+	}
 	p.env.Send(node, &network.Msg{
 		Dst: target, Kind: kind, Block: block, Payload: payload, Bytes: 12,
 	})
@@ -217,6 +223,10 @@ func (p *Protocol) ApplyNotices(node int, ivs []proto.Interval) {
 			if sp.Tag(b) != mem.NoAccess && p.localVer[node][b] < wn.Version {
 				sp.SetTag(b, mem.NoAccess)
 				p.env.Stats[node].Invalidations++
+				if tr := p.env.Tracer; tr != nil {
+					tr.Instant(node, trace.CatProto, "inval",
+						trace.A("block", int64(b)), trace.A("ver", int64(wn.Version)))
+				}
 			}
 		}
 	}
@@ -325,6 +335,10 @@ func (p *Protocol) handleRead(m *network.Msg) {
 	}
 	// Too stale (or no copy): forward to the current owner.
 	p.env.Stats[here].Forwards++
+	if tr := p.env.Tracer; tr != nil {
+		tr.Instant(here, trace.CatProto, "forward",
+			trace.A("block", int64(b)), trace.A("owner", int64(p.owner[b])))
+	}
 	p.env.Send(here, &network.Msg{Dst: int(p.owner[b]), Kind: kRead, Block: b, Payload: req, Bytes: m.Bytes})
 }
 
@@ -360,6 +374,10 @@ func (p *Protocol) handleOwn(m *network.Msg) {
 	}
 	if int(p.owner[b]) != here {
 		p.env.Stats[here].Forwards++
+		if tr := p.env.Tracer; tr != nil {
+			tr.Instant(here, trace.CatProto, "forward",
+				trace.A("block", int64(b)), trace.A("owner", int64(p.owner[b])))
+		}
 		p.env.Send(here, &network.Msg{Dst: int(p.owner[b]), Kind: kOwn, Block: b, Payload: req, Bytes: m.Bytes})
 		return
 	}

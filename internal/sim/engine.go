@@ -78,6 +78,22 @@ func (e *DeadlockError) Error() string {
 	return fmt.Sprintf("sim: deadlock, %d procs blocked: %v", len(e.Blocked), e.Blocked)
 }
 
+// Hooks are optional observability callbacks fired by the engine. They are
+// purely observational — a hook must not schedule events, advance time, or
+// touch procs — and each unset hook costs exactly one nil check on its
+// path, so the instrumented engine is indistinguishable from the bare one
+// when no hooks are attached.
+type Hooks struct {
+	// ProcBlock fires when a proc parks in Block, with the reason that
+	// would appear in a deadlock report.
+	ProcBlock func(p *Proc, reason string)
+	// ProcUnblock fires when Unblock schedules a parked proc to resume.
+	ProcUnblock func(p *Proc)
+	// Dispatch fires before each event callback runs, with the event's
+	// time and the number of events still queued (very high volume).
+	Dispatch func(at Time, queued int)
+}
+
 // Engine is a discrete-event simulator. The zero value is not usable; call
 // NewEngine.
 type Engine struct {
@@ -86,6 +102,7 @@ type Engine struct {
 	events eventHeap
 	procs  []*Proc
 	limit  Time // 0 means no limit
+	hooks  Hooks
 
 	// yield is signalled by a Proc when it hands control back to the engine.
 	yield chan struct{}
@@ -106,6 +123,9 @@ func (e *Engine) Now() Time { return e.now }
 // SetLimit aborts Run with an error if virtual time would exceed limit.
 // A limit of 0 (the default) means no limit.
 func (e *Engine) SetLimit(limit Time) { e.limit = limit }
+
+// SetHooks attaches observability callbacks (see Hooks). Call before Run.
+func (e *Engine) SetHooks(h Hooks) { e.hooks = h }
 
 // Schedule registers fn to run at virtual time at. If at is in the past it
 // runs at the current time (after already-queued events for that time).
@@ -151,6 +171,9 @@ func (e *Engine) Run() error {
 			return fmt.Errorf("sim: virtual time limit %v exceeded (event at %v)", e.limit, ev.at)
 		}
 		e.now = ev.at
+		if e.hooks.Dispatch != nil {
+			e.hooks.Dispatch(ev.at, len(e.events))
+		}
 		ev.fn()
 		if e.procPanic != nil {
 			panic(e.procPanic.String())

@@ -1,0 +1,58 @@
+package sim
+
+import "testing"
+
+// TestHooksObserveSchedulingWithoutPerturbing: the three hooks fire at the
+// right moments, and attaching them changes neither the event order nor
+// the final virtual time.
+func TestHooksObserveSchedulingWithoutPerturbing(t *testing.T) {
+	type run struct {
+		finish     Time
+		dispatches int
+		blocks     []string
+		unblocks   int
+	}
+	exec := func(withHooks bool) run {
+		e := NewEngine()
+		var r run
+		if withHooks {
+			e.SetHooks(Hooks{
+				Dispatch:    func(at Time, queued int) { r.dispatches++ },
+				ProcBlock:   func(p *Proc, reason string) { r.blocks = append(r.blocks, p.Name()+":"+reason) },
+				ProcUnblock: func(p *Proc) { r.unblocks++ },
+			})
+		}
+		var waiter *Proc
+		waiter = e.NewProc("waiter", 0, func(p *Proc) {
+			p.Block("waiting for poke")
+			p.Sleep(10)
+		})
+		e.NewProc("poker", 0, func(p *Proc) {
+			p.Sleep(100)
+			e.Schedule(e.Now(), func() { waiter.Unblock() })
+			p.Sleep(1)
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		r.finish = e.Now()
+		return r
+	}
+
+	bare, hooked := exec(false), exec(true)
+	if bare.finish != hooked.finish {
+		t.Fatalf("hooks perturbed the run: %v vs %v", bare.finish, hooked.finish)
+	}
+	if hooked.dispatches == 0 {
+		t.Fatal("Dispatch hook never fired")
+	}
+	if len(hooked.blocks) != 1 || hooked.blocks[0] != "waiter:waiting for poke" {
+		t.Fatalf("ProcBlock observations = %v", hooked.blocks)
+	}
+	if hooked.unblocks != 1 {
+		t.Fatalf("ProcUnblock fired %d times, want 1", hooked.unblocks)
+	}
+	if bare.dispatches != 0 || bare.blocks != nil || bare.unblocks != 0 {
+		t.Fatal("hooks fired without being attached")
+	}
+}

@@ -112,6 +112,9 @@ func (p *Proc) Block(reason string) {
 	}
 	p.blocked = true
 	p.reason = reason
+	if p.e.hooks.ProcBlock != nil {
+		p.e.hooks.ProcBlock(p, reason)
+	}
 	p.yieldToEngine()
 }
 
@@ -130,6 +133,9 @@ func (p *Proc) Unblock() {
 	}
 	p.blocked = false
 	p.reason = ""
+	if p.e.hooks.ProcUnblock != nil {
+		p.e.hooks.ProcUnblock(p)
+	}
 	p.e.Schedule(p.e.now, func() {
 		p.resume <- struct{}{}
 		<-p.e.yield

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.P50() != 0 || h.P90() != 0 || h.P99() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zero quantiles and mean")
+	}
+	if h.Summary() != "n=0" {
+		t.Fatalf("Summary = %q", h.Summary())
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	var h Histogram
+	h.Observe(700)
+	// 700 lands in bucket [512, 1023]; every quantile must stay inside.
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < 512 || v > 1023 {
+			t.Fatalf("Quantile(%v) = %d, outside the sample's bucket [512,1023]", q, v)
+		}
+	}
+	if h.Mean() != 700 {
+		t.Fatalf("Mean = %v, want 700", h.Mean())
+	}
+}
+
+func TestHistogramUniformQuantiles(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	// Log-scale buckets with in-bucket interpolation: quantiles of a
+	// uniform distribution land within ~10% of the exact value.
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.50, 500}, {0.90, 900}, {0.99, 990}} {
+		got := float64(h.Quantile(tc.q))
+		if math.Abs(got-tc.want) > tc.want*0.10 {
+			t.Errorf("Quantile(%v) = %v, want %v ±10%%", tc.q, got, tc.want)
+		}
+	}
+	if h.Count != 1000 || h.Sum != 500500 {
+		t.Fatalf("Count/Sum = %d/%d", h.Count, h.Sum)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{3, 17, 1500, 1500, 80000, 2} {
+		h.Observe(v)
+	}
+	prev := int64(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: q=%v gives %d after %d", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramNonPositiveSamples(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5)
+	if h.Count != 2 || h.Sum != 0 || h.Buckets[0] != 2 {
+		t.Fatalf("non-positive samples mis-bucketed: %+v", h)
+	}
+	if h.P99() != 0 {
+		t.Fatalf("P99 = %d, want 0", h.P99())
+	}
+}
+
+func TestHistogramMergeEqualsConcat(t *testing.T) {
+	var a, b, both Histogram
+	for v := int64(1); v <= 100; v++ {
+		a.Observe(v * 7)
+		both.Observe(v * 7)
+	}
+	for v := int64(1); v <= 50; v++ {
+		b.Observe(v * 1000)
+		both.Observe(v * 1000)
+	}
+	a.Merge(&b)
+	if a != both {
+		t.Fatal("Merge differs from observing the concatenated samples")
+	}
+}
+
+func TestHistogramHugeSample(t *testing.T) {
+	var h Histogram
+	h.Observe(math.MaxInt64)
+	if v := h.P50(); v < math.MaxInt64/2 {
+		t.Fatalf("P50 of a MaxInt64 sample = %d", v)
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Observe(1500) // 1.5µs
+	}
+	s := h.Summary()
+	if !strings.Contains(s, "p50=") || !strings.Contains(s, "n=10") {
+		t.Fatalf("Summary = %q", s)
+	}
+}

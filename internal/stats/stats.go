@@ -35,6 +35,14 @@ type Node struct {
 	BarrierStall sim.Time // blocked at barriers
 	FlushTime    sim.Time // release-time diff creation and flushing (HLRC)
 	Stolen       sim.Time // protocol service stolen from computation
+
+	// Latency distributions (virtual nanoseconds). The flat stall totals
+	// above give the paper's breakdown; these give the shape behind it —
+	// p50/p90/p99 of the same events.
+	ReadFaultTime  Histogram // per read fault: start → access granted
+	WriteFaultTime Histogram // per write fault: start → access granted
+	LockWait       Histogram // per Lock call: request → grant applied
+	BarrierWait    Histogram // per Barrier call: enter → release applied
 }
 
 // Add accumulates other into n.
@@ -59,6 +67,10 @@ func (n *Node) Add(other *Node) {
 	n.BarrierStall += other.BarrierStall
 	n.FlushTime += other.FlushTime
 	n.Stolen += other.Stolen
+	n.ReadFaultTime.Merge(&other.ReadFaultTime)
+	n.WriteFaultTime.Merge(&other.WriteFaultTime)
+	n.LockWait.Merge(&other.LockWait)
+	n.BarrierWait.Merge(&other.BarrierWait)
 }
 
 // Reset zeroes every counter (used at the parallel-phase boundary).

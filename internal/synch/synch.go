@@ -15,6 +15,7 @@ import (
 	"dsmsim/internal/network"
 	"dsmsim/internal/proto"
 	"dsmsim/internal/sim"
+	"dsmsim/internal/trace"
 )
 
 // Message kinds (all below proto.ProtoKindBase).
@@ -135,6 +136,10 @@ func (s *Sync) closeInterval(node int) {
 	idx := s.env.Log.Publish(node, notices)
 	s.env.VCs[node][node] = idx
 	s.env.Stats[node].WriteNoticesSent += int64(len(notices))
+	if tr := s.env.Tracer; tr != nil {
+		tr.Instant(node, trace.CatSynch, "interval",
+			trace.A("idx", int64(idx)), trace.A("notices", int64(len(notices))))
+	}
 }
 
 // Barrier enters the global barrier. Proc context; blocks until all nodes
@@ -266,6 +271,10 @@ func (s *Sync) handleGrantReq(m *network.Msg) {
 func (s *Sync) handleGrant(m *network.Msg) {
 	g := m.Payload.(grant)
 	node := m.Dst
+	if tr := s.env.Tracer; tr != nil {
+		tr.Instant(node, trace.CatSynch, "grant",
+			trace.A("lock", int64(g.lock)), trace.A("notices", int64(s.noticeCount(g.ivs))))
+	}
 	if s.proto.UsesIntervals() {
 		s.proto.ApplyNotices(node, g.ivs)
 		s.env.Stats[node].WriteNoticesRecv += int64(s.noticeCount(g.ivs))
@@ -317,6 +326,10 @@ func (s *Sync) handleBarArrive(m *network.Msg) {
 func (s *Sync) handleBarRelease(m *network.Msg) {
 	b := m.Payload.(barRelease)
 	node := m.Dst
+	if tr := s.env.Tracer; tr != nil {
+		tr.Instant(node, trace.CatSynch, "bar-release",
+			trace.A("notices", int64(s.noticeCount(b.ivs))))
+	}
 	if s.proto.UsesIntervals() {
 		s.proto.ApplyNotices(node, b.ivs)
 		s.env.Stats[node].WriteNoticesRecv += int64(s.noticeCount(b.ivs))

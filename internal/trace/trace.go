@@ -1,0 +1,320 @@
+// Package trace is the structured, virtual-time-stamped event tracer
+// threaded through the whole simulator: engine proc scheduling, network
+// send/deliver/service, memory faults and tag transitions, protocol
+// operations (fetches, diffs, write notices, forwarding) and
+// synchronization (lock and barrier waits).
+//
+// Events carry {time, node, category, name, args} and are exported in two
+// formats simultaneously:
+//
+//   - a deterministic line format (one event per line, fixed-width,
+//     integer nanosecond timestamps) built for golden-diff testing —
+//     identical runs produce byte-identical traces;
+//   - Chrome trace-event JSON, loadable in Perfetto
+//     (https://ui.perfetto.dev) or chrome://tracing, with one process per
+//     simulated node and one named track per category, and protocol
+//     operations rendered as duration spans.
+//
+// Tracing is strictly observational: the tracer never schedules events or
+// advances virtual time, so enabling it cannot perturb the timing model.
+// It is also zero-cost when disabled: every instrumentation site holds a
+// *Tracer that is nil when tracing is off and guards its emit (and the
+// construction of the event's arguments) behind a single nil check.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"dsmsim/internal/sim"
+)
+
+// Event categories, one per instrumented subsystem. Each maps to a named
+// track in the Perfetto view of the trace.
+const (
+	CatSim   = "sim"   // engine: proc block/unblock, event dispatch
+	CatNet   = "net"   // network: send, deliver, service spans
+	CatMem   = "mem"   // memory: access-fault spans, tag transitions
+	CatProto = "proto" // protocol: fetch, twin/diff, inval, forwarding
+	CatSynch = "synch" // synchronization: lock/barrier waits, intervals
+)
+
+// EngineNode marks events emitted by the engine itself rather than a node.
+const EngineNode = -1
+
+// Arg is one integer event argument. Args are deliberately scalar so the
+// line format stays deterministic and allocation stays bounded.
+type Arg struct {
+	Key string
+	Val int64
+}
+
+// A constructs an Arg (keyed-literal noise saver for call sites).
+func A(key string, val int64) Arg { return Arg{Key: key, Val: val} }
+
+// Bool converts a flag to an Arg value.
+func Bool(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Event is one trace record. Instant events have Dur == 0 and Span false;
+// duration spans cover [Time, Time+Dur].
+type Event struct {
+	Time sim.Time // start time (virtual ns)
+	Dur  sim.Time // span length; 0 for instants
+	Node int      // emitting node id, or EngineNode
+	Cat  string   // one of the Cat* constants
+	Name string   // event name, e.g. "fault", "send", "diff"
+	Str  string   // optional free-form detail, rendered as msg="..."
+	Span bool     // duration span (Chrome "X") vs instant ("i")
+	Args []Arg
+}
+
+// Tracer fans events out to the configured sinks. A nil *Tracer is the
+// disabled tracer: every method is a safe no-op, and instrumentation sites
+// additionally nil-check before building arguments so disabled tracing
+// costs one predictable branch.
+type Tracer struct {
+	eng  *sim.Engine
+	line *bufio.Writer
+	json *bufio.Writer
+
+	jsonRecords int
+	named       map[trackKey]bool
+}
+
+type trackKey struct {
+	node int
+	cat  string
+}
+
+// New creates a tracer reading virtual time from eng. Attach at least one
+// sink with SetLine or SetJSON, and call Flush when the run ends.
+func New(eng *sim.Engine) *Tracer {
+	return &Tracer{eng: eng, named: make(map[trackKey]bool)}
+}
+
+// SetLine directs the deterministic line format to w.
+func (t *Tracer) SetLine(w io.Writer) { t.line = bufio.NewWriter(w) }
+
+// SetJSON directs Chrome trace-event JSON to w. The JSON array is
+// terminated by Flush.
+func (t *Tracer) SetJSON(w io.Writer) { t.json = bufio.NewWriter(w) }
+
+// Instant emits a zero-duration event at the current virtual time.
+func (t *Tracer) Instant(node int, cat, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Time: t.eng.Now(), Node: node, Cat: cat, Name: name, Args: args})
+}
+
+// InstantMsg is Instant with a free-form string detail.
+func (t *Tracer) InstantMsg(node int, cat, name, msg string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{Time: t.eng.Now(), Node: node, Cat: cat, Name: name, Str: msg, Args: args})
+}
+
+// Span emits a duration event covering [start, now]. Call it when the
+// operation completes; the line format stamps the start time and carries
+// the duration as dur=<ns>.
+func (t *Tracer) Span(node int, cat, name string, start sim.Time, args ...Arg) {
+	if t == nil {
+		return
+	}
+	now := t.eng.Now()
+	t.Emit(Event{Time: start, Dur: now - start, Node: node, Cat: cat, Name: name, Span: true, Args: args})
+}
+
+// Emit writes one event to every attached sink.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	if t.line != nil {
+		t.writeLine(e)
+	}
+	if t.json != nil {
+		t.writeJSON(e)
+	}
+}
+
+// Flush terminates the JSON array and flushes both sinks. Call exactly
+// once, after the run; the tracer must not be used afterwards.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	var firstErr error
+	if t.json != nil {
+		if t.jsonRecords == 0 {
+			t.json.WriteString("[]")
+		} else {
+			t.json.WriteString("\n]\n")
+		}
+		if err := t.json.Flush(); err != nil {
+			firstErr = err
+		}
+	}
+	if t.line != nil {
+		if err := t.line.Flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// nodeName renders a node id for the line format.
+func nodeName(node int) string {
+	if node == EngineNode {
+		return "engine"
+	}
+	return "node" + strconv.Itoa(node)
+}
+
+// writeLine renders one event in the deterministic line format:
+//
+//	<ns:12> <cat:5> <node:7> <name> [dur=<ns>] [k=v ...] [msg="..."]
+func (t *Tracer) writeLine(e Event) {
+	fmt.Fprintf(t.line, "%12d %-5s %-7s %s", int64(e.Time), e.Cat, nodeName(e.Node), e.Name)
+	if e.Span {
+		fmt.Fprintf(t.line, " dur=%d", int64(e.Dur))
+	}
+	for _, a := range e.Args {
+		fmt.Fprintf(t.line, " %s=%d", a.Key, a.Val)
+	}
+	if e.Str != "" {
+		fmt.Fprintf(t.line, " msg=%s", strconv.Quote(e.Str))
+	}
+	t.line.WriteByte('\n')
+}
+
+// catTID maps a category to a stable thread id inside a node's process, so
+// each subsystem gets its own named track and spans from different
+// subsystems never nest incorrectly.
+func catTID(cat string) int {
+	switch cat {
+	case CatSim:
+		return 0
+	case CatMem:
+		return 1
+	case CatSynch:
+		return 2
+	case CatProto:
+		return 3
+	case CatNet:
+		return 4
+	default:
+		return 9
+	}
+}
+
+// jsonPID maps a node to a Chrome process id (pids must be non-negative,
+// so the engine pseudo-node gets a distinct high pid).
+func jsonPID(node int) int {
+	if node == EngineNode {
+		return 1 << 20
+	}
+	return node
+}
+
+// record writes one raw JSON object into the top-level array.
+func (t *Tracer) record(s string) {
+	if t.jsonRecords == 0 {
+		t.json.WriteString("[\n")
+	} else {
+		t.json.WriteString(",\n")
+	}
+	t.json.WriteString(s)
+	t.jsonRecords++
+}
+
+// ensureTrack emits process/thread metadata the first time a (node,
+// category) track appears, so Perfetto shows "node3" processes with
+// "proto", "net", ... tracks instead of bare numbers.
+func (t *Tracer) ensureTrack(node int, cat string) {
+	k := trackKey{node: node, cat: cat}
+	if t.named[k] {
+		return
+	}
+	t.named[k] = true
+	pid := jsonPID(node)
+	if !t.named[trackKey{node: node, cat: ""}] {
+		t.named[trackKey{node: node, cat: ""}] = true
+		t.record(fmt.Sprintf(`{"ph":"M","name":"process_name","pid":%d,"args":{"name":%s}}`,
+			pid, strconv.Quote(nodeName(node))))
+		t.record(fmt.Sprintf(`{"ph":"M","name":"process_sort_index","pid":%d,"args":{"sort_index":%d}}`,
+			pid, pid))
+	}
+	t.record(fmt.Sprintf(`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":%s}}`,
+		pid, catTID(cat), strconv.Quote(cat)))
+}
+
+// writeJSON renders one event as a Chrome trace-event object. Timestamps
+// are microseconds (the format's unit); virtual nanoseconds keep three
+// decimal places so nothing is lost.
+func (t *Tracer) writeJSON(e Event) {
+	t.ensureTrack(e.Node, e.Cat)
+	var b []byte
+	b = append(b, `{"name":`...)
+	b = strconv.AppendQuote(b, e.Name)
+	b = append(b, `,"cat":`...)
+	b = strconv.AppendQuote(b, e.Cat)
+	if e.Span {
+		b = append(b, `,"ph":"X","dur":`...)
+		b = appendMicros(b, e.Dur)
+	} else {
+		b = append(b, `,"ph":"i","s":"t"`...)
+	}
+	b = append(b, `,"ts":`...)
+	b = appendMicros(b, e.Time)
+	b = append(b, `,"pid":`...)
+	b = strconv.AppendInt(b, int64(jsonPID(e.Node)), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(catTID(e.Cat)), 10)
+	if len(e.Args) > 0 || e.Str != "" {
+		b = append(b, `,"args":{`...)
+		first := true
+		for _, a := range e.Args {
+			if !first {
+				b = append(b, ',')
+			}
+			first = false
+			b = strconv.AppendQuote(b, a.Key)
+			b = append(b, ':')
+			b = strconv.AppendInt(b, a.Val, 10)
+		}
+		if e.Str != "" {
+			if !first {
+				b = append(b, ',')
+			}
+			b = append(b, `"msg":`...)
+			b = strconv.AppendQuote(b, e.Str)
+		}
+		b = append(b, '}')
+	}
+	b = append(b, '}')
+	t.record(string(b))
+}
+
+// appendMicros renders a virtual-nanosecond time as decimal microseconds
+// with exactly three fractional digits (deterministic, no float rounding).
+func appendMicros(b []byte, d sim.Time) []byte {
+	n := int64(d)
+	if n < 0 {
+		b = append(b, '-')
+		n = -n
+	}
+	b = strconv.AppendInt(b, n/1000, 10)
+	frac := n % 1000
+	b = append(b, '.')
+	b = append(b, byte('0'+frac/100), byte('0'+frac/10%10), byte('0'+frac%10))
+	return b
+}
