@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test test-short bench examples paper verify-paper trace-demo clean
+.PHONY: all test test-short bench examples paper verify-paper trace-demo sweep-demo clean
 
 all: test
 
@@ -38,6 +38,18 @@ verify-paper:
 	$(GO) run ./cmd/dsmbench -exp all -size paper -nodes 16 -verify \
 		-csv results.csv > results_paper.txt
 
+# Demonstrate the parallel sweep engine: run a small experiment serially
+# and with one worker per CPU under the race detector, and require the
+# table + CSV output to be byte-identical.
+sweep-demo:
+	$(GO) run -race ./cmd/dsmbench -exp table3 -size small -nodes 4 \
+		-parallel 1 -csv sweep_p1.csv > sweep_p1.txt 2>/dev/null
+	$(GO) run -race ./cmd/dsmbench -exp table3 -size small -nodes 4 \
+		-parallel 0 -csv sweep_pN.csv > sweep_pN.txt 2>/dev/null
+	cmp sweep_p1.txt sweep_pN.txt
+	cmp sweep_p1.csv sweep_pN.csv
+	@echo "parallel sweep output is byte-identical to serial"
+
 # Produce a sample execution trace from the quickstart example; open
 # trace.json at https://ui.perfetto.dev (or chrome://tracing).
 trace-demo:
@@ -45,4 +57,4 @@ trace-demo:
 	@echo "wrote trace.json — open it at https://ui.perfetto.dev"
 
 clean:
-	rm -f results.csv trace.json
+	rm -f results.csv trace.json sweep_p1.txt sweep_pN.txt sweep_p1.csv sweep_pN.csv

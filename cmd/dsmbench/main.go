@@ -4,16 +4,23 @@
 //
 //	dsmbench -exp fig1 -size paper -nodes 16      # one experiment
 //	dsmbench -exp all -size paper                 # everything, in order
+//	dsmbench -exp all -parallel 8                 # 8 runs in flight
 //	dsmbench -list                                # name every experiment
 //
-// Runs are cached within one invocation, so "-exp all" reuses the Figure 1
-// sweep for the fault tables and the Tables 16/17 statistics.
+// The selected experiments' runs are prefetched over a worker pool
+// (-parallel, defaulting to one worker per CPU) and memoized, so "-exp
+// all" reuses the Figure 1 sweep for the fault tables and the Tables
+// 16/17 statistics, and the tables render from completed runs. Output —
+// tables, progress lines, CSV records — is byte-identical at every
+// -parallel setting, including fully serial -parallel=1.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"dsmsim/internal/apps"
 	"dsmsim/internal/harness"
@@ -28,6 +35,7 @@ func main() {
 		progress = flag.Bool("progress", true, "print one line per completed run to stderr")
 		csvPath  = flag.String("csv", "", "append one machine-readable record per run to this file")
 		latency  = flag.Bool("latency", false, "print latency-distribution summaries with progress lines")
+		parallel = flag.Int("parallel", 0, "max simulation runs in flight (0 = one per CPU, 1 = serial)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -40,10 +48,11 @@ func main() {
 	}
 
 	opts := harness.Options{
-		Size:   apps.Small,
-		Nodes:  *nodes,
-		Verify: *verify,
-		Out:    os.Stdout,
+		Size:     apps.Small,
+		Nodes:    *nodes,
+		Verify:   *verify,
+		Out:      os.Stdout,
+		Parallel: *parallel,
 	}
 	if *size == "paper" {
 		opts.Size = apps.Paper
@@ -54,37 +63,44 @@ func main() {
 	opts.Histograms = *latency
 	if *csvPath != "" {
 		// Append, as documented: records from successive invocations
-		// accumulate, and the header is only written to a fresh file.
+		// accumulate. The CSV sink writes the header exactly once and
+		// suppresses it by itself when the file already holds records.
 		f, err := os.OpenFile(*csvPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dsmbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
-		if st, err := f.Stat(); err == nil && st.Size() > 0 {
-			opts.CSVHasHeader = true
-		}
 		opts.CSV = f
 	}
 	r := harness.New(opts)
+	defer r.Flush()
 
-	run := func(e harness.Experiment) {
+	selected := harness.Experiments()
+	if *exp != "all" {
+		e, err := harness.Get(*exp)
+		if err != nil {
+			fatal(err)
+		}
+		selected = []harness.Experiment{e}
+	}
+
+	// Fan the selected experiments' runs out over the worker pool; Ctrl-C
+	// cancels the in-flight simulations between virtual-time steps.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := r.Prefetch(ctx, harness.PointsFor(opts, selected)); err != nil {
+		fatal(err)
+	}
+
+	for _, e := range selected {
 		fmt.Println()
 		if err := e.Run(r); err != nil {
-			fmt.Fprintf(os.Stderr, "dsmbench: %s: %v\n", e.Name, err)
-			os.Exit(1)
+			fatal(fmt.Errorf("%s: %v", e.Name, err))
 		}
 	}
-	if *exp == "all" {
-		for _, e := range harness.Experiments() {
-			run(e)
-		}
-		return
-	}
-	e, err := harness.Get(*exp)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dsmbench:", err)
-		os.Exit(1)
-	}
-	run(e)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dsmbench:", err)
+	os.Exit(1)
 }

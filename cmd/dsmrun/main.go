@@ -1,17 +1,28 @@
-// Command dsmrun executes one (application, protocol, granularity,
-// notification) configuration and prints the execution time, the speedup
-// against the sequential baseline, and the full statistics breakdown.
+// Command dsmrun executes (application, protocol, granularity,
+// notification) configurations through the public dsmsim API.
 //
-// Usage:
+// With a single configuration it prints the execution time, the speedup
+// against the sequential baseline, and the full statistics breakdown:
 //
 //	dsmrun -app lu -protocol hlrc -block 4096 -notify polling -nodes 16 -size paper
+//
+// Every selector also accepts a comma-separated list (or "all"); the cross
+// product then runs as a parallel sweep and prints one speedup row per
+// configuration, with output byte-identical at every -parallel setting:
+//
+//	dsmrun -app lu,fft -protocol all -block 64,4096 -parallel 8
+//
+// Ctrl-C cancels in-flight simulations between virtual-time steps.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
 
 	"dsmsim"
@@ -19,16 +30,18 @@ import (
 
 func main() {
 	var (
-		app      = flag.String("app", "lu", "application: "+strings.Join(dsmsim.AppNames(), ", "))
-		protocol = flag.String("protocol", "hlrc", "coherence protocol: sc, swlrc, hlrc, dc")
-		block    = flag.Int("block", 4096, "coherence granularity in bytes (64, 256, 1024, 4096)")
-		notify   = flag.String("notify", "polling", "message notification: polling or interrupt")
+		app      = flag.String("app", "lu", "application(s), comma-separated or 'all': "+strings.Join(dsmsim.AppNames(), ", "))
+		protocol = flag.String("protocol", "hlrc", "coherence protocol(s), comma-separated or 'all': sc, swlrc, hlrc, dc")
+		block    = flag.String("block", "4096", "coherence granularity list in bytes (64, 256, 1024, 4096) or 'all'")
+		notify   = flag.String("notify", "polling", "message notification(s): polling, interrupt, or both comma-separated")
 		nodes    = flag.Int("nodes", 16, "cluster size")
 		size     = flag.String("size", "small", "problem size: small or paper")
-		verify   = flag.Bool("verify", true, "check the numeric result against the sequential reference")
-		static   = flag.Bool("static-homes", false, "disable first-touch home migration (ablation)")
-		trace    = flag.String("trace", "", "write a deterministic line-format event trace to this file")
-		traceJS  = flag.String("trace-json", "", "write a Chrome trace-event JSON file (view in Perfetto)")
+		verify   = flag.Bool("verify", true, "check numeric results against the sequential reference")
+		parallel = flag.Int("parallel", 0, "max simulation runs in flight for sweeps (0 = one per CPU)")
+		static   = flag.Bool("static-homes", false, "disable first-touch home migration (ablation; single runs only)")
+		trace    = flag.String("trace", "", "write a deterministic line-format event trace (single runs only)")
+		traceJS  = flag.String("trace-json", "", "write a Chrome trace-event JSON file (single runs only)")
+		csvPath  = flag.String("csv", "", "append one machine-readable record per run to this file")
 	)
 	flag.Parse()
 
@@ -36,16 +49,69 @@ func main() {
 	if *size == "paper" {
 		sz = dsmsim.Paper
 	}
-	nf := dsmsim.Polling
-	if *notify == "interrupt" {
-		nf = dsmsim.Interrupt
+
+	spec := dsmsim.SweepSpec{
+		Apps:          splitList(*app, dsmsim.AppNames()),
+		Protocols:     splitList(*protocol, []string{dsmsim.SC, dsmsim.SWLRC, dsmsim.HLRC}),
+		Granularities: intList(*block, dsmsim.Granularities),
+		Notify:        notifyList(*notify),
+		Nodes:         *nodes,
+		Size:          sz,
 	}
+	points := len(spec.Apps) * len(spec.Protocols) * len(spec.Granularities) * len(spec.Notify)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if points == 1 {
+		runOne(ctx, spec, *verify, *static, *trace, *traceJS)
+		return
+	}
+	if *static || *trace != "" || *traceJS != "" {
+		fatal(fmt.Errorf("-static-homes/-trace/-trace-json apply to single runs only (%d configurations selected)", points))
+	}
+	runSweep(ctx, spec, *verify, *parallel, *csvPath)
+}
+
+// runSweep fans the cross product out over the worker pool and prints one
+// speedup row per configuration.
+func runSweep(ctx context.Context, spec dsmsim.SweepSpec, verify bool, parallel int, csvPath string) {
+	opts := []dsmsim.SweepOption{
+		dsmsim.WithParallelism(parallel),
+		dsmsim.WithProgress(os.Stderr),
+		dsmsim.WithVerify(verify),
+	}
+	if csvPath != "" {
+		f, err := os.OpenFile(csvPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		opts = append(opts, dsmsim.WithCSV(f))
+	}
+	res, err := dsmsim.Sweep(ctx, spec, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-18s %-6s %6s %-9s %14s %8s\n", "app", "proto", "block", "notify", "time", "speedup")
+	for _, run := range res.Runs {
+		if run.Point.Sequential {
+			continue
+		}
+		fmt.Printf("%-18s %-6s %5dB %-9s %14v %8.2f\n",
+			run.Point.App, run.Point.Protocol, run.Point.Block, run.Point.Notify,
+			run.Result.Time, res.Speedup(run))
+	}
+}
+
+// runOne executes a single configuration with the full statistics dump.
+func runOne(ctx context.Context, spec dsmsim.SweepSpec, verify, static bool, trace, traceJS string) {
 	cfg := dsmsim.Config{
-		Nodes: *nodes, BlockSize: *block, Protocol: *protocol,
-		Notify: nf, StaticHomes: *static,
+		Nodes: spec.Nodes, BlockSize: spec.Granularities[0], Protocol: spec.Protocols[0],
+		Notify: spec.Notify[0], StaticHomes: static,
 	}
-	if *trace != "" {
-		f, err := os.Create(*trace)
+	if trace != "" {
+		f, err := os.Create(trace)
 		if err != nil {
 			fatal(err)
 		}
@@ -54,8 +120,8 @@ func main() {
 		defer w.Flush()
 		cfg.Trace = w
 	}
-	if *traceJS != "" {
-		f, err := os.Create(*traceJS)
+	if traceJS != "" {
+		f, err := os.Create(traceJS)
 		if err != nil {
 			fatal(err)
 		}
@@ -68,15 +134,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	workload, err := dsmsim.NewApp(*app, sz)
+	workload, err := dsmsim.NewApp(spec.Apps[0], spec.Size)
 	if err != nil {
 		fatal(err)
 	}
 	var res *dsmsim.Result
-	if *verify {
-		res, err = m.RunVerified(workload)
+	if verify {
+		res, err = m.RunVerifiedContext(ctx, workload)
 	} else {
-		res, err = m.Run(workload)
+		res, err = m.RunContext(ctx, workload)
 	}
 	if err != nil {
 		fatal(err)
@@ -87,8 +153,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	seqApp, _ := dsmsim.NewApp(*app, sz)
-	seq, err := seqM.Run(seqApp)
+	seqApp, _ := dsmsim.NewApp(spec.Apps[0], spec.Size)
+	seq, err := seqM.RunContext(ctx, seqApp)
 	if err != nil {
 		fatal(err)
 	}
@@ -118,6 +184,54 @@ func main() {
 	fmt.Printf("    message      %s\n", res.MsgLatency.Summary())
 	fmt.Printf("    lock wait    %s\n", res.Total.LockWait.Summary())
 	fmt.Printf("    barrier wait %s\n", res.Total.BarrierWait.Summary())
+}
+
+// splitList parses a comma-separated selector; "all" (or "*") yields all.
+func splitList(s string, all []string) []string {
+	if s == "all" || s == "*" {
+		return all
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func intList(s string, all []int) []int {
+	if s == "all" || s == "*" {
+		return all
+	}
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p == "" {
+			continue
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			fatal(fmt.Errorf("bad block size %q: %v", p, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func notifyList(s string) []dsmsim.Notify {
+	var out []dsmsim.Notify
+	for _, p := range splitList(s, []string{"polling", "interrupt"}) {
+		switch p {
+		case "polling":
+			out = append(out, dsmsim.Polling)
+		case "interrupt":
+			out = append(out, dsmsim.Interrupt)
+		default:
+			fatal(fmt.Errorf("unknown notification %q (want polling or interrupt)", p))
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

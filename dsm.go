@@ -21,6 +21,12 @@
 //	cfg := dsmsim.Config{Nodes: 16, BlockSize: 4096, Protocol: dsmsim.HLRC}
 //	res, err := dsmsim.RunApp(cfg, "lu", dsmsim.Paper)
 //
+// The paper's whole evaluation is a cross-product of configurations; Sweep
+// runs any slice of it over a host-level worker pool with deterministic,
+// byte-identical output at any parallelism (see SweepSpec and the
+// functional options), and Machine.RunContext gives individual runs
+// host-side cancellation.
+//
 // All timing is virtual and deterministic: identical configurations
 // produce bit-identical results.
 package dsmsim
@@ -30,6 +36,7 @@ import (
 	"dsmsim/internal/core"
 	"dsmsim/internal/network"
 	"dsmsim/internal/sim"
+	"dsmsim/internal/stats"
 )
 
 // Re-exported core types: see the core package for full documentation.
@@ -53,6 +60,16 @@ type (
 	Time = sim.Time
 	// Notify selects the message-notification mechanism.
 	Notify = network.Notify
+	// SizeClass selects a problem scale (Small or Paper).
+	SizeClass = apps.SizeClass
+	// NodeStats holds one node's counters and stall times; Result.PerNode
+	// and Result.Total use it, so it is re-exported here — callers no
+	// longer need to import internal/stats to name their results' fields.
+	NodeStats = stats.Node
+	// Histogram is the log-scale latency distribution (p50/p90/p99 and
+	// Summary) used by Result.MsgLatency and the per-node fault, lock and
+	// barrier wait distributions.
+	Histogram = stats.Histogram
 )
 
 // Protocol names. DC (delayed consistency) is this library's extension

@@ -2,6 +2,11 @@
 // protocol × granularity matrix and print a miniature Figure 1 — speedups
 // over the uninstrumented sequential baseline.
 //
+// The matrix runs through dsmsim.Sweep, which fans the independent
+// simulations out over every CPU; because each run is a deterministic
+// virtual-time simulation, the parallel sweep's results (and output order)
+// are identical to running the matrix serially.
+//
 // Usage:
 //
 //	go run ./examples/protocols            # LU at small size
@@ -9,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -22,20 +28,17 @@ func main() {
 		app = os.Args[1]
 	}
 
-	// Sequential baseline.
-	seqM, err := dsmsim.NewMachine(dsmsim.Config{Sequential: true, BlockSize: 4096})
+	// The whole matrix — sequential baseline plus protocols ×
+	// granularities — in one parallel sweep.
+	res, err := dsmsim.Sweep(context.Background(), dsmsim.SweepSpec{
+		Apps:  []string{app},
+		Nodes: 8,
+		Size:  dsmsim.Small,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	seqApp, err := dsmsim.NewApp(app, dsmsim.Small)
-	if err != nil {
-		log.Fatal(err)
-	}
-	seq, err := seqM.Run(seqApp)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("%s: sequential time %v; speedups on 8 nodes:\n\n", app, seq.Time)
+	fmt.Printf("%s: sequential time %v; speedups on 8 nodes:\n\n", app, res.Baseline(app))
 
 	fmt.Printf("%-7s", "proto")
 	for _, g := range dsmsim.Granularities {
@@ -45,13 +48,8 @@ func main() {
 	for _, proto := range dsmsim.Protocols {
 		fmt.Printf("%-7s", proto)
 		for _, g := range dsmsim.Granularities {
-			res, err := dsmsim.RunApp(dsmsim.Config{
-				Nodes: 8, BlockSize: g, Protocol: proto,
-			}, app, dsmsim.Small)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf(" %8.2f", float64(seq.Time)/float64(res.Time))
+			run := res.Get(app, proto, g, dsmsim.Polling)
+			fmt.Printf(" %8.2f", float64(res.Baseline(app))/float64(run.Time))
 		}
 		fmt.Println()
 	}

@@ -23,8 +23,8 @@ func TestGoldenLUCounts(t *testing.T) {
 	}{
 		{"sc", 64, 640, 0, 2848, 59556040},
 		{"sc", 256, 160, 0, 856, 27802530},
-		{"sc", 1024, 85, 33, 577, 29966397},
-		{"sc", 4096, 103, 63, 661, 65386608},
+		{"sc", 1024, 85, 33, 577, 29960897},
+		{"sc", 4096, 108, 66, 684, 67310074},
 		{"swlrc", 64, 640, 0, 2368, 55315189},
 		{"swlrc", 256, 160, 0, 736, 26694558},
 		{"swlrc", 1024, 74, 26, 396, 25476628},

@@ -189,18 +189,24 @@ func (a *LU) Run(c *core.Ctx) {
 			flops(2 * b * b * b / 3)
 		}
 		c.Barrier()
-		// Perimeter blocks in column k and row k.
+		// Perimeter blocks in column k and row k. The write span must be
+		// acquired LAST: any earlier fault (the diag read) yields virtual
+		// time, during which a false-sharing writer — possible once a
+		// coherence block straddles two owners' regions — can steal the
+		// write span's block, leaving a stale slice whose updates would be
+		// lost. Reads are safe in either order because the diag values are
+		// stable between barriers.
 		diag := c.F64sR(kk, bb)
 		for i := k + 1; i < nb; i++ {
 			if a.owner(i, k, p) == me {
-				blk := c.F64sW(a.blockAddr[i*nb+k], bb)
 				diag = c.F64sR(kk, bb) // re-span after potential fault
+				blk := c.F64sW(a.blockAddr[i*nb+k], bb)
 				bdivLower(blk, diag, b)
 				flops(b * b * b)
 			}
 			if a.owner(k, i, p) == me {
-				blk := c.F64sW(a.blockAddr[k*nb+i], bb)
 				diag = c.F64sR(kk, bb)
+				blk := c.F64sW(a.blockAddr[k*nb+i], bb)
 				bmodRight(blk, diag, b)
 				flops(b * b * b)
 			}

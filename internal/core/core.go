@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -165,12 +166,11 @@ type Result struct {
 }
 
 // Machine is a configured simulated cluster, reusable for multiple runs.
+// A Machine holds no per-run state — every Run builds a fresh simulation —
+// so concurrent Run/RunContext calls on the same Machine are safe; this is
+// what lets the sweep engine fan independent runs out over host cores.
 type Machine struct {
 	cfg Config
-
-	// writers tracks, per block, the set of nodes that write-faulted on
-	// it during the current run (Table 2's writer classification).
-	writers []uint64
 }
 
 // NewMachine validates cfg and returns a machine.
@@ -185,6 +185,18 @@ func NewMachine(cfg Config) (*Machine, error) {
 // The final shared image is written back into the master heap so that
 // app.Verify can check it.
 func (m *Machine) Run(app App) (*Result, error) {
+	return m.RunContext(context.Background(), app)
+}
+
+// RunContext is Run with host-side cancellation: the simulation checks ctx
+// between virtual-time steps (every few hundred engine events) and, once
+// ctx is cancelled, stops promptly and returns ctx.Err(). A cancelled run
+// leaves the Machine untouched — it holds no per-run state — so the same
+// Machine can immediately start a fresh run.
+func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg := m.cfg
 	info := app.Info()
 	model := cfg.Model
@@ -200,6 +212,12 @@ func (m *Machine) Run(app App) (*Result, error) {
 	engine := sim.NewEngine()
 	if cfg.Limit > 0 {
 		engine.SetLimit(cfg.Limit)
+	}
+	if ctx.Done() != nil {
+		// The poll is purely observational (no events scheduled, no time
+		// advanced), so a cancellable-but-never-cancelled context produces
+		// results bit-identical to context.Background().
+		engine.SetInterrupt(func() error { return ctx.Err() })
 	}
 	net := network.New(engine, model, cfg.Notify, cfg.Nodes)
 	var tr *trace.Tracer // nil when tracing is off: every emit site costs one branch
@@ -243,7 +261,10 @@ func (m *Machine) Run(app App) (*Result, error) {
 	sy := synch.New(env)
 	sy.SetProtocol(p)
 
-	m.writers = make([]uint64, heapSize/cfg.BlockSize)
+	// writers tracks, per block, the set of nodes that write-faulted on it
+	// during this run (Table 2's writer classification). Run-local so that
+	// concurrent runs on one Machine never share state.
+	writers := make([]uint64, heapSize/cfg.BlockSize)
 	if !cfg.StaticHomes {
 		env.Homes.BeginFirstTouch()
 	}
@@ -281,6 +302,7 @@ func (m *Machine) Run(app App) (*Result, error) {
 			sync:     sy,
 			dilation: dilation,
 			tracer:   tr,
+			writers:  writers,
 		}
 		nodes[i] = n
 		n.ep.Bind(n, m.serviceCost(sy, p), m.handler(sy, p))
@@ -322,6 +344,9 @@ func (m *Machine) Run(app App) (*Result, error) {
 	runErr := engine.Run()
 	tr.Flush() // nil-safe; flush even when the run aborted so the partial trace is inspectable
 	if runErr != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, fmt.Errorf("core: %s/%s/%d: %w", info.Name, cfg.Protocol, cfg.BlockSize, runErr)
 	}
 
@@ -348,7 +373,7 @@ func (m *Machine) Run(app App) (*Result, error) {
 		res.NetBytes += s.BytesSent
 		res.MsgLatency.Merge(&s.Latency)
 	}
-	for _, w := range m.writers {
+	for _, w := range writers {
 		if w == 0 {
 			continue
 		}
@@ -365,7 +390,13 @@ func (m *Machine) Run(app App) (*Result, error) {
 
 // RunVerified runs the app and then checks its result.
 func (m *Machine) RunVerified(app App) (*Result, error) {
-	res, err := m.Run(app)
+	return m.RunVerifiedContext(context.Background(), app)
+}
+
+// RunVerifiedContext is RunVerified with host-side cancellation (see
+// RunContext).
+func (m *Machine) RunVerifiedContext(ctx context.Context, app App) (*Result, error) {
+	res, err := m.RunContext(ctx, app)
 	if err != nil {
 		return nil, err
 	}

@@ -27,6 +27,10 @@ type Node struct {
 	sync     *synch.Sync
 	tracer   *trace.Tracer // nil when tracing is off
 
+	// writers is the run-local per-block writer bitmap shared by all nodes
+	// of one run (Table 2's classification); Machine itself stays stateless.
+	writers []uint64
+
 	dilation float64
 
 	// inRuntime is true while the app thread is blocked inside the DSM
@@ -74,7 +78,7 @@ func (n *Node) Steal(cost sim.Time) {
 func (n *Node) fault(block int, write bool) {
 	if write {
 		n.stats.WriteFaults++
-		n.machine.writers[block] |= 1 << uint(n.id)
+		n.writers[block] |= 1 << uint(n.id)
 	} else {
 		n.stats.ReadFaults++
 	}

@@ -7,6 +7,7 @@ import (
 	"dsmsim/internal/core"
 	"dsmsim/internal/network"
 	"dsmsim/internal/sim"
+	"dsmsim/internal/sweep"
 )
 
 // The experiments below cover the dimensions §7 of the paper lists as
@@ -15,12 +16,39 @@ import (
 
 func init() {
 	extensions = []Experiment{
-		{"memory", "Protocol memory utilization by granularity (§7 future work)", (*Runner).MemoryTable},
-		{"scaling", "Speedup vs cluster size, 1-32 nodes (§7: the hoped-for 32-node runs)", (*Runner).ScalingTable},
-		{"software", "All-software access control: instrumented check cost (§7 future work)", (*Runner).SoftwareTable},
-		{"delayed", "Delayed consistency vs SC across granularities (§7 future work)", (*Runner).DelayedTable},
-		{"bigblocks", "Granularities beyond 4096 bytes (§7: not studied in the paper)", (*Runner).BigBlocksTable},
-		{"breakdown", "Execution-time breakdown per application at the paper's two headline points", (*Runner).BreakdownTable},
+		{"memory", "Protocol memory utilization by granularity (§7 future work)",
+			func(o Options) []sweep.Key {
+				return o.matrix([]string{"water-spatial"}, core.Protocols, core.Granularities, polling, false)
+			},
+			(*Runner).MemoryTable},
+		{"scaling", "Speedup vs cluster size, 1-32 nodes (§7: the hoped-for 32-node runs)",
+			func(o Options) []sweep.Key {
+				// Only the baselines are matrix runs; the per-size machines
+				// are custom and stay serial.
+				return []sweep.Key{sweep.Seq("lu"), sweep.Seq("water-nsquared")}
+			},
+			(*Runner).ScalingTable},
+		{"software", "All-software access control: instrumented check cost (§7 future work)",
+			func(o Options) []sweep.Key { return []sweep.Key{sweep.Seq("ocean-rowwise")} },
+			(*Runner).SoftwareTable},
+		{"delayed", "Delayed consistency vs SC across granularities (§7 future work)",
+			func(o Options) []sweep.Key {
+				return o.matrix([]string{"ocean-rowwise", "volrend-original"},
+					[]string{core.SC, core.DC}, core.Granularities, polling, true)
+			},
+			(*Runner).DelayedTable},
+		{"bigblocks", "Granularities beyond 4096 bytes (§7: not studied in the paper)",
+			func(o Options) []sweep.Key {
+				return o.matrix([]string{"lu", "water-spatial"},
+					[]string{core.SC, core.HLRC}, []int{4096, 8192, 16384}, polling, true)
+			},
+			(*Runner).BigBlocksTable},
+		{"breakdown", "Execution-time breakdown per application at the paper's two headline points",
+			func(o Options) []sweep.Key {
+				pts := o.matrix(apps.Names(), []string{core.SC}, []int{64}, polling, false)
+				return append(pts, o.matrix(apps.Names(), []string{core.HLRC}, []int{4096}, polling, false)...)
+			},
+			(*Runner).BreakdownTable},
 	}
 }
 

@@ -3,9 +3,17 @@
 // classification of Table 2, the per-application fault-count tables, the
 // Barnes data-traffic comparison, and the relative-efficiency harmonic
 // means of Tables 16 and 17.
+//
+// All runs go through the sweep engine (internal/sweep): results are
+// memoized so experiments share them (the fault tables reuse Figure 1's
+// runs, for example), progress and CSV output is serialized through one
+// goroutine, and Prefetch fans an experiment's whole point set out over a
+// worker pool before the table renders — with output identical, byte for
+// byte, to fully serial execution.
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -14,7 +22,7 @@ import (
 	"dsmsim/internal/core"
 	"dsmsim/internal/network"
 	"dsmsim/internal/sim"
-	"dsmsim/internal/stats"
+	"dsmsim/internal/sweep"
 )
 
 // Options configures a Runner.
@@ -31,33 +39,25 @@ type Options struct {
 	// Progress, if non-nil, receives one line per completed run.
 	Progress io.Writer
 	// CSV, if non-nil, receives one machine-readable record per completed
-	// run (header written lazily) for plotting and downstream analysis.
+	// run for plotting and downstream analysis. The header is written
+	// exactly once and suppressed automatically when the writer is an
+	// append-mode file that already holds records.
 	CSV io.Writer
-	// CSVHasHeader suppresses the header row: the CSV sink already holds
-	// records from an earlier invocation (dsmbench opens its -csv file in
-	// append mode and sets this when the file is non-empty).
-	CSVHasHeader bool
 	// Histograms adds a latency-distribution progress line (fault service
 	// time, message latency, lock wait) after each completed run.
 	Histograms bool
 	// Limit bounds each run's virtual time (0 = a generous default).
 	Limit sim.Time
+	// Parallel bounds the worker pool used by Prefetch; <= 0 means one
+	// worker per available CPU. Rendered output is byte-identical at
+	// every setting.
+	Parallel int
 }
 
-type runKey struct {
-	app    string
-	proto  string
-	block  int
-	notify network.Notify
-}
-
-// Runner executes and caches simulation runs; experiments share results
-// (the fault tables reuse Figure 1's runs, for example).
+// Runner executes and caches simulation runs via the sweep engine.
 type Runner struct {
-	opts      Options
-	seq       map[string]sim.Time
-	cache     map[runKey]*core.Result
-	csvHeader bool
+	opts Options
+	eng  *sweep.Engine
 }
 
 // New creates a Runner.
@@ -68,101 +68,49 @@ func New(opts Options) *Runner {
 	if opts.Limit == 0 {
 		opts.Limit = 100000 * sim.Second
 	}
-	return &Runner{opts: opts, seq: map[string]sim.Time{}, cache: map[runKey]*core.Result{},
-		csvHeader: opts.CSVHasHeader}
+	eng := sweep.New(sweep.Options{
+		Size:       opts.Size,
+		Workers:    opts.Parallel,
+		Verify:     opts.Verify,
+		Limit:      opts.Limit,
+		Progress:   opts.Progress,
+		CSV:        opts.CSV,
+		Histograms: opts.Histograms,
+	})
+	return &Runner{opts: opts, eng: eng}
+}
+
+// key builds the sweep key for one configuration at this runner's scale.
+func (r *Runner) key(app, proto string, block int, notify network.Notify) sweep.Key {
+	return sweep.Key{App: app, Protocol: proto, Block: block, Notify: notify, Nodes: r.opts.Nodes}
 }
 
 // Sequential returns the uninstrumented one-node baseline time for app.
 func (r *Runner) Sequential(app string) (sim.Time, error) {
-	if t, ok := r.seq[app]; ok {
-		return t, nil
-	}
-	entry, err := apps.Get(app)
+	res, err := r.eng.RunOne(context.Background(), sweep.Seq(app))
 	if err != nil {
 		return 0, err
 	}
-	m, err := core.NewMachine(core.Config{
-		Sequential: true, BlockSize: 4096, Limit: r.opts.Limit,
-	})
-	if err != nil {
-		return 0, err
-	}
-	res, err := r.runMachine(m, entry)
-	if err != nil {
-		return 0, err
-	}
-	r.progress("seq  %-18s T=%v", app, res.Time)
-	r.seq[app] = res.Time
 	return res.Time, nil
 }
 
-// Result runs (or returns the cached run of) one configuration.
+// Result runs (or returns the memoized run of) one configuration.
 func (r *Runner) Result(app, proto string, block int, notify network.Notify) (*core.Result, error) {
-	k := runKey{app, proto, block, notify}
-	if res, ok := r.cache[k]; ok {
-		return res, nil
-	}
-	entry, err := apps.Get(app)
-	if err != nil {
-		return nil, err
-	}
-	m, err := core.NewMachine(core.Config{
-		Nodes: r.opts.Nodes, BlockSize: block, Protocol: proto,
-		Notify: notify, Limit: r.opts.Limit,
-	})
-	if err != nil {
-		return nil, err
-	}
-	res, err := r.runMachine(m, entry)
-	if err != nil {
-		return nil, err
-	}
-	r.progress("run  %-18s %-5s %4dB %-9s T=%v", app, proto, block, notify, res.Time)
-	if r.opts.Histograms {
-		fault := faultHist(res)
-		r.progress("lat  %-18s fault[%s] msg[%s] lock[%s]",
-			app, fault.Summary(), res.MsgLatency.Summary(), res.Total.LockWait.Summary())
-	}
-	r.csv(res)
-	r.cache[k] = res
-	return res, nil
+	return r.eng.RunOne(context.Background(), r.key(app, proto, block, notify))
 }
 
-// faultHist merges the read- and write-fault service-time distributions.
-func faultHist(res *core.Result) stats.Histogram {
-	var h stats.Histogram
-	h.Merge(&res.Total.ReadFaultTime)
-	h.Merge(&res.Total.WriteFaultTime)
-	return h
+// Prefetch computes every key over the runner's worker pool, filling the
+// memo so subsequent Result/Sequential calls are cache hits. Progress and
+// CSV records are emitted in the order of keys regardless of completion
+// order, so a parallel prefetch is byte-identical to a serial one.
+func (r *Runner) Prefetch(ctx context.Context, keys []sweep.Key) error {
+	_, err := r.eng.Run(ctx, sweep.Dedupe(keys))
+	return err
 }
 
-// csv emits one machine-readable record per run.
-func (r *Runner) csv(res *core.Result) {
-	if r.opts.CSV == nil {
-		return
-	}
-	if !r.csvHeader {
-		fmt.Fprintln(r.opts.CSV, "app,protocol,block,notify,nodes,time_ns,read_faults,write_faults,invalidations,twins,diffs,write_notices,lock_acquires,barrier_entries,net_msgs,net_bytes,fault_p50_ns,fault_p90_ns,fault_p99_ns,msg_p50_ns,msg_p90_ns,msg_p99_ns,lock_p50_ns,lock_p90_ns,lock_p99_ns")
-		r.csvHeader = true
-	}
-	t := res.Total
-	fault := faultHist(res)
-	fmt.Fprintf(r.opts.CSV, "%s,%s,%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
-		res.App, res.Protocol, res.BlockSize, res.Notify, res.Nodes, int64(res.Time),
-		t.ReadFaults, t.WriteFaults, t.Invalidations, t.TwinsCreated, t.DiffsCreated,
-		t.WriteNoticesSent, t.LockAcquires, t.BarrierEntries, res.NetMsgs, res.NetBytes,
-		fault.P50(), fault.P90(), fault.P99(),
-		res.MsgLatency.P50(), res.MsgLatency.P90(), res.MsgLatency.P99(),
-		t.LockWait.P50(), t.LockWait.P90(), t.LockWait.P99())
-}
-
-func (r *Runner) runMachine(m *core.Machine, entry apps.Entry) (*core.Result, error) {
-	app := entry.New(r.opts.Size)
-	if r.opts.Verify || r.opts.Size == apps.Small {
-		return m.RunVerified(app)
-	}
-	return m.Run(app)
-}
+// Flush blocks until all progress/CSV output enqueued so far is written.
+// Call before inspecting the Progress or CSV writers.
+func (r *Runner) Flush() { r.eng.Flush() }
 
 // Speedup returns T_seq / T_par for one configuration.
 func (r *Runner) Speedup(app, proto string, block int, notify network.Notify) (float64, error) {
@@ -177,9 +125,21 @@ func (r *Runner) Speedup(app, proto string, block int, notify network.Notify) (f
 	return float64(seq) / float64(res.Time), nil
 }
 
+// runMachine executes an out-of-matrix configuration (custom node counts,
+// software access checks) under the runner's verify policy. These runs are
+// not memoized.
+func (r *Runner) runMachine(m *core.Machine, entry apps.Entry) (*core.Result, error) {
+	app := entry.New(r.opts.Size)
+	if r.opts.Verify || r.opts.Size == apps.Small {
+		return m.RunVerified(app)
+	}
+	return m.Run(app)
+}
+
+// progress emits one custom progress line through the serializing sink.
 func (r *Runner) progress(format string, args ...any) {
 	if r.opts.Progress != nil {
-		fmt.Fprintf(r.opts.Progress, format+"\n", args...)
+		r.eng.Sink().Logf(format, args...)
 	}
 }
 
@@ -200,15 +160,54 @@ func harmonicMean(xs []float64) float64 {
 type Experiment struct {
 	Name string
 	Desc string
-	Run  func(r *Runner) error
+	// Points lists the matrix runs the experiment will consume, for
+	// parallel prefetch; nil for experiments built from out-of-matrix
+	// configurations (custom node counts, software access checks).
+	Points func(o Options) []sweep.Key
+	// Run renders the experiment (drawing on prefetched runs when the
+	// caller prefetched; computing serially otherwise).
+	Run func(r *Runner) error
 }
+
+// matrix builds keys for apps × protos × grans × notifies at o's scale,
+// optionally preceded by each app's sequential baseline — the canonical
+// order prefetch emission follows.
+func (o Options) matrix(appNames, protos []string, grans []int, notifies []network.Notify, baselines bool) []sweep.Key {
+	nodes := o.Nodes
+	if nodes == 0 {
+		nodes = 16
+	}
+	s := sweep.Spec{
+		Apps: appNames, Protocols: protos, Granularities: grans,
+		Notifies: notifies, Nodes: nodes, Baselines: baselines,
+	}
+	return s.Points()
+}
+
+var polling = []network.Notify{network.Polling}
 
 // Experiments lists every experiment in paper order.
 func Experiments() []Experiment {
 	exps := []Experiment{
-		{"table1", "Benchmarks, problem sizes, sequential execution times", (*Runner).Table1},
-		{"fig1", "Speedups: 12 apps × 3 protocols × 4 granularities (polling)", (*Runner).Fig1},
-		{"table2", "Classification of sharing patterns and synchronization granularity", (*Runner).Table2},
+		{"table1", "Benchmarks, problem sizes, sequential execution times",
+			func(o Options) []sweep.Key {
+				var pts []sweep.Key
+				for _, app := range apps.Originals() {
+					pts = append(pts, sweep.Seq(app))
+				}
+				return pts
+			},
+			(*Runner).Table1},
+		{"fig1", "Speedups: 12 apps × 3 protocols × 4 granularities (polling)",
+			func(o Options) []sweep.Key {
+				return o.matrix(apps.Names(), core.Protocols, core.Granularities, polling, true)
+			},
+			(*Runner).Fig1},
+		{"table2", "Classification of sharing patterns and synchronization granularity",
+			func(o Options) []sweep.Key {
+				return o.matrix(apps.Names(), core.Protocols, core.Granularities, polling, true)
+			},
+			(*Runner).Table2},
 	}
 	faultApps := []struct{ exp, app string }{
 		{"table3", "lu"}, {"table4", "ocean-rowwise"}, {"table5", "ocean-original"},
@@ -220,14 +219,34 @@ func Experiments() []Experiment {
 		fa := fa
 		exps = append(exps, Experiment{
 			fa.exp, fmt.Sprintf("Read/write fault counts for %s", fa.app),
+			func(o Options) []sweep.Key {
+				return o.matrix([]string{fa.app}, core.Protocols, core.Granularities, polling, false)
+			},
 			func(r *Runner) error { return r.FaultTable(fa.app) },
 		})
 	}
 	exps = append(exps,
-		Experiment{"table15", "Barnes-Original data traffic by protocol and granularity", (*Runner).Table15},
-		Experiment{"table16", "HM of relative efficiency, original applications", (*Runner).Table16},
-		Experiment{"table17", "HM of relative efficiency, best version per combination", (*Runner).Table17},
-		Experiment{"fig2", "Speedups of LU and Water-Nsquared with the interrupt mechanism", (*Runner).Fig2},
+		Experiment{"table15", "Barnes-Original data traffic by protocol and granularity",
+			func(o Options) []sweep.Key {
+				return o.matrix([]string{"barnes-original"}, core.Protocols, core.Granularities, polling, false)
+			},
+			(*Runner).Table15},
+		Experiment{"table16", "HM of relative efficiency, original applications",
+			func(o Options) []sweep.Key {
+				return o.matrix(apps.Originals(), core.Protocols, core.Granularities, polling, true)
+			},
+			(*Runner).Table16},
+		Experiment{"table17", "HM of relative efficiency, best version per combination",
+			func(o Options) []sweep.Key {
+				return o.matrix(apps.Names(), core.Protocols, core.Granularities, polling, true)
+			},
+			(*Runner).Table17},
+		Experiment{"fig2", "Speedups of LU and Water-Nsquared with the interrupt mechanism",
+			func(o Options) []sweep.Key {
+				return o.matrix([]string{"lu", "water-nsquared"}, core.Protocols, core.Granularities,
+					[]network.Notify{network.Interrupt}, true)
+			},
+			(*Runner).Fig2},
 	)
 	exps = append(exps, extensions...)
 	return exps
@@ -246,4 +265,17 @@ func Get(name string) (Experiment, error) {
 	}
 	sort.Strings(names)
 	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have %v)", name, names)
+}
+
+// PointsFor unions (and dedupes) the prefetchable point sets of the given
+// experiments, preserving experiment order — the deterministic emission
+// order of a prefetch covering them.
+func PointsFor(o Options, exps []Experiment) []sweep.Key {
+	var pts []sweep.Key
+	for _, e := range exps {
+		if e.Points != nil {
+			pts = append(pts, e.Points(o)...)
+		}
+	}
+	return sweep.Dedupe(pts)
 }

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"math"
 	"strconv"
@@ -188,6 +189,68 @@ func TestFig1Table2Table15Small(t *testing.T) {
 	}
 }
 
+// TestPrefetchParallelDeterminism checks the dsmbench pipeline end to end:
+// prefetching an experiment's points at 8 workers and rendering must
+// produce byte-identical table, progress and CSV output to 1 worker.
+func TestPrefetchParallelDeterminism(t *testing.T) {
+	render := func(parallel int) (table, progress, csv string) {
+		var tb, pb, cb bytes.Buffer
+		r := New(Options{Size: apps.Small, Nodes: 4, Out: &tb, Progress: &pb, CSV: &cb, Parallel: parallel})
+		e, err := Get("table3") // lu fault table: 3 protocols × 4 granularities
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Prefetch(context.Background(), PointsFor(r.opts, []Experiment{e})); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(r); err != nil {
+			t.Fatal(err)
+		}
+		r.Flush()
+		return tb.String(), pb.String(), cb.String()
+	}
+	t1, p1, c1 := render(1)
+	t8, p8, c8 := render(8)
+	if t1 != t8 {
+		t.Fatalf("table output diverged:\n-- serial --\n%s\n-- parallel --\n%s", t1, t8)
+	}
+	if p1 != p8 {
+		t.Fatalf("progress output diverged:\n-- serial --\n%s\n-- parallel --\n%s", p1, p8)
+	}
+	if c1 != c8 {
+		t.Fatalf("csv output diverged:\n-- serial --\n%s\n-- parallel --\n%s", c1, c8)
+	}
+	if t1 == "" || p1 == "" || c1 == "" {
+		t.Fatal("missing output")
+	}
+}
+
+// TestPointsForCoversExperiments checks that every experiment's declared
+// point set actually satisfies its Run: after a prefetch, rendering must
+// add no new run lines for matrix experiments.
+func TestPointsForCoversExperiments(t *testing.T) {
+	var pb bytes.Buffer
+	r := New(Options{Size: apps.Small, Nodes: 4, Out: io.Discard, Progress: &pb, Parallel: 4})
+	for _, name := range []string{"table1", "table15", "fig2"} {
+		e, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Prefetch(context.Background(), PointsFor(r.opts, []Experiment{e})); err != nil {
+			t.Fatal(err)
+		}
+		r.Flush()
+		before := pb.String()
+		if err := e.Run(r); err != nil {
+			t.Fatal(err)
+		}
+		r.Flush()
+		if after := pb.String(); after != before {
+			t.Fatalf("%s ran uncovered points after prefetch:\n%s", name, after[len(before):])
+		}
+	}
+}
+
 func TestLabelPaperVsSmall(t *testing.T) {
 	small := New(Options{Size: apps.Small, Nodes: 4, Out: io.Discard})
 	paper := New(Options{Size: apps.Paper, Nodes: 4, Out: io.Discard})
@@ -208,6 +271,7 @@ func TestCSVOutput(t *testing.T) {
 	if _, err := r.Result("lu", "sc", 64, network.Polling); err != nil {
 		t.Fatal(err)
 	}
+	r.Flush()
 	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
 	if len(lines) != 3 {
 		t.Fatalf("csv lines = %d, want header + 2 records:\n%s", len(lines), csv.String())

@@ -104,6 +104,12 @@ type Engine struct {
 	limit  Time // 0 means no limit
 	hooks  Hooks
 
+	// interrupt, when set, is polled every interruptStride dispatched
+	// events; a non-nil return aborts Run with that error. Used for
+	// host-side cancellation (context.Context) of long simulations.
+	interrupt      func() error
+	interruptCount int
+
 	// yield is signalled by a Proc when it hands control back to the engine.
 	yield chan struct{}
 
@@ -111,6 +117,12 @@ type Engine struct {
 	stopped   bool
 	procPanic *procPanic
 }
+
+// interruptStride is how many events are dispatched between polls of the
+// interrupt function: frequent enough that cancellation lands within
+// microseconds of wall-clock time, rare enough that the check (typically
+// an atomic context.Err) is invisible in profiles.
+const interruptStride = 256
 
 // NewEngine returns an engine with virtual time 0 and no events.
 func NewEngine() *Engine {
@@ -126,6 +138,11 @@ func (e *Engine) SetLimit(limit Time) { e.limit = limit }
 
 // SetHooks attaches observability callbacks (see Hooks). Call before Run.
 func (e *Engine) SetHooks(h Hooks) { e.hooks = h }
+
+// SetInterrupt installs fn, which Run polls every few hundred dispatched
+// events; a non-nil return aborts Run with that error. The function must
+// not touch engine state. Call before Run.
+func (e *Engine) SetInterrupt(fn func() error) { e.interrupt = fn }
 
 // Schedule registers fn to run at virtual time at. If at is in the past it
 // runs at the current time (after already-queued events for that time).
@@ -165,6 +182,14 @@ func (e *Engine) Run() error {
 				return &DeadlockError{Blocked: blocked}
 			}
 			return nil
+		}
+		if e.interrupt != nil {
+			if e.interruptCount++; e.interruptCount >= interruptStride {
+				e.interruptCount = 0
+				if err := e.interrupt(); err != nil {
+					return err
+				}
+			}
 		}
 		ev := heap.Pop(&e.events).(*event)
 		if e.limit > 0 && ev.at > e.limit {

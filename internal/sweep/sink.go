@@ -1,0 +1,172 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"dsmsim/internal/core"
+	"dsmsim/internal/stats"
+)
+
+// Sink serializes all human- and machine-readable per-run output — progress
+// lines, latency summaries, CSV records — through one goroutine, so that
+// concurrent runs never interleave partial lines and the writers themselves
+// need no locking. Emission order is whatever order Emit/Logf are called
+// in; the sweep scheduler calls them in canonical sweep order regardless of
+// run completion order, which is what makes parallel output byte-identical
+// to serial.
+type Sink struct {
+	progress   io.Writer
+	csv        *csvSink
+	histograms bool
+
+	mu     sync.Mutex // guards ch against Emit/Close races
+	ch     chan func()
+	done   chan struct{}
+	closed bool
+}
+
+// NewSink builds a sink. progress and csv may be nil; histograms adds a
+// latency-distribution line after each run record.
+func NewSink(progress, csv io.Writer, histograms bool) *Sink {
+	s := &Sink{progress: progress, histograms: histograms, ch: make(chan func(), 64), done: make(chan struct{})}
+	if csv != nil {
+		s.csv = &csvSink{w: csv}
+	}
+	go func() {
+		defer close(s.done)
+		for fn := range s.ch {
+			fn()
+		}
+	}()
+	return s
+}
+
+// Emit reports one completed run: a progress line, the optional latency
+// summary, and the CSV record. Sequential-baseline runs get a progress line
+// only (they are not part of the paper's evaluation matrix).
+func (s *Sink) Emit(k Key, res *core.Result) {
+	s.enqueue(func() {
+		if s.progress != nil {
+			if k.Sequential {
+				fmt.Fprintf(s.progress, "seq  %-18s T=%v\n", k.App, res.Time)
+			} else {
+				fmt.Fprintf(s.progress, "run  %-18s %-5s %4dB %-9s T=%v\n",
+					k.App, k.Protocol, k.Block, k.Notify, res.Time)
+				if s.histograms {
+					fault := FaultHist(res)
+					fmt.Fprintf(s.progress, "lat  %-18s fault[%s] msg[%s] lock[%s]\n",
+						k.App, fault.Summary(), res.MsgLatency.Summary(), res.Total.LockWait.Summary())
+				}
+			}
+		}
+		if s.csv != nil && !k.Sequential {
+			s.csv.Write(res)
+		}
+	})
+}
+
+// Logf writes one formatted progress line through the serializing
+// goroutine (for experiment-specific lines outside the standard matrix).
+func (s *Sink) Logf(format string, args ...any) {
+	if s.progress == nil {
+		return
+	}
+	s.enqueue(func() { fmt.Fprintf(s.progress, format+"\n", args...) })
+}
+
+func (s *Sink) enqueue(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		fn() // late emission after Close: degrade to synchronous
+		return
+	}
+	s.ch <- fn
+}
+
+// Flush blocks until every record enqueued so far has been written.
+func (s *Sink) Flush() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	ack := make(chan struct{})
+	s.ch <- func() { close(ack) }
+	s.mu.Unlock()
+	<-ack
+}
+
+// Close flushes and stops the sink goroutine. Subsequent emissions are
+// written synchronously.
+func (s *Sink) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.ch)
+	s.mu.Unlock()
+	<-s.done
+}
+
+// FaultHist merges a run's read- and write-fault service-time
+// distributions (the combined histogram the progress lines summarize).
+func FaultHist(res *core.Result) stats.Histogram {
+	var h stats.Histogram
+	h.Merge(&res.Total.ReadFaultTime)
+	h.Merge(&res.Total.WriteFaultTime)
+	return h
+}
+
+// csvHeader is the machine-readable schema, one record per run.
+const csvHeader = "app,protocol,block,notify,nodes,time_ns,read_faults,write_faults,invalidations,twins,diffs,write_notices,lock_acquires,barrier_entries,net_msgs,net_bytes,fault_p50_ns,fault_p90_ns,fault_p99_ns,msg_p50_ns,msg_p90_ns,msg_p99_ns,lock_p50_ns,lock_p90_ns,lock_p99_ns"
+
+// csvSink writes CSV records with the header emitted exactly once, even
+// under concurrent use, and is append-aware: when the underlying writer is
+// a file that already holds records (dsmbench opens its -csv file in
+// append mode), the header is suppressed automatically — callers no longer
+// pre-inspect the file or manage a has-header flag.
+type csvSink struct {
+	mu     sync.Mutex
+	w      io.Writer
+	header bool // header decision made
+}
+
+// Write appends one record, emitting the header first if this sink has not
+// decided the header question yet.
+func (c *csvSink) Write(res *core.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.header {
+		c.header = true
+		if !hasExistingData(c.w) {
+			fmt.Fprintln(c.w, csvHeader)
+		}
+	}
+	t := res.Total
+	fault := FaultHist(res)
+	fmt.Fprintf(c.w, "%s,%s,%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		res.App, res.Protocol, res.BlockSize, res.Notify, res.Nodes, int64(res.Time),
+		t.ReadFaults, t.WriteFaults, t.Invalidations, t.TwinsCreated, t.DiffsCreated,
+		t.WriteNoticesSent, t.LockAcquires, t.BarrierEntries, res.NetMsgs, res.NetBytes,
+		fault.P50(), fault.P90(), fault.P99(),
+		res.MsgLatency.P50(), res.MsgLatency.P90(), res.MsgLatency.P99(),
+		t.LockWait.P50(), t.LockWait.P90(), t.LockWait.P99())
+}
+
+// hasExistingData reports whether w is a seekable file that already holds
+// bytes (the append-mode case where the header must be suppressed).
+func hasExistingData(w io.Writer) bool {
+	type statter interface{ Stat() (os.FileInfo, error) }
+	if s, ok := w.(statter); ok {
+		if fi, err := s.Stat(); err == nil && fi.Size() > 0 {
+			return true
+		}
+	}
+	return false
+}

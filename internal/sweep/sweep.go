@@ -1,0 +1,293 @@
+// Package sweep is the parallel experiment engine: it fans independent
+// simulation runs out over a host-level worker pool while keeping every
+// observable output deterministic.
+//
+// Each run is an independent virtual-time simulation (core.Machine holds no
+// per-run state and identical configurations produce bit-identical
+// results), so host parallelism is free correctness-wise. What the package
+// adds on top is the bookkeeping that keeps it *observably* serial:
+//
+//   - a single-flight Memo so each configuration runs exactly once no
+//     matter how many experiments or workers want it;
+//   - a Sink that serializes progress/CSV output through one goroutine;
+//   - ordered release — completed runs are emitted in canonical sweep
+//     order regardless of completion order, so the output of a parallel
+//     sweep is byte-identical to a serial one.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"dsmsim/internal/apps"
+	"dsmsim/internal/core"
+	"dsmsim/internal/network"
+	"dsmsim/internal/sim"
+)
+
+// Key identifies one run configuration: one point of the evaluation
+// cross-product, or an app's sequential baseline. It is the memoization
+// key, so two Keys are the same run iff they are ==.
+type Key struct {
+	// App names a bundled application.
+	App string
+	// Protocol, Block, Notify, Nodes select the configuration. All are
+	// ignored (and should be zero) when Sequential is set.
+	Protocol string
+	Block    int
+	Notify   network.Notify
+	Nodes    int
+	// Sequential marks the uninstrumented one-node baseline run used as
+	// the numerator of speedups.
+	Sequential bool
+}
+
+// Seq returns the sequential-baseline key for app.
+func Seq(app string) Key { return Key{App: app, Sequential: true} }
+
+func (k Key) String() string {
+	if k.Sequential {
+		return fmt.Sprintf("%s/seq", k.App)
+	}
+	return fmt.Sprintf("%s/%s/%d/%s/%dp", k.App, k.Protocol, k.Block, k.Notify, k.Nodes)
+}
+
+// Spec describes a cross-product of runs: every listed application under
+// every protocol × granularity × notification combination. The zero value
+// of a list field means "none" — callers fill defaults (the public
+// dsmsim.Sweep defaults to the paper's full matrix).
+type Spec struct {
+	Apps          []string
+	Protocols     []string
+	Granularities []int
+	Notifies      []network.Notify
+	// Nodes is the cluster size for every point.
+	Nodes int
+	// Baselines additionally schedules each app's sequential baseline
+	// (before the app's matrix points, so speedups can be derived).
+	Baselines bool
+}
+
+// Points expands the spec in canonical sweep order: for each app (baseline
+// first, when requested), protocols × granularities × notification modes,
+// each list in the order given. This order defines the deterministic
+// output order of a parallel sweep.
+func (s Spec) Points() []Key {
+	var pts []Key
+	for _, app := range s.Apps {
+		if s.Baselines {
+			pts = append(pts, Seq(app))
+		}
+		for _, p := range s.Protocols {
+			for _, g := range s.Granularities {
+				for _, n := range s.Notifies {
+					pts = append(pts, Key{App: app, Protocol: p, Block: g, Notify: n, Nodes: s.Nodes})
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// Dedupe returns keys with duplicates removed, keeping first occurrences
+// (prefetch lists built from several experiments overlap heavily).
+func Dedupe(keys []Key) []Key {
+	seen := make(map[Key]bool, len(keys))
+	out := keys[:0:0]
+	for _, k := range keys {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Size selects the problem scale for every run.
+	Size apps.SizeClass
+	// Workers bounds host parallelism; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Verify re-checks every run's numeric result against the sequential
+	// reference. Always on at Small size.
+	Verify bool
+	// Limit bounds each run's virtual time (0 = a generous default).
+	Limit sim.Time
+	// Progress, if non-nil, receives one line per completed run.
+	Progress io.Writer
+	// CSV, if non-nil, receives one machine-readable record per completed
+	// run. Header handling is automatic (written once, suppressed when the
+	// writer is an append-mode file with existing content).
+	CSV io.Writer
+	// Histograms adds a latency-distribution line after each run record.
+	Histograms bool
+}
+
+// Engine runs sweeps. It owns the memo and the output sink, so one Engine
+// shared across many sweeps (the harness Runner holds one for all its
+// experiments) never repeats a run and never interleaves output.
+type Engine struct {
+	opts Options
+	memo *Memo
+	sink *Sink
+}
+
+// New builds an Engine from opts.
+func New(opts Options) *Engine {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Limit == 0 {
+		opts.Limit = 100000 * sim.Second
+	}
+	return &Engine{
+		opts: opts,
+		memo: NewMemo(),
+		sink: NewSink(opts.Progress, opts.CSV, opts.Histograms),
+	}
+}
+
+// Sink exposes the serializing output sink (experiment code routes its own
+// progress lines through it so they cannot interleave with run records).
+func (e *Engine) Sink() *Sink { return e.sink }
+
+// Workers returns the configured worker-pool size.
+func (e *Engine) Workers() int { return e.opts.Workers }
+
+// Flush blocks until all output enqueued so far is written.
+func (e *Engine) Flush() { e.sink.Flush() }
+
+// RunOne returns the (memoized) result for one key, emitting its progress
+// line and CSV record if this call computed it.
+func (e *Engine) RunOne(ctx context.Context, k Key) (*core.Result, error) {
+	res, err, fresh := e.memo.Do(k, func() (*core.Result, error) { return e.compute(ctx, k) })
+	if err != nil {
+		return nil, err
+	}
+	if fresh {
+		e.sink.Emit(k, res)
+	}
+	return res, nil
+}
+
+// Run executes every key over the worker pool and returns results aligned
+// with keys. Progress/CSV emission happens in the order of keys regardless
+// of completion order, and only for keys whose computation this sweep
+// performed (cache hits stay silent, exactly like the serial path). On
+// error the remaining runs are cancelled and the first error in canonical
+// order is returned; results computed before the failure are still
+// returned and cached.
+func (e *Engine) Run(ctx context.Context, keys []Key) ([]*core.Result, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	n := len(keys)
+	results := make([]*core.Result, n)
+	errs := make([]error, n)
+	emitted := make([]bool, n) // fresh computations awaiting ordered emission
+
+	var (
+		mu   sync.Mutex
+		next int
+		done = make([]bool, n)
+	)
+	finish := func(i int, res *core.Result, err error, fresh bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		results[i], errs[i], done[i], emitted[i] = res, err, true, fresh
+		for next < n && done[next] {
+			if errs[next] == nil && emitted[next] {
+				e.sink.Emit(keys[next], results[next])
+			}
+			next++
+		}
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	workers := min(e.opts.Workers, n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err, fresh := e.memo.Do(keys[i], func() (*core.Result, error) {
+					return e.compute(ctx, keys[i])
+				})
+				if err != nil {
+					cancel() // abort the rest of the sweep promptly
+				}
+				finish(i, res, err, fresh)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	e.sink.Flush()
+
+	// First error in canonical order, preferring a root cause over the
+	// context errors that cascade from cancelling the rest of the sweep.
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return results, err
+		}
+	}
+	if firstErr == nil {
+		// Cancellation can stop the feed before any run reports an error;
+		// an incomplete sweep must still fail.
+		for _, d := range done {
+			if !d {
+				firstErr = ctx.Err()
+				break
+			}
+		}
+	}
+	return results, firstErr
+}
+
+// compute executes one run.
+func (e *Engine) compute(ctx context.Context, k Key) (*core.Result, error) {
+	entry, err := apps.Get(k.App)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{Limit: e.opts.Limit}
+	if k.Sequential {
+		cfg.Sequential = true
+		cfg.BlockSize = 4096
+	} else {
+		cfg.Nodes = k.Nodes
+		cfg.BlockSize = k.Block
+		cfg.Protocol = k.Protocol
+		cfg.Notify = k.Notify
+	}
+	m, err := core.NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	app := entry.New(e.opts.Size)
+	if e.opts.Verify || e.opts.Size == apps.Small {
+		return m.RunVerifiedContext(ctx, app)
+	}
+	return m.RunContext(ctx, app)
+}

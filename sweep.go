@@ -1,0 +1,185 @@
+package dsmsim
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"dsmsim/internal/sweep"
+)
+
+// SweepPoint identifies one run of a sweep: one point of the evaluation
+// cross-product, or an application's sequential baseline.
+type SweepPoint = sweep.Key
+
+// SweepSpec describes a cross-product of runs: every listed application
+// under every protocol × granularity × notification combination. Zero
+// fields default to the paper's evaluation matrix: all bundled
+// applications, the paper's three protocols, its four granularities,
+// polling notification, 16 nodes, Small problem sizes, with sequential
+// baselines included.
+type SweepSpec struct {
+	// Apps lists bundled application names (default: all twelve).
+	Apps []string
+	// Protocols lists protocol names (default: SC, SWLRC, HLRC).
+	Protocols []string
+	// Granularities lists coherence block sizes (default: 64…4096).
+	Granularities []int
+	// Notify lists notification mechanisms (default: Polling).
+	Notify []Notify
+	// Nodes is the cluster size (default: 16).
+	Nodes int
+	// Size selects problem scale (default: Small).
+	Size SizeClass
+	// SkipBaselines drops the per-app sequential baseline runs (and with
+	// them SweepResult.Speedup).
+	SkipBaselines bool
+}
+
+// SweepRun pairs one point with its result.
+type SweepRun struct {
+	Point  SweepPoint
+	Result *Result
+}
+
+// SweepResult is the outcome of a sweep, in canonical sweep order
+// (per app: baseline first, then protocols × granularities × notify modes).
+type SweepResult struct {
+	Runs []SweepRun
+
+	baselines map[string]Time
+}
+
+// Baseline returns the sequential-baseline time for app (0 if the sweep
+// skipped baselines).
+func (r *SweepResult) Baseline(app string) Time { return r.baselines[app] }
+
+// Speedup returns T_seq / T_par for one run (0 if baselines were skipped).
+func (r *SweepResult) Speedup(run SweepRun) float64 {
+	seq := r.baselines[run.Point.App]
+	if seq == 0 || run.Result == nil || run.Result.Time == 0 {
+		return 0
+	}
+	return float64(seq) / float64(run.Result.Time)
+}
+
+// Get returns the result for one configuration, or nil if the sweep did
+// not include it.
+func (r *SweepResult) Get(app, protocol string, block int, notify Notify) *Result {
+	for _, run := range r.Runs {
+		p := run.Point
+		if !p.Sequential && p.App == app && p.Protocol == protocol && p.Block == block && p.Notify == notify {
+			return run.Result
+		}
+	}
+	return nil
+}
+
+// sweepConfig collects the functional options of Sweep.
+type sweepConfig struct {
+	workers    int
+	progress   io.Writer
+	csv        io.Writer
+	histograms bool
+	verify     *bool
+	limit      Time
+}
+
+// SweepOption customizes a Sweep call.
+type SweepOption func(*sweepConfig)
+
+// WithParallelism bounds the worker pool. n <= 0 (and the default) means
+// one worker per available CPU (GOMAXPROCS); 1 recovers fully serial
+// execution. Output is byte-identical at every setting.
+func WithParallelism(n int) SweepOption { return func(c *sweepConfig) { c.workers = n } }
+
+// WithProgress streams one line per completed run to w, in canonical sweep
+// order regardless of completion order.
+func WithProgress(w io.Writer) SweepOption { return func(c *sweepConfig) { c.progress = w } }
+
+// WithCSV streams one machine-readable record per completed run to w. The
+// header is written exactly once, and suppressed automatically when w is
+// an append-mode file that already holds records.
+func WithCSV(w io.Writer) SweepOption { return func(c *sweepConfig) { c.csv = w } }
+
+// WithHistograms adds a latency-distribution summary line (fault service
+// time, message latency, lock wait) after each run's progress line.
+func WithHistograms() SweepOption { return func(c *sweepConfig) { c.histograms = true } }
+
+// WithVerify overrides result verification: by default runs are verified
+// against the sequential reference at Small size and unverified at Paper
+// size (where verification is slow).
+func WithVerify(v bool) SweepOption { return func(c *sweepConfig) { c.verify = &v } }
+
+// WithLimit bounds each run's virtual time (0 restores the generous
+// default).
+func WithLimit(t Time) SweepOption { return func(c *sweepConfig) { c.limit = t } }
+
+// Sweep runs the spec's cross-product of simulations, fanning independent
+// runs out over a host-level worker pool. Every run is an independent
+// deterministic virtual-time simulation, so parallel execution cannot
+// perturb results, and all observable output — result order, progress
+// lines, CSV records — is emitted in canonical sweep order regardless of
+// completion order: a parallel sweep is byte-identical to a serial one.
+//
+// ctx cancels the sweep between virtual-time steps of the in-flight runs;
+// Sweep then returns ctx.Err().
+//
+//	res, err := dsmsim.Sweep(ctx, dsmsim.SweepSpec{
+//	    Apps:  []string{"lu", "raytrace"},
+//	    Nodes: 16,
+//	}, dsmsim.WithProgress(os.Stderr))
+func Sweep(ctx context.Context, spec SweepSpec, opts ...SweepOption) (*SweepResult, error) {
+	var c sweepConfig
+	for _, opt := range opts {
+		opt(&c)
+	}
+	if len(spec.Apps) == 0 {
+		spec.Apps = AppNames()
+	}
+	if len(spec.Protocols) == 0 {
+		spec.Protocols = Protocols
+	}
+	if len(spec.Granularities) == 0 {
+		spec.Granularities = Granularities
+	}
+	if len(spec.Notify) == 0 {
+		spec.Notify = []Notify{Polling}
+	}
+	if spec.Nodes == 0 {
+		spec.Nodes = 16
+	}
+	verify := spec.Size == Small
+	if c.verify != nil {
+		verify = *c.verify
+	}
+	eng := sweep.New(sweep.Options{
+		Size:       spec.Size,
+		Workers:    c.workers,
+		Verify:     verify,
+		Limit:      c.limit,
+		Progress:   c.progress,
+		CSV:        c.csv,
+		Histograms: c.histograms,
+	})
+	points := sweep.Dedupe(sweep.Spec{
+		Apps:          spec.Apps,
+		Protocols:     spec.Protocols,
+		Granularities: spec.Granularities,
+		Notifies:      spec.Notify,
+		Nodes:         spec.Nodes,
+		Baselines:     !spec.SkipBaselines,
+	}.Points())
+	results, err := eng.Run(ctx, points)
+	if err != nil {
+		return nil, fmt.Errorf("dsmsim: sweep: %w", err)
+	}
+	out := &SweepResult{baselines: map[string]Time{}}
+	for i, p := range points {
+		out.Runs = append(out.Runs, SweepRun{Point: p, Result: results[i]})
+		if p.Sequential && results[i] != nil {
+			out.baselines[p.App] = results[i].Time
+		}
+	}
+	return out, nil
+}
