@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test test-short bench examples paper verify-paper trace-demo sweep-demo clean
+.PHONY: all test test-short bench bench-json examples paper verify-paper trace-demo sweep-demo clean
 
 all: test
 
@@ -20,6 +20,20 @@ test-short:
 # reduced problem sizes.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Hot-path benchmark record: run the tracked microbenchmarks (single-run
+# matrix, Fig 1 workload, raw engine dispatch) with -benchmem and emit
+# BENCH_hotpath.json — current numbers joined with the checked-in
+# pre-optimization baseline (bench_baseline.json) and improvement ratios.
+# BENCHTIME trades precision for speed (CI smoke-tests with 1x).
+BENCHTIME ?= 1x
+bench-json:
+	{ $(GO) test -run '^$$' -bench 'SingleRun|Fig1$$' -benchmem \
+		-benchtime=$(BENCHTIME) . ; \
+	  $(GO) test -run '^$$' -bench 'EngineDispatch|ProcSleep' -benchmem \
+		-benchtime=100000x ./internal/sim ; } | tee bench_raw.txt
+	$(GO) run ./cmd/benchjson -in bench_raw.txt \
+		-baseline bench_baseline.json -out BENCH_hotpath.json
 
 # Run all three examples.
 examples:

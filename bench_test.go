@@ -171,6 +171,41 @@ func BenchmarkAblationNotify(b *testing.B) {
 	}
 }
 
+// BenchmarkSingleRun measures one deterministic simulation of the Figure 1
+// workload (LU at the Small size) per protocol × granularity point — the
+// wall-clock ns, B and allocs the simulator itself spends on a single run.
+// This is the inner loop every sweep multiplies, so `make bench-json`
+// tracks it (with BenchmarkFig1 and BenchmarkEngineDispatch) against the
+// recorded baseline in BENCH_hotpath.json.
+func BenchmarkSingleRun(b *testing.B) {
+	size := apps.SizeClass(apps.Small)
+	if *paperSize {
+		size = apps.Paper
+	}
+	for _, protoName := range dsmsim.Protocols {
+		for _, g := range dsmsim.Granularities {
+			b.Run(fmt.Sprintf("%s/%d", protoName, g), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					m, err := dsmsim.NewMachine(dsmsim.Config{
+						Nodes: *benchNodes, BlockSize: g, Protocol: protoName,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					app, err := dsmsim.NewApp("lu", size)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := m.Run(app); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkEngineOverhead measures the raw simulator event throughput —
 // the substrate's wall-clock cost per simulated coherence event.
 func BenchmarkEngineOverhead(b *testing.B) {

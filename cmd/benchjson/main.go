@@ -1,0 +1,170 @@
+// Command benchjson converts `go test -bench -benchmem` output into the
+// tracked BENCH_hotpath.json: a machine-readable record of the hot-path
+// microbenchmarks (ns/op, B/op, allocs/op per benchmark) joined with the
+// repository's recorded pre-optimization baseline, so every entry carries
+// its improvement ratio. `make bench-json` is the canonical producer.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchmem . | benchjson \
+//	    -baseline bench_baseline.json -out BENCH_hotpath.json
+//
+// With -in the raw benchmark output is read from a file instead of stdin.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Metrics is one benchmark's measured costs.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Baseline is the checked-in pre-optimization record.
+type Baseline struct {
+	Commit     string             `json:"commit"`
+	Note       string             `json:"note,omitempty"`
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+// Ratios compares a current benchmark against its baseline entry. Values
+// above 1 are improvements: NsSpeedup is baseline-ns / current-ns,
+// AllocsReduction is baseline-allocs / current-allocs.
+type Ratios struct {
+	NsSpeedup       float64 `json:"ns_speedup"`
+	BytesReduction  float64 `json:"bytes_reduction"`
+	AllocsReduction float64 `json:"allocs_reduction"`
+}
+
+// Report is the BENCH_hotpath.json shape.
+type Report struct {
+	Note       string             `json:"note"`
+	Baseline   Baseline           `json:"baseline"`
+	Current    map[string]Metrics `json:"current"`
+	VsBaseline map[string]Ratios  `json:"vs_baseline"`
+}
+
+// benchLine matches `go test -bench -benchmem` result lines, e.g.
+// BenchmarkFig1-8  1  3642861949 ns/op  3229145176 B/op  12539170 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.]+ [^\s]+)*?\s+(\d+) B/op\s+(\d+) allocs/op`)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "bench_baseline.json", "checked-in baseline metrics")
+		inPath       = flag.String("in", "", "raw `go test -bench` output (default stdin)")
+		outPath      = flag.String("out", "BENCH_hotpath.json", "report destination")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(current) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines found (need -benchmem output)"))
+	}
+
+	var base Baseline
+	if raw, err := os.ReadFile(*baselinePath); err != nil {
+		fatal(fmt.Errorf("baseline: %v", err))
+	} else if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("baseline %s: %v", *baselinePath, err))
+	}
+
+	rep := Report{
+		Note: "Hot-path microbenchmarks (make bench-json). Ratios above 1 are " +
+			"improvements over the recorded baseline: ns_speedup = baseline/current ns/op, " +
+			"allocs_reduction = baseline/current allocs/op.",
+		Baseline:   base,
+		Current:    current,
+		VsBaseline: map[string]Ratios{},
+	}
+	for name, cur := range current {
+		b, ok := base.Benchmarks[name]
+		if !ok {
+			continue
+		}
+		rep.VsBaseline[name] = Ratios{
+			NsSpeedup:       ratio(b.NsPerOp, cur.NsPerOp),
+			BytesReduction:  ratio(float64(b.BytesPerOp), float64(cur.BytesPerOp)),
+			AllocsReduction: ratio(float64(b.AllocsPerOp), float64(cur.AllocsPerOp)),
+		}
+	}
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+		fatal(err)
+	}
+
+	// Human-readable summary, sorted for stable output.
+	names := make([]string, 0, len(rep.VsBaseline))
+	for name := range rep.VsBaseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := rep.VsBaseline[name]
+		fmt.Printf("%-40s %6.2fx ns/op  %6.1fx allocs/op  %6.1fx B/op\n",
+			name, r.NsSpeedup, r.AllocsReduction, r.BytesReduction)
+	}
+	fmt.Printf("wrote %s (%d benchmarks, %d with baseline)\n", *outPath, len(current), len(names))
+}
+
+// parseBench extracts (name → metrics) from raw benchmark output, stripping
+// the -GOMAXPROCS suffix so names match across machines.
+func parseBench(r io.Reader) (map[string]Metrics, error) {
+	out := map[string]Metrics{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		bytes, _ := strconv.ParseInt(m[3], 10, 64)
+		allocs, _ := strconv.ParseInt(m[4], 10, 64)
+		out[m[1]] = Metrics{NsPerOp: ns, BytesPerOp: bytes, AllocsPerOp: allocs}
+	}
+	return out, sc.Err()
+}
+
+func ratio(base, cur float64) float64 {
+	if cur == 0 {
+		if base == 0 {
+			return 1
+		}
+		return base // fully eliminated: report the raw baseline magnitude
+	}
+	return base / cur
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

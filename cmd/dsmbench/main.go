@@ -24,6 +24,7 @@ import (
 
 	"dsmsim/internal/apps"
 	"dsmsim/internal/harness"
+	"dsmsim/internal/profiling"
 )
 
 func main() {
@@ -37,8 +38,11 @@ func main() {
 		latency  = flag.Bool("latency", false, "print latency-distribution summaries with progress lines")
 		parallel = flag.Int("parallel", 0, "max simulation runs in flight (0 = one per CPU, 1 = serial)")
 		list     = flag.Bool("list", false, "list experiments and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+	defer profiling.Start(*cpuProf, *memProf)()
 
 	if *list {
 		for _, e := range harness.Experiments() {

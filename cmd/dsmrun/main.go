@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"dsmsim"
+	"dsmsim/internal/profiling"
 )
 
 func main() {
@@ -42,8 +43,11 @@ func main() {
 		trace    = flag.String("trace", "", "write a deterministic line-format event trace (single runs only)")
 		traceJS  = flag.String("trace-json", "", "write a Chrome trace-event JSON file (single runs only)")
 		csvPath  = flag.String("csv", "", "append one machine-readable record per run to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+	defer profiling.Start(*cpuProf, *memProf)()
 
 	sz := dsmsim.Small
 	if *size == "paper" {

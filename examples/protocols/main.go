@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"dsmsim"
 )
@@ -30,6 +31,7 @@ func main() {
 
 	// The whole matrix — sequential baseline plus protocols ×
 	// granularities — in one parallel sweep.
+	start := time.Now()
 	res, err := dsmsim.Sweep(context.Background(), dsmsim.SweepSpec{
 		Apps:  []string{app},
 		Nodes: 8,
@@ -38,6 +40,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	elapsed := time.Since(start)
+	runs := 1 + len(dsmsim.Protocols)*len(dsmsim.Granularities)
 	fmt.Printf("%s: sequential time %v; speedups on 8 nodes:\n\n", app, res.Baseline(app))
 
 	fmt.Printf("%-7s", "proto")
@@ -53,6 +57,8 @@ func main() {
 		}
 		fmt.Println()
 	}
+	fmt.Printf("\nsimulated %d runs in %v wall-clock (%.1f runs/sec)\n",
+		runs, elapsed.Round(time.Millisecond), float64(runs)/elapsed.Seconds())
 	fmt.Println("\n(Small problem sizes: absolute speedups are modest; run")
 	fmt.Println(" cmd/dsmbench -size paper for the paper-scale sweep.)")
 }

@@ -385,6 +385,11 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 	if mr, ok := p.(proto.MemReporter); ok {
 		res.ProtoStaticBytes, res.ProtoPeakBytes = mr.MemFootprint()
 	}
+	// Everything the caller gets back was copied out of the spaces above;
+	// recycle their slabs for the next run.
+	for _, sp := range env.Spaces {
+		sp.Release()
+	}
 	return res, nil
 }
 

@@ -80,6 +80,15 @@ func (c *Ctx) access(addr, size int, write bool) []byte {
 	if n.machine.cfg.SoftwareAccessCheck > 0 {
 		n.checkDebt += int64(last - first + 1)
 	}
+	// Fast path: the previous fault-free pass validated [vFirst, vLast]
+	// under tag version vVer. If no tag anywhere has changed since and the
+	// requested span is within that range (at equal or weaker access), the
+	// scan must succeed — return immediately. holdBoost is already zero:
+	// every clean pass clears it.
+	if n.vOK && sp.Ver() == n.vVer && first >= n.vFirst && last <= n.vLast &&
+		(n.vWrite || !write) {
+		return sp.Bytes(addr, size)
+	}
 	for pass := 0; ; pass++ {
 		clean := true
 		for b := first; b <= last; b++ {
@@ -90,6 +99,8 @@ func (c *Ctx) access(addr, size int, write bool) []byte {
 		}
 		if clean {
 			n.holdBoost = 0
+			n.vFirst, n.vLast, n.vWrite = first, last, write
+			n.vVer, n.vOK = sp.Ver(), true
 			return sp.Bytes(addr, size)
 		}
 		if pass > 0 {

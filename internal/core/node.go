@@ -47,6 +47,14 @@ type Node struct {
 	// settled at the next Compute or synchronization operation.
 	checkDebt int64
 
+	// Validated-span cache for Ctx.access: while the space's tag version
+	// is unchanged, any sub-range of [vFirst, vLast] is known valid for
+	// vWrite-or-weaker access and the per-block tag scan can be skipped.
+	vFirst, vLast int
+	vWrite        bool
+	vVer          uint32
+	vOK           bool
+
 	// holdBoost escalates the post-fault forward-progress window while a
 	// multi-block access keeps losing already-granted blocks; reset on
 	// every clean pass.

@@ -37,6 +37,40 @@ func MakeDiff(twin, cur []byte) Diff {
 	return d
 }
 
+// DiffInto is MakeDiff followed by Clone, without the allocations: the
+// modified runs are appended to runs[:0] and their bytes copied into
+// buf[:0], so a steady-state caller reuses the same two slices for every
+// diff. buf is grown to the block size up front when too small (a diff's
+// payload never exceeds the block) and returned so the caller can keep the
+// grown backing; the returned Diff does not alias cur.
+func DiffInto(twin, cur []byte, runs []DiffRun, buf []byte) (Diff, []byte) {
+	if len(twin) != len(cur) {
+		panic("mem: DiffInto length mismatch")
+	}
+	if cap(buf) < len(cur) {
+		buf = make([]byte, 0, len(cur))
+	} else {
+		buf = buf[:0]
+	}
+	runs = runs[:0]
+	i := 0
+	for i < len(cur) {
+		if twin[i] == cur[i] {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(cur) && twin[j] != cur[j] {
+			j++
+		}
+		start := len(buf)
+		buf = append(buf, cur[i:j]...)
+		runs = append(runs, DiffRun{Off: i, Data: buf[start:len(buf):len(buf)]})
+		i = j
+	}
+	return Diff{Runs: runs}, buf
+}
+
 // Apply writes the diff's runs into dst (the home copy of the block).
 func (d Diff) Apply(dst []byte) {
 	for _, r := range d.Runs {

@@ -7,7 +7,10 @@
 // an access fault that the coherence protocol must resolve.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Access is a block's access tag, mirroring the Typhoon-0 states.
 type Access uint8
@@ -50,6 +53,11 @@ type Space struct {
 	data       []byte
 	tags       []Access
 
+	// ver counts effective tag transitions. The access fast path in core
+	// caches a validated block range keyed on this counter: any tag change
+	// anywhere in the space invalidates the cache.
+	ver uint32
+
 	// OnTag, when non-nil, observes every effective tag transition (old
 	// != new) before it is applied. The runtime wires it to the event
 	// tracer; it must not touch the space. Nil costs one check per
@@ -71,12 +79,45 @@ func NewSpace(size, blockSize int) *Space {
 	for 1<<shift != blockSize {
 		shift++
 	}
+	nblocks := size / blockSize
+	if v := spacePool.Get(); v != nil {
+		s := v.(*Space)
+		s.blockSize = blockSize
+		s.blockShift = shift
+		if cap(s.data) >= size {
+			s.data = s.data[:size]
+		} else {
+			s.data = make([]byte, size)
+		}
+		if cap(s.tags) >= nblocks {
+			s.tags = s.tags[:nblocks]
+		} else {
+			s.tags = make([]Access, nblocks)
+		}
+		return s
+	}
 	return &Space{
 		blockSize:  blockSize,
 		blockShift: shift,
 		data:       make([]byte, size),
-		tags:       make([]Access, size/blockSize),
+		tags:       make([]Access, nblocks),
 	}
+}
+
+// spacePool recycles Space slabs across machine runs: a parameter sweep
+// allocates (and zeroes) each node's multi-megabyte heap copy once instead
+// of once per run. Spaces are zeroed on Release, so a pooled Space is
+// indistinguishable from a fresh one.
+var spacePool sync.Pool
+
+// Release zeroes the space and returns its slabs to the pool for the next
+// run. The caller must not touch the space afterwards.
+func (s *Space) Release() {
+	clear(s.data)
+	clear(s.tags)
+	s.ver = 0
+	s.OnTag = nil
+	spacePool.Put(s)
 }
 
 // Size returns the space size in bytes.
@@ -108,11 +149,19 @@ func (s *Space) Tag(b int) Access { return s.tags[b] }
 
 // SetTag sets block b's access tag.
 func (s *Space) SetTag(b int, a Access) {
-	if s.OnTag != nil && s.tags[b] != a {
-		s.OnTag(b, s.tags[b], a)
+	if s.tags[b] != a {
+		s.ver++
+		if s.OnTag != nil {
+			s.OnTag(b, s.tags[b], a)
+		}
 	}
 	s.tags[b] = a
 }
+
+// Ver returns the tag-transition counter. It changes whenever any block's
+// effective tag changes, so an unchanged Ver means every previously
+// validated block range is still valid.
+func (s *Space) Ver() uint32 { return s.ver }
 
 // Data returns the backing byte slice. Mutations bypass access control; the
 // caller (the protocol layer) is responsible for tag discipline.

@@ -6,7 +6,10 @@ import "testing"
 // with the pre-change tag, and redundant SetTag calls are filtered out.
 func TestOnTagObservesTransitions(t *testing.T) {
 	s := NewSpace(1024, 256)
-	type tr struct{ b int; old, new Access }
+	type tr struct {
+		b        int
+		old, new Access
+	}
 	var got []tr
 	s.OnTag = func(b int, old, new Access) { got = append(got, tr{b, old, new}) }
 

@@ -8,6 +8,12 @@
 // application is executing user code, servicing first waits for the
 // notification mechanism (backedge polling or a Solaris-signal interrupt)
 // and the service time is stolen from the application thread.
+//
+// Messages and their data buffers are pooled per network: Send copies the
+// caller's Msg (typically a stack-allocated literal) into a free-listed
+// message, and the message returns to the pool after its handler runs
+// unless the handler called Retain. Steady-state traffic therefore costs
+// zero allocations.
 package network
 
 import (
@@ -39,17 +45,50 @@ func (n Notify) String() string {
 }
 
 // Msg is one protocol message.
+//
+// Small protocol bodies travel in the inline A/B/Flag fields and block
+// contents in Data — none of which allocate. Payload remains for the rare
+// structured bodies (vector clocks, write intervals, diffs); boxing those
+// into any is the only per-message allocation left, on paths that allocate
+// the body anyway.
 type Msg struct {
 	Src, Dst int
 	Kind     int // protocol-defined discriminator
 	Block    int // block the message concerns, -1 if none
-	Payload  any // protocol-defined body
+
+	A, B    int64  // small protocol-defined scalars (node ids, versions)
+	Flag    bool   // protocol-defined boolean
+	Data    []byte // block contents / raw bytes; see AllocData and TakeData
+	Payload any    // protocol-defined structured body
 
 	// Bytes is the payload wire size, excluding the fixed header.
 	Bytes int
 
-	sent    sim.Time // when Send was called (end-to-end latency origin)
-	arrived sim.Time
+	// DataPooled marks Data as owned by the network's buffer pool (see
+	// AllocData); it is recycled when the message is.
+	DataPooled bool
+
+	net      *Network
+	retained bool
+	sent     sim.Time // when Send was called (end-to-end latency origin)
+	arrived  sim.Time
+}
+
+// Retain keeps the message (and its Data) alive past the handler return
+// that would otherwise recycle it. The holder should hand the message back
+// with Network.Recycle once done, or simply drop it to the garbage
+// collector.
+func (m *Msg) Retain() { m.retained = true }
+
+// TakeData transfers ownership of the message's data buffer to the caller:
+// the message forgets the buffer, so recycling the message will not recycle
+// the buffer out from under the new owner. Callers forwarding the buffer in
+// another pooled message should copy DataPooled before taking.
+func (m *Msg) TakeData() []byte {
+	d := m.Data
+	m.Data = nil
+	m.DataPooled = false
+	return d
 }
 
 // Host is the node-side view the endpoint needs for cycle stealing.
@@ -63,7 +102,8 @@ type Host interface {
 }
 
 // Handler services one message; it runs after the message's service cost
-// has elapsed and may send further messages.
+// has elapsed and may send further messages. The message is recycled when
+// the handler returns unless it called m.Retain().
 type Handler func(m *Msg)
 
 // CostFunc returns the processor occupancy needed to service a message.
@@ -92,10 +132,14 @@ type Endpoint struct {
 	handler Handler
 	cost    CostFunc
 
+	// queue[qhead:] holds the messages awaiting service; popping advances
+	// qhead so the backing array is reused instead of reallocated.
 	queue        []*Msg
+	qhead        int
 	busyUntil    sim.Time
 	holdoffUntil sim.Time
 	svcPending   bool
+	svcAt        sim.Time // service start of the in-flight message
 
 	// lastArrival enforces FIFO delivery per destination, as on Myrinet's
 	// source-routed cut-through fabric: a later (smaller) message never
@@ -111,6 +155,11 @@ type Network struct {
 	model  *timing.Model
 	notify Notify
 	eps    []*Endpoint
+
+	// Free lists for messages and data buffers. Single-threaded like the
+	// engine, so plain slices suffice.
+	msgFree []*Msg
+	bufFree [][]byte
 
 	// tracer, when non-nil, receives one structured event per message
 	// send, delivery and service, with virtual timestamps. Deterministic
@@ -142,6 +191,64 @@ func (n *Network) Endpoint(id int) *Endpoint { return n.eps[id] }
 // Size returns the number of endpoints.
 func (n *Network) Size() int { return len(n.eps) }
 
+// AllocData returns a size-byte buffer from the network's pool (contents
+// undefined — callers overwrite it). Attach it to an outgoing message's
+// Data with DataPooled set and it returns to the pool when the message is
+// recycled.
+func (n *Network) AllocData(size int) []byte {
+	if k := len(n.bufFree); k > 0 {
+		d := n.bufFree[k-1]
+		n.bufFree = n.bufFree[:k-1]
+		if cap(d) >= size {
+			return d[:size]
+		}
+	}
+	return make([]byte, size)
+}
+
+// PutData returns a buffer obtained from AllocData (directly or via
+// TakeData on a DataPooled message) to the pool.
+func (n *Network) PutData(d []byte) {
+	if cap(d) > 0 {
+		n.bufFree = append(n.bufFree, d)
+	}
+}
+
+// Recycle returns a retained message — and its pooled data buffer, if any —
+// to the free lists. The caller must not touch the message afterwards.
+func (n *Network) Recycle(m *Msg) {
+	if m.DataPooled && m.Data != nil {
+		n.bufFree = append(n.bufFree, m.Data)
+	}
+	*m = Msg{}
+	n.msgFree = append(n.msgFree, m)
+}
+
+// Release recycles a message after hand-dispatching its handler outside
+// the normal service path (e.g. a protocol draining a wait queue), with the
+// same retention contract as the service path: if the handler called Retain
+// the message survives, otherwise it returns to the pool.
+func (n *Network) Release(m *Msg) { n.release(m) }
+
+// getMsg pops a pooled message, or allocates when the pool is dry.
+func (n *Network) getMsg() *Msg {
+	if k := len(n.msgFree); k > 0 {
+		m := n.msgFree[k-1]
+		n.msgFree = n.msgFree[:k-1]
+		return m
+	}
+	return new(Msg)
+}
+
+// release recycles a message after its handler ran, unless retained.
+func (n *Network) release(m *Msg) {
+	if m.retained {
+		m.retained = false
+		return
+	}
+	n.Recycle(m)
+}
+
 // Bind attaches the host, message handler and service-cost function to an
 // endpoint. It must be called once per endpoint before traffic flows.
 func (ep *Endpoint) Bind(host Host, cost CostFunc, handler Handler) {
@@ -154,9 +261,11 @@ func (ep *Endpoint) Bind(host Host, cost CostFunc, handler Handler) {
 // ID returns the endpoint's node id.
 func (ep *Endpoint) ID() int { return ep.id }
 
-// Send transmits m to m.Dst. It may be called from proc context or from a
-// handler. Self-sends are delivered through the same path (used by
-// managers that happen to live on the requesting node) with zero wire time.
+// Send transmits a copy of m to m.Dst; the caller's Msg (typically a stack
+// literal) is not referenced after Send returns. It may be called from proc
+// context or from a handler. Self-sends are delivered through the same path
+// (used by managers that happen to live on the requesting node) with zero
+// wire time.
 func (ep *Endpoint) Send(m *Msg) {
 	if m.Src != ep.id {
 		panic(fmt.Sprintf("network: endpoint %d sending message with Src %d", ep.id, m.Src))
@@ -164,39 +273,51 @@ func (ep *Endpoint) Send(m *Msg) {
 	if m.Dst < 0 || m.Dst >= len(ep.net.eps) {
 		panic(fmt.Sprintf("network: bad destination %d", m.Dst))
 	}
-	model := ep.net.model
+	net := ep.net
+	model := net.model
 	ep.Stats.MsgsSent++
 	ep.Stats.BytesSent += int64(m.Bytes + model.MsgHeader)
-	m.sent = ep.net.engine.Now()
 	var wire sim.Time
 	if m.Dst != ep.id {
 		wire = model.OneWayLatency(m.Bytes + model.MsgHeader)
 	}
-	if tr := ep.net.tracer; tr != nil {
+	if tr := net.tracer; tr != nil {
 		tr.Instant(ep.id, trace.CatNet, "send",
 			trace.A("dst", int64(m.Dst)), trace.A("kind", int64(m.Kind)),
 			trace.A("block", int64(m.Block)), trace.A("bytes", int64(m.Bytes)))
 	}
 	if ep.lastArrival == nil {
-		ep.lastArrival = make([]sim.Time, len(ep.net.eps))
+		ep.lastArrival = make([]sim.Time, len(net.eps))
 	}
-	at := ep.net.engine.Now() + model.SendOverhead + wire
+	at := net.engine.Now() + model.SendOverhead + wire
 	if at < ep.lastArrival[m.Dst] {
 		at = ep.lastArrival[m.Dst] // FIFO per src→dst pair
 	}
 	ep.lastArrival[m.Dst] = at
-	dst := ep.net.eps[m.Dst]
-	ep.net.engine.Schedule(at, func() {
-		m.arrived = ep.net.engine.Now()
-		dst.Stats.MsgsReceived++
-		if tr := ep.net.tracer; tr != nil {
-			tr.Instant(dst.id, trace.CatNet, "recv",
-				trace.A("src", int64(m.Src)), trace.A("kind", int64(m.Kind)),
-				trace.A("block", int64(m.Block)))
-		}
-		dst.queue = append(dst.queue, m)
-		dst.trySvc()
-	})
+	pm := net.getMsg()
+	*pm = *m
+	pm.net = net
+	pm.retained = false
+	pm.sent = net.engine.Now()
+	net.engine.ScheduleArg(at, deliverMsg, pm)
+}
+
+// deliverMsg is the arrival event: enqueue at the destination and try to
+// start service. Package-level with the message as argument so scheduling
+// it never allocates.
+func deliverMsg(arg any) {
+	m := arg.(*Msg)
+	net := m.net
+	dst := net.eps[m.Dst]
+	m.arrived = net.engine.Now()
+	dst.Stats.MsgsReceived++
+	if tr := net.tracer; tr != nil {
+		tr.Instant(dst.id, trace.CatNet, "recv",
+			trace.A("src", int64(m.Src)), trace.A("kind", int64(m.Kind)),
+			trace.A("block", int64(m.Block)))
+	}
+	dst.queue = append(dst.queue, m)
+	dst.trySvc()
 }
 
 // Holdoff opens a forward-progress window after the runtime hands an
@@ -234,14 +355,17 @@ func (ep *Endpoint) Poke() { ep.trySvc() }
 // pending. Service happens in two stages: a start event (which re-checks
 // the forward-progress holdoff, since a fault completing in the meantime
 // may have opened a new window) and a completion event after the service
-// cost has elapsed.
+// cost has elapsed. Both stages are package-level functions taking the
+// endpoint, so a full deliver→serve cycle schedules without allocating;
+// the head message stays queue[qhead] until the completion event pops it,
+// which is what lets the stages find it again.
 func (ep *Endpoint) trySvc() {
-	if ep.svcPending || len(ep.queue) == 0 {
+	if ep.svcPending || ep.qhead == len(ep.queue) {
 		return
 	}
 	eng := ep.net.engine
 	model := ep.net.model
-	m := ep.queue[0]
+	m := ep.queue[ep.qhead]
 
 	ready := m.arrived
 	if ep.host.Computing() {
@@ -263,38 +387,58 @@ func (ep *Endpoint) trySvc() {
 		start = ep.busyUntil
 	}
 	ep.svcPending = true
-	eng.Schedule(start, func() {
-		if ep.holdoffUntil > eng.Now() {
-			// A new forward-progress window opened while this service
-			// was queued: start over so the application gets to use its
-			// freshly granted access.
-			ep.svcPending = false
-			ep.trySvc()
-			return
-		}
-		cost := model.HandlerCost + ep.cost(m)
-		svcStart := eng.Now()
-		done := svcStart + cost
-		ep.busyUntil = done
-		ep.Stats.NotifyWait += svcStart - m.arrived
-		ep.Stats.Latency.ObserveTime(svcStart - m.sent)
-		ep.Stats.ServiceTime += cost
-		if ep.host.Computing() {
-			ep.host.Steal(cost)
-		}
-		eng.Schedule(done, func() {
-			ep.svcPending = false
-			ep.queue = ep.queue[1:]
-			if tr := ep.net.tracer; tr != nil {
-				tr.Span(ep.id, trace.CatNet, "serve", svcStart,
-					trace.A("src", int64(m.Src)), trace.A("kind", int64(m.Kind)),
-					trace.A("block", int64(m.Block)), trace.A("wait", int64(svcStart-m.arrived)))
-			}
-			ep.handler(m)
-			ep.trySvc()
-		})
-	})
+	eng.ScheduleArg(start, svcStart, ep)
+}
+
+// svcStart is the service-start event for an endpoint's head-of-queue
+// message: re-check the holdoff window, charge the service cost, and
+// schedule completion.
+func svcStart(arg any) {
+	ep := arg.(*Endpoint)
+	eng := ep.net.engine
+	if ep.holdoffUntil > eng.Now() {
+		// A new forward-progress window opened while this service was
+		// queued: start over so the application gets to use its freshly
+		// granted access.
+		ep.svcPending = false
+		ep.trySvc()
+		return
+	}
+	m := ep.queue[ep.qhead]
+	cost := ep.net.model.HandlerCost + ep.cost(m)
+	ep.svcAt = eng.Now()
+	done := ep.svcAt + cost
+	ep.busyUntil = done
+	ep.Stats.NotifyWait += ep.svcAt - m.arrived
+	ep.Stats.Latency.ObserveTime(ep.svcAt - m.sent)
+	ep.Stats.ServiceTime += cost
+	if ep.host.Computing() {
+		ep.host.Steal(cost)
+	}
+	eng.ScheduleArg(done, svcDone, ep)
+}
+
+// svcDone is the service-completion event: pop the message, run the
+// handler, recycle the message (unless retained) and service the next.
+func svcDone(arg any) {
+	ep := arg.(*Endpoint)
+	ep.svcPending = false
+	m := ep.queue[ep.qhead]
+	ep.queue[ep.qhead] = nil
+	ep.qhead++
+	if ep.qhead == len(ep.queue) {
+		ep.queue = ep.queue[:0]
+		ep.qhead = 0
+	}
+	if tr := ep.net.tracer; tr != nil {
+		tr.Span(ep.id, trace.CatNet, "serve", ep.svcAt,
+			trace.A("src", int64(m.Src)), trace.A("kind", int64(m.Kind)),
+			trace.A("block", int64(m.Block)), trace.A("wait", int64(ep.svcAt-m.arrived)))
+	}
+	ep.handler(m)
+	ep.net.release(m)
+	ep.trySvc()
 }
 
 // QueueLen reports the number of messages awaiting service (for tests).
-func (ep *Endpoint) QueueLen() int { return len(ep.queue) }
+func (ep *Endpoint) QueueLen() int { return len(ep.queue) - ep.qhead }

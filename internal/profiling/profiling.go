@@ -1,0 +1,52 @@
+// Package profiling wires the standard pprof profiles into the command-line
+// tools: a CPU profile covering the whole invocation and a heap profile
+// snapshotted at exit. Both are plain runtime/pprof files, viewable with
+// `go tool pprof`.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the (possibly empty) file paths and
+// returns a stop function to defer: it ends the CPU profile and writes the
+// heap profile. Errors opening or starting a profile are fatal — a
+// profiling run that silently collects nothing is worse than no run.
+func Start(cpuPath, memPath string) (stop func()) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "profiling:", err)
+	os.Exit(1)
+}

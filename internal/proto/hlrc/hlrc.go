@@ -32,21 +32,23 @@ const (
 	kDiffAck
 )
 
-type fetchReq struct {
-	node      int
-	wantClaim bool // the requester is write-faulting; claim if unclaimed
-}
-
-type fetchData struct {
-	data       []byte
-	home       int32 // real home for the requester's cache; -1 if unclaimed
-	youAreHome bool
-}
-
+// Wire encoding on network.Msg's inline fields:
+//
+//	kFetch:     A = requesting node, Flag = write-faulting (claim if unclaimed)
+//	kFetchData: Data = block contents, A = real home (-1 unclaimed), Flag = youAreHome
+//	kDiff:      Payload = *diffMsg (pooled), carrying the diff and its arena
+//	kDiffAck:   no body
+//
+// diffMsg is the one boxed payload left: a pooled, reusable carrier for a
+// release-time diff. Its runs and byte arena are reused across diffs, so
+// steady-state flushes allocate nothing; the pointer boxes into Payload
+// without allocating.
 type diffMsg struct {
 	node    int
+	block   int
 	diff    mem.Diff
-	needAck bool // release-time flushes wait for acks; early flushes don't
+	needAck bool   // release-time flushes wait for acks; early flushes don't
+	buf     []byte // arena backing diff's run data, reused across diffs
 }
 
 type pendingFault struct {
@@ -74,7 +76,44 @@ type Protocol struct {
 	flushWaiting  []bool // per node: proc is blocked in PreRelease
 	installing    map[int][]*network.Msg
 	installSet    map[int]bool
+
+	// Free lists: twin buffers and diff carriers recycle across the run.
+	// blockScratch is PreRelease's sort scratch (never live across a yield);
+	// outScratch is its send list, per node because it stays live across the
+	// diff-cost Sleep and the flush Block, where other procs may release.
+	twinFree     [][]byte
+	diffFree     []*diffMsg
+	blockScratch []int
+	outScratch   [][]*diffMsg
 }
+
+// getDiff pops a pooled diff carrier (or allocates one).
+func (p *Protocol) getDiff() *diffMsg {
+	if k := len(p.diffFree); k > 0 {
+		dm := p.diffFree[k-1]
+		p.diffFree = p.diffFree[:k-1]
+		return dm
+	}
+	return &diffMsg{}
+}
+
+// putDiff returns a carrier whose diff has been applied; its runs and
+// arena stay attached for reuse.
+func (p *Protocol) putDiff(dm *diffMsg) { p.diffFree = append(p.diffFree, dm) }
+
+// getTwin returns a block-sized twin buffer from the free list.
+func (p *Protocol) getTwin(size int) []byte {
+	if k := len(p.twinFree); k > 0 {
+		t := p.twinFree[k-1]
+		p.twinFree = p.twinFree[:k-1]
+		if cap(t) >= size {
+			return t[:size]
+		}
+	}
+	return make([]byte, size)
+}
+
+func (p *Protocol) putTwin(t []byte) { p.twinFree = append(p.twinFree, t) }
 
 // New creates the HLRC protocol over env.
 func New(env *proto.Env) *Protocol {
@@ -88,6 +127,7 @@ func New(env *proto.Env) *Protocol {
 		installSet:   make(map[int]bool),
 	}
 	p.earlyNotices = make([][]proto.WriteNotice, n)
+	p.outScratch = make([][]*diffMsg, n)
 	for i := 0; i < n; i++ {
 		p.twins = append(p.twins, make(map[int][]byte))
 		p.written = append(p.written, make(map[int]int32))
@@ -154,13 +194,13 @@ func (p *Protocol) Fault(node, block int, write bool) {
 	}
 	p.env.Send(node, &network.Msg{
 		Dst: target, Kind: kFetch, Block: block,
-		Payload: fetchReq{node: node, wantClaim: write}, Bytes: 8,
+		A: int64(node), Flag: write, Bytes: 8,
 	})
-	what := "read"
+	reason := "hlrc read fetch block"
 	if write {
-		what = "write"
+		reason = "hlrc write fetch block"
 	}
-	p.env.Procs[node].Block(fmt.Sprintf("hlrc %s fetch block %d", what, block))
+	p.env.Procs[node].BlockID(reason, block)
 
 	pf := p.pending[node]
 	if write && !pf.becameHome {
@@ -187,7 +227,7 @@ func (p *Protocol) markHomeWrite(node, block int) {
 func (p *Protocol) makeTwin(node, block int) {
 	sp := p.env.Spaces[node]
 	cur := sp.BlockData(block)
-	twin := make([]byte, len(cur))
+	twin := p.getTwin(len(cur))
 	copy(twin, cur)
 	p.twins[node][block] = twin
 	sp.SetTag(block, mem.ReadWrite)
@@ -219,15 +259,11 @@ func (p *Protocol) PreRelease(node int) []proto.WriteNotice {
 	notices := p.earlyNotices[node]
 	p.earlyNotices[node] = nil
 	var diffCost sim.Time
-	type outDiff struct {
-		block int
-		diff  mem.Diff
-	}
-	var out []outDiff
+	out := p.outScratch[node][:0]
 
 	// Map iteration order is randomized; the simulation must be
 	// deterministic, so process blocks in ascending order.
-	blocks := make([]int, 0, len(p.twins[node]))
+	blocks := p.blockScratch[:0]
 	for b := range p.twins[node] {
 		blocks = append(blocks, b)
 	}
@@ -235,12 +271,15 @@ func (p *Protocol) PreRelease(node int) []proto.WriteNotice {
 	for _, b := range blocks {
 		twin := p.twins[node][b]
 		diffCost += model.DiffCreate(sp.BlockSize())
-		d := mem.MakeDiff(twin, sp.BlockData(b)).Clone()
+		dm := p.getDiff()
+		dm.diff, dm.buf = mem.DiffInto(twin, sp.BlockData(b), dm.diff.Runs, dm.buf)
 		p.env.Stats[node].DiffsCreated++
-		if d.Empty() {
+		if dm.diff.Empty() {
 			// Idle since the last flush: stop tracking, re-protect.
+			p.putDiff(dm)
 			delete(p.twins[node], b)
 			p.twinBytes -= int64(len(twin))
+			p.putTwin(twin)
 			if sp.Tag(b) == mem.ReadWrite {
 				sp.SetTag(b, mem.ReadOnly)
 			}
@@ -251,10 +290,13 @@ func (p *Protocol) PreRelease(node int) []proto.WriteNotice {
 		diffCost += model.TwinCreate(sp.BlockSize())
 		p.seq[node][b]++
 		notices = append(notices, proto.WriteNotice{Block: int32(b), Seq: p.seq[node][b]})
-		out = append(out, outDiff{block: b, diff: d})
+		dm.node = node
+		dm.block = b
+		dm.needAck = true
+		out = append(out, dm)
 	}
 	// Home blocks written this interval (tracked by their faults).
-	hblocks := make([]int, 0, len(p.written[node]))
+	hblocks := blocks[len(blocks):]
 	for b := range p.written[node] {
 		hblocks = append(hblocks, b)
 	}
@@ -263,6 +305,7 @@ func (p *Protocol) PreRelease(node int) []proto.WriteNotice {
 		notices = append(notices, proto.WriteNotice{Block: int32(b), Seq: p.written[node][b]})
 	}
 	clear(p.written[node])
+	p.blockScratch = blocks[:0]
 
 	if diffCost > 0 {
 		p.env.Procs[node].Sleep(diffCost)
@@ -270,21 +313,22 @@ func (p *Protocol) PreRelease(node int) []proto.WriteNotice {
 	if len(out) > 0 {
 		p.flushAcks[node] = len(out)
 		p.flushWaiting[node] = true
-		for _, od := range out {
-			target := p.env.Homes.Home(od.block) // claimed: we wrote it
-			p.env.Stats[node].DiffPayloadBytes += int64(od.diff.PayloadBytes())
+		for _, dm := range out {
+			target := p.env.Homes.Home(dm.block) // claimed: we wrote it
+			p.env.Stats[node].DiffPayloadBytes += int64(dm.diff.PayloadBytes())
 			if tr := p.env.Tracer; tr != nil {
 				tr.Instant(node, trace.CatProto, "diff",
-					trace.A("block", int64(od.block)), trace.A("home", int64(target)),
-					trace.A("bytes", int64(od.diff.PayloadBytes())))
+					trace.A("block", int64(dm.block)), trace.A("home", int64(target)),
+					trace.A("bytes", int64(dm.diff.PayloadBytes())))
 			}
 			p.env.Send(node, &network.Msg{
-				Dst: target, Kind: kDiff, Block: od.block,
-				Payload: diffMsg{node: node, diff: od.diff, needAck: true},
-				Bytes:   od.diff.WireBytes(model.DiffEntryOverhead) + 8,
+				Dst: target, Kind: kDiff, Block: dm.block,
+				Payload: dm,
+				Bytes:   dm.diff.WireBytes(model.DiffEntryOverhead) + 8,
 			})
 		}
 		p.env.Procs[node].Block("hlrc diff flush")
+		p.outScratch[node] = out[:0]
 		p.flushWaiting[node] = false
 	}
 	p.env.Stats[node].FlushTime += p.env.Engine.Now() - start
@@ -325,26 +369,32 @@ func (p *Protocol) ApplyNotices(node int, ivs []proto.Interval) {
 // invalidated by a notice (write-write false sharing across locks).
 func (p *Protocol) earlyFlush(node, b int, twin []byte) {
 	sp := p.env.Spaces[node]
-	d := mem.MakeDiff(twin, sp.BlockData(b)).Clone()
+	dm := p.getDiff()
+	dm.diff, dm.buf = mem.DiffInto(twin, sp.BlockData(b), dm.diff.Runs, dm.buf)
 	delete(p.twins[node], b)
 	p.twinBytes -= int64(len(twin))
+	p.putTwin(twin)
 	p.env.Stats[node].DiffsCreated++
-	if d.Empty() {
+	if dm.diff.Empty() {
+		p.putDiff(dm)
 		return
 	}
 	// The flushed writes still need a notice at our next release.
 	p.seq[node][b]++
 	p.earlyNotices[node] = append(p.earlyNotices[node],
 		proto.WriteNotice{Block: int32(b), Seq: p.seq[node][b]})
-	p.env.Stats[node].DiffPayloadBytes += int64(d.PayloadBytes())
+	p.env.Stats[node].DiffPayloadBytes += int64(dm.diff.PayloadBytes())
 	if tr := p.env.Tracer; tr != nil {
 		tr.Instant(node, trace.CatProto, "diff-early",
-			trace.A("block", int64(b)), trace.A("bytes", int64(d.PayloadBytes())))
+			trace.A("block", int64(b)), trace.A("bytes", int64(dm.diff.PayloadBytes())))
 	}
+	dm.node = node
+	dm.block = b
+	dm.needAck = false
 	p.env.Send(node, &network.Msg{
 		Dst: p.env.Homes.Home(b), Kind: kDiff, Block: b,
-		Payload: diffMsg{node: node, diff: d, needAck: false},
-		Bytes:   d.WireBytes(p.env.Model.DiffEntryOverhead) + 8,
+		Payload: dm,
+		Bytes:   dm.diff.WireBytes(p.env.Model.DiffEntryOverhead) + 8,
 	})
 }
 
@@ -353,9 +403,9 @@ func (p *Protocol) ServiceCost(m *network.Msg) sim.Time {
 	model := p.env.Model
 	switch m.Kind {
 	case kFetchData:
-		return model.MemCopy(len(m.Payload.(fetchData).data))
+		return model.MemCopy(len(m.Data))
 	case kDiff:
-		return model.DiffApply(m.Payload.(diffMsg).diff.PayloadBytes())
+		return model.DiffApply(m.Payload.(*diffMsg).diff.PayloadBytes())
 	default:
 		return 0
 	}
@@ -380,10 +430,11 @@ func (p *Protocol) Handle(m *network.Msg) {
 func (p *Protocol) handleFetch(m *network.Msg) {
 	here := m.Dst
 	b := m.Block
-	req := m.Payload.(fetchReq)
+	requester := int(m.A)
 	homes := p.env.Homes
 
 	if p.installSet[b] {
+		m.Retain() // survives the handler; re-dispatched after install
 		p.installing[b] = append(p.installing[b], m)
 		return
 	}
@@ -391,25 +442,27 @@ func (p *Protocol) handleFetch(m *network.Msg) {
 		if here != homes.Static(b) {
 			panic(fmt.Sprintf("hlrc: unclaimed block %d fetch at non-static node %d", b, here))
 		}
-		data := append([]byte(nil), p.env.Spaces[here].BlockData(b)...)
-		if req.wantClaim {
+		sp := p.env.Spaces[here]
+		data := p.env.Net.AllocData(sp.BlockSize())
+		copy(data, sp.BlockData(b))
+		if m.Flag {
 			// First touch by store: a mapping fault, not a coherence
 			// miss — undo the count.
-			homes.Claim(b, req.node)
-			p.env.Stats[req.node].HomeMigrations++
-			p.env.Stats[req.node].WriteFaults--
+			homes.Claim(b, requester)
+			p.env.Stats[requester].HomeMigrations++
+			p.env.Stats[requester].WriteFaults--
 			p.installSet[b] = true
 			p.env.Send(here, &network.Msg{
-				Dst: req.node, Kind: kFetchData, Block: b,
-				Payload: fetchData{data: data, home: int32(req.node), youAreHome: true},
-				Bytes:   len(data) + 8,
+				Dst: requester, Kind: kFetchData, Block: b,
+				Data: data, DataPooled: true, A: int64(requester), Flag: true,
+				Bytes: len(data) + 8,
 			})
 			return
 		}
 		p.env.Send(here, &network.Msg{
-			Dst: req.node, Kind: kFetchData, Block: b,
-			Payload: fetchData{data: data, home: -1},
-			Bytes:   len(data) + 8,
+			Dst: requester, Kind: kFetchData, Block: b,
+			Data: data, DataPooled: true, A: -1,
+			Bytes: len(data) + 8,
 		})
 		return
 	}
@@ -420,31 +473,32 @@ func (p *Protocol) handleFetch(m *network.Msg) {
 			tr.Instant(here, trace.CatProto, "forward",
 				trace.A("block", int64(b)), trace.A("home", int64(home)))
 		}
-		p.env.Send(here, &network.Msg{Dst: home, Kind: kFetch, Block: b, Payload: req, Bytes: m.Bytes})
+		p.env.Send(here, &network.Msg{Dst: home, Kind: kFetch, Block: b, A: m.A, Flag: m.Flag, Bytes: m.Bytes})
 		return
 	}
 	// Downgrade-on-serve: once a reader holds a copy, a later write by
 	// the home must fault again so its notice goes out. Blocks never
 	// served stay silently writable, which is why a block written only by
 	// its home takes no write faults (LU, Table 3).
-	if p.env.Spaces[here].Tag(b) == mem.ReadWrite {
-		p.env.Spaces[here].SetTag(b, mem.ReadOnly)
+	sp := p.env.Spaces[here]
+	if sp.Tag(b) == mem.ReadWrite {
+		sp.SetTag(b, mem.ReadOnly)
 	}
-	data := append([]byte(nil), p.env.Spaces[here].BlockData(b)...)
+	data := p.env.Net.AllocData(sp.BlockSize())
+	copy(data, sp.BlockData(b))
 	p.env.Send(here, &network.Msg{
-		Dst: req.node, Kind: kFetchData, Block: b,
-		Payload: fetchData{data: data, home: int32(home)},
-		Bytes:   len(data) + 8,
+		Dst: requester, Kind: kFetchData, Block: b,
+		Data: data, DataPooled: true, A: int64(home),
+		Bytes: len(data) + 8,
 	})
 }
 
 func (p *Protocol) handleFetchData(m *network.Msg) {
 	node := m.Dst
 	b := m.Block
-	d := m.Payload.(fetchData)
 	sp := p.env.Spaces[node]
-	copy(sp.BlockData(b), d.data)
-	if d.youAreHome {
+	copy(sp.BlockData(b), m.Data)
+	if m.Flag {
 		sp.SetTag(b, mem.ReadWrite)
 		p.pending[node].becameHome = true
 		delete(p.installSet, b)
@@ -452,7 +506,10 @@ func (p *Protocol) handleFetchData(m *network.Msg) {
 		delete(p.installing, b)
 		for _, wm := range waiting {
 			wm := wm
-			p.env.Engine.After(0, func() { p.handleFetch(wm) })
+			p.env.Engine.After(0, func() {
+				p.handleFetch(wm)
+				p.env.Net.Release(wm)
+			})
 		}
 	} else {
 		sp.SetTag(b, mem.ReadOnly)
@@ -466,9 +523,10 @@ func (p *Protocol) handleFetchData(m *network.Msg) {
 func (p *Protocol) handleDiff(m *network.Msg) {
 	here := m.Dst
 	b := m.Block
-	dm := m.Payload.(diffMsg)
+	dm := m.Payload.(*diffMsg)
 	homes := p.env.Homes
 	if p.installSet[b] {
+		m.Retain() // survives the handler; re-dispatched after install
 		p.installing[b] = append(p.installing[b], m)
 		return
 	}
@@ -491,6 +549,7 @@ func (p *Protocol) handleDiff(m *network.Msg) {
 	if dm.needAck {
 		p.env.Send(here, &network.Msg{Dst: dm.node, Kind: kDiffAck, Block: b, Bytes: 8})
 	}
+	p.putDiff(dm)
 }
 
 func (p *Protocol) handleDiffAck(m *network.Msg) {
@@ -516,7 +575,7 @@ func (p *Protocol) Finalize() {
 			home := p.env.Homes.Home(b)
 			d.Apply(p.env.Spaces[home].BlockData(b))
 		}
-		p.twins[node] = make(map[int][]byte)
+		clear(p.twins[node])
 	}
 }
 

@@ -60,15 +60,13 @@ func (e *Env) Send(src int, m *network.Msg) {
 // first-touch home claim. Called at the parallel-phase boundary, after
 // Homes.BeginFirstTouch.
 func (e *Env) SeedHomes() {
+	// Tags start NoAccess everywhere: spaces come out of NewSpace zeroed
+	// (fresh or recycled), and SeedHomes runs before any protocol activity,
+	// so only the home copies' data needs seeding.
 	bs := e.Spaces[0].BlockSize()
 	for b := 0; b < e.Spaces[0].NumBlocks(); b++ {
 		s := e.Homes.Static(b)
-		for n, sp := range e.Spaces {
-			if n == s {
-				copy(sp.BlockData(b), e.Master[b*bs:(b+1)*bs])
-			}
-			sp.SetTag(b, mem.NoAccess)
-		}
+		copy(e.Spaces[s].BlockData(b), e.Master[b*bs:(b+1)*bs])
 	}
 }
 

@@ -28,16 +28,12 @@ const (
 	kWBData // owner → home
 )
 
-type reqPayload struct{ node int } // original requester (survives forwarding)
-
-type dataPayload struct {
-	data []byte
-	home int32 // real home, for the requester's cache
-}
-
-type wbReq struct{ inval bool }
-
-type wbData struct{ data []byte }
+// Wire encoding on network.Msg's inline fields (no boxed payloads):
+//
+//	kReadReq/kWriteReq: A = original requester (survives forwarding)
+//	kData/kDataEx:      Data = block contents (nil on upgrade), A = real home
+//	kWBReq:             Flag = invalidate after write-back
+//	kWBData:            Data = block contents
 
 // txn is an in-flight home-side transaction for one block. install marks a
 // first-touch claim whose data grant is still in flight to the new home;
@@ -131,22 +127,20 @@ func (p *Protocol) Fault(node, block int, write bool) {
 	}
 	p.env.Send(node, &network.Msg{
 		Dst: int(p.homeCache[node][block]), Kind: kind, Block: block,
-		Payload: reqPayload{node: node}, Bytes: 8,
+		A: int64(node), Bytes: 8,
 	})
-	what := "read"
+	reason := "sc read fault block"
 	if write {
-		what = "write"
+		reason = "sc write fault block"
 	}
-	p.env.Procs[node].Block(fmt.Sprintf("sc %s fault block %d", what, block))
+	p.env.Procs[node].BlockID(reason, block)
 }
 
 // ServiceCost implements proto.Protocol.
 func (p *Protocol) ServiceCost(m *network.Msg) sim.Time {
 	switch m.Kind {
-	case kData, kDataEx:
-		return p.env.Model.MemCopy(len(m.Payload.(dataPayload).data))
-	case kWBData:
-		return p.env.Model.MemCopy(len(m.Payload.(wbData).data))
+	case kData, kDataEx, kWBData:
+		return p.env.Model.MemCopy(len(m.Data))
 	case kWBReq:
 		return p.env.Model.MemCopy(p.env.Spaces[0].BlockSize())
 	default:
@@ -181,7 +175,7 @@ func (p *Protocol) Handle(m *network.Msg) {
 func (p *Protocol) handleReq(here int, m *network.Msg) {
 	b := m.Block
 	homes := p.env.Homes
-	req := m.Payload.(reqPayload)
+	requester := int(m.A)
 	if !homes.Claimed(b) {
 		if here != homes.Static(b) {
 			panic(fmt.Sprintf("sc: unclaimed block %d request at non-static node %d", b, here))
@@ -190,27 +184,29 @@ func (p *Protocol) handleReq(here int, m *network.Msg) {
 		// copy; the new home installs it and serves itself. This is a
 		// mapping fault, not a coherence miss: the paper's fault tables
 		// exclude it (LU's write faults are zero), so undo the count.
-		homes.Claim(b, req.node)
-		p.env.Stats[req.node].HomeMigrations++
+		homes.Claim(b, requester)
+		p.env.Stats[requester].HomeMigrations++
 		if m.Kind == kWriteReq {
-			p.env.Stats[req.node].WriteFaults--
+			p.env.Stats[requester].WriteFaults--
 		} else {
-			p.env.Stats[req.node].ReadFaults--
+			p.env.Stats[requester].ReadFaults--
 		}
-		p.owner[b] = int16(req.node)
-		if req.node == here {
+		p.owner[b] = int16(requester)
+		if requester == here {
 			p.installHome(here, b)
 			return
 		}
 		// Requests forwarded to the new home before its data arrives
 		// must wait for the installation.
-		p.txns[b] = &txn{install: true, requester: req.node}
-		data := append([]byte(nil), p.env.Spaces[here].BlockData(b)...)
-		p.env.Spaces[here].SetTag(b, mem.NoAccess)
+		p.txns[b] = &txn{install: true, requester: requester}
+		sp := p.env.Spaces[here]
+		data := p.env.Net.AllocData(sp.BlockSize())
+		copy(data, sp.BlockData(b))
+		sp.SetTag(b, mem.NoAccess)
 		p.env.Send(here, &network.Msg{
-			Dst: req.node, Kind: kDataEx, Block: b,
-			Payload: dataPayload{data: data, home: int32(req.node)},
-			Bytes:   len(data) + 8,
+			Dst: requester, Kind: kDataEx, Block: b,
+			Data: data, DataPooled: true, A: int64(requester),
+			Bytes: len(data) + 8,
 		})
 		return
 	}
@@ -222,13 +218,13 @@ func (p *Protocol) handleReq(here int, m *network.Msg) {
 			tr.Instant(here, trace.CatProto, "forward",
 				trace.A("block", int64(b)), trace.A("home", int64(home)))
 		}
-		fwd := *m
 		p.env.Send(here, &network.Msg{
-			Dst: home, Kind: fwd.Kind, Block: b, Payload: fwd.Payload, Bytes: fwd.Bytes,
+			Dst: home, Kind: m.Kind, Block: b, A: m.A, Bytes: m.Bytes,
 		})
 		return
 	}
 	if t := p.txns[b]; t != nil {
+		m.Retain() // survives the handler; drain re-dispatches and releases
 		t.waitq = append(t.waitq, m)
 		return
 	}
@@ -237,7 +233,7 @@ func (p *Protocol) handleReq(here int, m *network.Msg) {
 
 // startTxn begins serving a read or write request at the home.
 func (p *Protocol) startTxn(home, b int, m *network.Msg) {
-	req := m.Payload.(reqPayload)
+	requester := int(m.A)
 	write := m.Kind == kWriteReq
 	sp := p.env.Spaces[home]
 	owner := int(p.owner[b])
@@ -245,11 +241,11 @@ func (p *Protocol) startTxn(home, b int, m *network.Msg) {
 	if owner >= 0 && owner != home {
 		// Remote exclusive copy: write it back (and invalidate for a
 		// write request) before serving.
-		t := &txn{write: write, requester: req.node, acksLeft: 1}
+		t := &txn{write: write, requester: requester, acksLeft: 1}
 		p.txns[b] = t
 		p.env.Send(home, &network.Msg{
 			Dst: owner, Kind: kWBReq, Block: b,
-			Payload: wbReq{inval: write}, Bytes: 8,
+			Flag: write, Bytes: 8,
 		})
 		return
 	}
@@ -263,10 +259,10 @@ func (p *Protocol) startTxn(home, b int, m *network.Msg) {
 		}
 	}
 	if write {
-		p.finishWrite(home, b, req.node, nil)
+		p.finishWrite(home, b, requester, nil)
 		return
 	}
-	p.grantRead(home, b, req.node)
+	p.grantRead(home, b, requester)
 }
 
 // grantRead serves a read request from a valid home copy.
@@ -285,11 +281,12 @@ func (p *Protocol) grantRead(home, b, requester int) {
 	if sp.Tag(b) == mem.ReadWrite {
 		sp.SetTag(b, mem.ReadOnly)
 	}
-	data := append([]byte(nil), sp.BlockData(b)...)
+	data := p.env.Net.AllocData(sp.BlockSize())
+	copy(data, sp.BlockData(b))
 	p.env.Send(home, &network.Msg{
 		Dst: requester, Kind: kData, Block: b,
-		Payload: dataPayload{data: data, home: int32(home)},
-		Bytes:   len(data) + 8,
+		Data: data, DataPooled: true, A: int64(home),
+		Bytes: len(data) + 8,
 	})
 	p.drain(b)
 }
@@ -330,12 +327,13 @@ func (p *Protocol) grantWrite(home, b, requester int) {
 	sp.SetTag(b, mem.NoAccess)
 	var data []byte
 	if !wasSharer {
-		data = append([]byte(nil), sp.BlockData(b)...)
+		data = p.env.Net.AllocData(sp.BlockSize())
+		copy(data, sp.BlockData(b))
 	}
 	p.env.Send(home, &network.Msg{
 		Dst: requester, Kind: kDataEx, Block: b,
-		Payload: dataPayload{data: data, home: int32(home)},
-		Bytes:   len(data) + 8,
+		Data: data, DataPooled: data != nil, A: int64(home),
+		Bytes: len(data) + 8,
 	})
 	p.drain(b)
 }
@@ -349,20 +347,23 @@ func (p *Protocol) drain(b int) {
 	delete(p.txns, b)
 	for _, m := range t.waitq {
 		m := m
-		p.env.Engine.After(0, func() { p.handleReq(m.Dst, m) })
+		p.env.Engine.After(0, func() {
+			p.handleReq(m.Dst, m)
+			p.env.Net.Release(m)
+		})
 	}
 }
 
 // handleData installs a granted copy at the requester and resumes it.
 func (p *Protocol) handleData(m *network.Msg, exclusive bool) {
 	node := m.Dst
-	d := m.Payload.(dataPayload)
 	sp := p.env.Spaces[node]
-	if d.data != nil {
-		copy(sp.BlockData(m.Block), d.data)
+	if m.Data != nil {
+		copy(sp.BlockData(m.Block), m.Data)
 	}
-	p.homeCache[node][m.Block] = d.home
-	p.complete(node, m.Block, d.home, d.data, exclusive)
+	home := int32(m.A)
+	p.homeCache[node][m.Block] = home
+	p.complete(node, m.Block, home, m.Data, exclusive)
 	if t := p.txns[m.Block]; t != nil && t.install {
 		p.drain(m.Block) // installation finished: serve waiting requests
 	}
@@ -429,9 +430,9 @@ func (p *Protocol) handleInvalAck(m *network.Msg) {
 func (p *Protocol) handleWBReq(m *network.Msg) {
 	node := m.Dst
 	sp := p.env.Spaces[node]
-	req := m.Payload.(wbReq)
-	data := append([]byte(nil), sp.BlockData(m.Block)...)
-	if req.inval {
+	data := p.env.Net.AllocData(sp.BlockSize())
+	copy(data, sp.BlockData(m.Block))
+	if m.Flag {
 		sp.SetTag(m.Block, mem.NoAccess)
 		p.env.Stats[node].Invalidations++
 	} else {
@@ -440,7 +441,7 @@ func (p *Protocol) handleWBReq(m *network.Msg) {
 	home := p.env.Homes.Home(m.Block)
 	p.env.Send(node, &network.Msg{
 		Dst: home, Kind: kWBData, Block: m.Block,
-		Payload: wbData{data: data}, Bytes: len(data) + 8,
+		Data: data, DataPooled: true, Bytes: len(data) + 8,
 	})
 }
 
@@ -452,7 +453,7 @@ func (p *Protocol) handleWBData(m *network.Msg) {
 		panic(fmt.Sprintf("sc: stray write-back for block %d", b))
 	}
 	sp := p.env.Spaces[home]
-	copy(sp.BlockData(b), m.Payload.(wbData).data)
+	copy(sp.BlockData(b), m.Data)
 	old := int(p.owner[b])
 	p.owner[b] = -1
 	if t.write {

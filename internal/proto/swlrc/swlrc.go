@@ -27,26 +27,12 @@ const (
 	kOwnData
 )
 
-type readReq struct {
-	node   int
-	minVer int32 // causal floor from the reader's write notices
-}
-
-type readData struct {
-	data   []byte
-	ver    int32
-	server int32
-}
-
-type ownReq struct {
-	node    int
-	haveVer int32 // version of the requester's copy, -1 if none
-}
-
-type ownData struct {
-	data []byte // nil when the requester's copy is already current
-	ver  int32
-}
+// Wire encoding on network.Msg's inline fields (no boxed payloads):
+//
+//	kRead:     A = requesting node, B = causal floor from the reader's notices
+//	kReadData: Data = block contents, A = version, B = serving node
+//	kOwn:      A = requesting node, B = version of requester's copy (-1 none)
+//	kOwnData:  Data = block contents, A = version
 
 type pendingFault struct {
 	block      int
@@ -125,19 +111,19 @@ func (p *Protocol) Fault(node, block int, write bool) {
 	p.pending[node] = pendingFault{block: block, write: write}
 	var target int
 	var kind int
-	var payload any
+	var aux int64
 	switch {
 	case write:
 		kind = kOwn
-		have := int32(-1)
+		have := int64(-1)
 		if sp.Tag(block) != mem.NoAccess {
-			have = p.localVer[node][block]
+			have = int64(p.localVer[node][block])
 		}
-		payload = ownReq{node: node, haveVer: have}
+		aux = have
 		target = p.ownTarget(node, block)
 	default:
 		kind = kRead
-		payload = readReq{node: node, minVer: p.required[node][block]}
+		aux = int64(p.required[node][block])
 		target = p.readTarget(node, block)
 	}
 	if tr := p.env.Tracer; tr != nil {
@@ -146,13 +132,13 @@ func (p *Protocol) Fault(node, block int, write bool) {
 			trace.A("target", int64(target)))
 	}
 	p.env.Send(node, &network.Msg{
-		Dst: target, Kind: kind, Block: block, Payload: payload, Bytes: 12,
+		Dst: target, Kind: kind, Block: block, A: int64(node), B: aux, Bytes: 12,
 	})
-	what := "read"
+	reason := "swlrc read fault block"
 	if write {
-		what = "write"
+		reason = "swlrc write fault block"
 	}
-	p.env.Procs[node].Block(fmt.Sprintf("swlrc %s fault block %d", what, block))
+	p.env.Procs[node].BlockID(reason, block)
 
 	if write {
 		p.written[node][block] = true
@@ -235,10 +221,8 @@ func (p *Protocol) ApplyNotices(node int, ivs []proto.Interval) {
 // ServiceCost implements proto.Protocol.
 func (p *Protocol) ServiceCost(m *network.Msg) sim.Time {
 	switch m.Kind {
-	case kReadData:
-		return p.env.Model.MemCopy(len(m.Payload.(readData).data))
-	case kOwnData:
-		return p.env.Model.MemCopy(len(m.Payload.(ownData).data))
+	case kReadData, kOwnData:
+		return p.env.Model.MemCopy(len(m.Data))
 	default:
 		return 0
 	}
@@ -274,11 +258,10 @@ func (p *Protocol) claim(here int, m *network.Msg, requester int) {
 	}
 	p.owner[b] = int16(requester)
 	p.version[b] = 1
-	data := append([]byte(nil), p.env.Spaces[here].BlockData(b)...)
-	p.env.Spaces[here].SetTag(b, mem.NoAccess)
+	sp := p.env.Spaces[here]
 	if requester == here {
-		sp := p.env.Spaces[here]
-		copy(sp.BlockData(b), data)
+		// Self-claim: the seeded bytes are already in place.
+		sp.SetTag(b, mem.NoAccess)
 		p.localVer[here][b] = 1
 		if p.pending[here].write {
 			sp.SetTag(b, mem.ReadWrite)
@@ -289,18 +272,23 @@ func (p *Protocol) claim(here int, m *network.Msg, requester int) {
 		p.env.Procs[here].Unblock()
 		return
 	}
+	data := p.env.Net.AllocData(sp.BlockSize())
+	copy(data, sp.BlockData(b))
+	sp.SetTag(b, mem.NoAccess)
 	p.installSet[b] = true
 	p.env.Send(here, &network.Msg{
 		Dst: requester, Kind: kOwnData, Block: b,
-		Payload: ownData{data: data, ver: 1}, Bytes: len(data) + 12,
+		Data: data, DataPooled: true, A: 1, Bytes: len(data) + 12,
 	})
 }
 
 func (p *Protocol) handleRead(m *network.Msg) {
 	here := m.Dst
 	b := m.Block
-	req := m.Payload.(readReq)
+	requester := int(m.A)
+	minVer := int32(m.B)
 	if p.installSet[b] {
+		m.Retain() // survives the handler; re-dispatched after install
 		p.installing[b] = append(p.installing[b], m)
 		return
 	}
@@ -308,7 +296,7 @@ func (p *Protocol) handleRead(m *network.Msg) {
 		if here != p.env.Homes.Static(b) {
 			panic(fmt.Sprintf("swlrc: unclaimed block %d read at non-static node %d", b, here))
 		}
-		p.claim(here, m, req.node) // a load is a touch for SW-LRC
+		p.claim(here, m, requester) // a load is a touch for SW-LRC
 		return
 	}
 	sp := p.env.Spaces[here]
@@ -317,7 +305,7 @@ func (p *Protocol) handleRead(m *network.Msg) {
 	if isOwner {
 		ver = p.version[b]
 	}
-	if (isOwner || sp.Tag(b) != mem.NoAccess) && ver >= req.minVer {
+	if (isOwner || sp.Tag(b) != mem.NoAccess) && ver >= minVer {
 		// Downgrade-on-serve: once a reader holds a copy, a later write
 		// by the owner must fault so it is versioned and noticed. Blocks
 		// never served stay silently writable across releases, which is
@@ -325,11 +313,12 @@ func (p *Protocol) handleRead(m *network.Msg) {
 		if isOwner && sp.Tag(b) == mem.ReadWrite {
 			sp.SetTag(b, mem.ReadOnly)
 		}
-		data := append([]byte(nil), sp.BlockData(b)...)
+		data := p.env.Net.AllocData(sp.BlockSize())
+		copy(data, sp.BlockData(b))
 		p.env.Send(here, &network.Msg{
-			Dst: req.node, Kind: kReadData, Block: b,
-			Payload: readData{data: data, ver: ver, server: int32(here)},
-			Bytes:   len(data) + 12,
+			Dst: requester, Kind: kReadData, Block: b,
+			Data: data, DataPooled: true, A: int64(ver), B: int64(here),
+			Bytes: len(data) + 12,
 		})
 		return
 	}
@@ -339,18 +328,17 @@ func (p *Protocol) handleRead(m *network.Msg) {
 		tr.Instant(here, trace.CatProto, "forward",
 			trace.A("block", int64(b)), trace.A("owner", int64(p.owner[b])))
 	}
-	p.env.Send(here, &network.Msg{Dst: int(p.owner[b]), Kind: kRead, Block: b, Payload: req, Bytes: m.Bytes})
+	p.env.Send(here, &network.Msg{Dst: int(p.owner[b]), Kind: kRead, Block: b, A: m.A, B: m.B, Bytes: m.Bytes})
 }
 
 func (p *Protocol) handleReadData(m *network.Msg) {
 	node := m.Dst
 	b := m.Block
-	d := m.Payload.(readData)
 	sp := p.env.Spaces[node]
-	copy(sp.BlockData(b), d.data)
+	copy(sp.BlockData(b), m.Data)
 	sp.SetTag(b, mem.ReadOnly)
-	p.localVer[node][b] = d.ver
-	p.lastKnown[node][b] = d.server
+	p.localVer[node][b] = int32(m.A)
+	p.lastKnown[node][b] = int32(m.B)
 	if p.pending[node].block != b {
 		panic(fmt.Sprintf("swlrc: node %d got read data for block %d, pending %d", node, b, p.pending[node].block))
 	}
@@ -360,8 +348,9 @@ func (p *Protocol) handleReadData(m *network.Msg) {
 func (p *Protocol) handleOwn(m *network.Msg) {
 	here := m.Dst
 	b := m.Block
-	req := m.Payload.(ownReq)
+	requester := int(m.A)
 	if p.installSet[b] {
+		m.Retain() // survives the handler; re-dispatched after install
 		p.installing[b] = append(p.installing[b], m)
 		return
 	}
@@ -369,7 +358,7 @@ func (p *Protocol) handleOwn(m *network.Msg) {
 		if here != p.env.Homes.Static(b) {
 			panic(fmt.Sprintf("swlrc: unclaimed block %d own-req at non-static node %d", b, here))
 		}
-		p.claim(here, m, req.node)
+		p.claim(here, m, requester)
 		return
 	}
 	if int(p.owner[b]) != here {
@@ -378,7 +367,7 @@ func (p *Protocol) handleOwn(m *network.Msg) {
 			tr.Instant(here, trace.CatProto, "forward",
 				trace.A("block", int64(b)), trace.A("owner", int64(p.owner[b])))
 		}
-		p.env.Send(here, &network.Msg{Dst: int(p.owner[b]), Kind: kOwn, Block: b, Payload: req, Bytes: m.Bytes})
+		p.env.Send(here, &network.Msg{Dst: int(p.owner[b]), Kind: kOwn, Block: b, A: m.A, B: m.B, Bytes: m.Bytes})
 		return
 	}
 	// Migrate ownership: bump the version, keep a read-only copy.
@@ -391,25 +380,26 @@ func (p *Protocol) handleOwn(m *network.Msg) {
 	}
 	// written[here] keeps b if we wrote it this interval: our release must
 	// still notice those writes even though ownership moved on.
-	p.owner[b] = int16(req.node)
+	p.owner[b] = int16(requester)
 	p.installSet[b] = true
 	// Always ship the data: block versions advance only at interval
 	// closes, so version equality does NOT imply the requester's copy is
 	// current (the owner may hold unpublished writes).
-	data := append([]byte(nil), sp.BlockData(b)...)
+	data := p.env.Net.AllocData(sp.BlockSize())
+	copy(data, sp.BlockData(b))
 	p.env.Send(here, &network.Msg{
-		Dst: req.node, Kind: kOwnData, Block: b,
-		Payload: ownData{data: data, ver: p.version[b]}, Bytes: len(data) + 12,
+		Dst: requester, Kind: kOwnData, Block: b,
+		Data: data, DataPooled: true, A: int64(p.version[b]),
+		Bytes: len(data) + 12,
 	})
 }
 
 func (p *Protocol) handleOwnData(m *network.Msg) {
 	node := m.Dst
 	b := m.Block
-	d := m.Payload.(ownData)
 	sp := p.env.Spaces[node]
-	if d.data != nil {
-		copy(sp.BlockData(b), d.data)
+	if m.Data != nil {
+		copy(sp.BlockData(b), m.Data)
 	}
 	if p.pending[node].write {
 		sp.SetTag(b, mem.ReadWrite)
@@ -418,7 +408,7 @@ func (p *Protocol) handleOwnData(m *network.Msg) {
 		// its first write still faults and is recorded for notices.
 		sp.SetTag(b, mem.ReadOnly)
 	}
-	p.localVer[node][b] = d.ver
+	p.localVer[node][b] = int32(m.A)
 	p.lastKnown[node][b] = int32(node)
 	if p.pending[node].block != b {
 		panic(fmt.Sprintf("swlrc: node %d got ownership of block %d, pending %d", node, b, p.pending[node].block))
@@ -429,7 +419,10 @@ func (p *Protocol) handleOwnData(m *network.Msg) {
 	p.env.Procs[node].Unblock()
 	for _, wm := range waiting {
 		wm := wm
-		p.env.Engine.After(0, func() { p.Handle(wm) })
+		p.env.Engine.After(0, func() {
+			p.Handle(wm)
+			p.env.Net.Release(wm)
+		})
 	}
 }
 

@@ -1,0 +1,69 @@
+package sim
+
+import "testing"
+
+// The hot-path contract: once an engine's event heap has grown to its
+// working size, scheduling and dispatching events allocates nothing, and a
+// lone proc's Sleep is a pure clock advance. These tests pin that with
+// testing.AllocsPerRun so a regression fails loudly instead of showing up
+// as a benchmark drift.
+
+func TestScheduleDispatchZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	drive := func() {
+		base := e.Now()
+		for i := 0; i < 64; i++ {
+			e.Schedule(base+Time(i), fn)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drive() // grow the heap to steady state
+	if avg := testing.AllocsPerRun(100, drive); avg != 0 {
+		t.Fatalf("Schedule+dispatch allocated %.1f per 64-event round, want 0", avg)
+	}
+}
+
+func TestScheduleArgZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	var sink int
+	afn := func(arg any) { sink += *arg.(*int) }
+	arg := new(int)
+	drive := func() {
+		base := e.Now()
+		for i := 0; i < 64; i++ {
+			e.ScheduleArg(base+Time(i), afn, arg)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drive()
+	if avg := testing.AllocsPerRun(100, drive); avg != 0 {
+		t.Fatalf("ScheduleArg+dispatch allocated %.1f per 64-event round, want 0", avg)
+	}
+	_ = sink
+}
+
+func TestProcSleepSteadyStateZeroAlloc(t *testing.T) {
+	// A whole engine + proc + goroutine costs a fixed handful of
+	// allocations; 10k sleeps on top must add none. The bound of 50 per
+	// run allows the setup while catching even a 0.005 alloc/Sleep leak.
+	const sleeps = 10000
+	avg := testing.AllocsPerRun(10, func() {
+		e := NewEngine()
+		e.NewProc("sleeper", 0, func(p *Proc) {
+			for i := 0; i < sleeps; i++ {
+				p.Sleep(10)
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 50 {
+		t.Fatalf("engine+proc run with %d sleeps allocated %.1f, want < 50 (Sleep fast path must not allocate)", sleeps, avg)
+	}
+}

@@ -10,9 +10,9 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
+	"strconv"
 )
 
 // Time is virtual time in nanoseconds since the start of the run.
@@ -27,55 +27,71 @@ const (
 )
 
 func (t Time) String() string {
+	// strconv into a stack buffer; AppendFloat with 'f'/3 rounds exactly
+	// like fmt's %.3f, so output stays byte-identical to the Sprintf this
+	// replaces while avoiding its two allocations per trace line.
+	var buf [24]byte
+	b := buf[:0]
 	switch {
 	case t >= Second:
-		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+		b = strconv.AppendFloat(b, float64(t)/float64(Second), 'f', 3, 64)
+		b = append(b, 's')
 	case t >= Millisecond:
-		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+		b = strconv.AppendFloat(b, float64(t)/float64(Millisecond), 'f', 3, 64)
+		b = append(b, 'm', 's')
 	case t >= Microsecond:
-		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+		b = strconv.AppendFloat(b, float64(t)/float64(Microsecond), 'f', 3, 64)
+		b = append(b, 0xc2, 0xb5, 's') // µs
 	default:
-		return fmt.Sprintf("%dns", int64(t))
+		b = strconv.AppendInt(b, int64(t), 10)
+		b = append(b, 'n', 's')
 	}
+	return string(b)
 }
 
-// event is a scheduled callback.
+// event is a scheduled callback: either a plain closure fn, or a
+// package-level function afn applied to arg. The two-form split lets hot
+// callers (message delivery, proc resumption) schedule with a preallocated
+// function value and a pointer argument — boxing a pointer into any does
+// not allocate, so such Schedule calls are alloc-free.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	afn func(any)
+	arg any
 }
 
-// eventHeap orders events by (time, sequence number).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (time, sequence number).
+func (ev *event) before(o *event) bool {
+	if ev.at != o.at {
+		return ev.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return ev.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+// BlockedProc names one stuck proc in a deadlock report.
+type BlockedProc struct {
+	Name   string
+	Reason string
 }
 
 // DeadlockError reports that the event queue drained while one or more Procs
 // were still alive and blocked, i.e. nothing can ever make progress again.
 type DeadlockError struct {
-	// Blocked lists the name and block reason of every stuck Proc.
-	Blocked []string
+	// Procs lists the name and block reason of every stuck Proc.
+	Procs []BlockedProc
 }
 
+// Error formats the report lazily — constructing a DeadlockError is cheap,
+// the per-proc formatting and sort happen only if the message is read.
 func (e *DeadlockError) Error() string {
-	return fmt.Sprintf("sim: deadlock, %d procs blocked: %v", len(e.Blocked), e.Blocked)
+	descs := make([]string, len(e.Procs))
+	for i, p := range e.Procs {
+		descs[i] = p.Name + " (" + p.Reason + ")"
+	}
+	sort.Strings(descs)
+	return fmt.Sprintf("sim: deadlock, %d procs blocked: %v", len(descs), descs)
 }
 
 // Hooks are optional observability callbacks fired by the engine. They are
@@ -99,7 +115,7 @@ type Hooks struct {
 type Engine struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	events []event // value-typed 4-ary min-heap ordered by event.before
 	procs  []*Proc
 	limit  Time // 0 means no limit
 	hooks  Hooks
@@ -147,16 +163,82 @@ func (e *Engine) SetInterrupt(fn func() error) { e.interrupt = fn }
 // Schedule registers fn to run at virtual time at. If at is in the past it
 // runs at the current time (after already-queued events for that time).
 // Schedule may be called from event callbacks and from Proc context.
+// The events slice is reused across the run, so steady-state Schedule
+// performs no allocation; fn itself still allocates if it is a capturing
+// closure — hot paths should pass a preallocated func or use ScheduleArg.
 func (e *Engine) Schedule(at Time, fn func()) {
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+	e.push(event{at: at, seq: e.seq, fn: fn})
+}
+
+// ScheduleArg registers fn(arg) to run at virtual time at. With fn a
+// package-level function and arg a pointer, the call is alloc-free, unlike
+// Schedule with a capturing closure.
+func (e *Engine) ScheduleArg(at Time, fn func(any), arg any) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.push(event{at: at, seq: e.seq, afn: fn, arg: arg})
 }
 
 // After schedules fn to run d after the current virtual time.
 func (e *Engine) After(d Time, fn func()) { e.Schedule(e.now+d, fn) }
+
+// AfterArg schedules fn(arg) to run d after the current virtual time.
+func (e *Engine) AfterArg(d Time, fn func(any), arg any) { e.ScheduleArg(e.now+d, fn, arg) }
+
+// push appends ev and restores the heap invariant (4-ary: children of i
+// are 4i+1..4i+4). A 4-ary layout halves tree depth versus binary, cutting
+// the cache misses per push/pop on the large queues protocol storms build.
+func (e *Engine) push(ev event) {
+	h := append(e.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !h[i].before(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.events = h
+}
+
+// pop removes and returns the earliest event.
+func (e *Engine) pop() event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // drop fn/arg references so completed events can be GC'd
+	h = h[:n]
+	e.events = h
+	// Sift down.
+	i := 0
+	for {
+		min := i
+		first := 4*i + 1
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first; c < last; c++ {
+			if h[c].before(&h[min]) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
+}
 
 // Stop makes Run return after the current event completes. Pending events
 // are discarded. Alive procs are killed.
@@ -179,7 +261,7 @@ func (e *Engine) Run() error {
 	for !e.stopped {
 		if len(e.events) == 0 {
 			if blocked := e.blockedProcs(); len(blocked) > 0 {
-				return &DeadlockError{Blocked: blocked}
+				return &DeadlockError{Procs: blocked}
 			}
 			return nil
 		}
@@ -191,7 +273,7 @@ func (e *Engine) Run() error {
 				}
 			}
 		}
-		ev := heap.Pop(&e.events).(*event)
+		ev := e.pop()
 		if e.limit > 0 && ev.at > e.limit {
 			return fmt.Errorf("sim: virtual time limit %v exceeded (event at %v)", e.limit, ev.at)
 		}
@@ -199,7 +281,11 @@ func (e *Engine) Run() error {
 		if e.hooks.Dispatch != nil {
 			e.hooks.Dispatch(ev.at, len(e.events))
 		}
-		ev.fn()
+		if ev.fn != nil {
+			ev.fn()
+		} else {
+			ev.afn(ev.arg)
+		}
 		if e.procPanic != nil {
 			panic(e.procPanic.String())
 		}
@@ -207,16 +293,15 @@ func (e *Engine) Run() error {
 	return nil
 }
 
-// blockedProcs returns descriptions of all alive procs, sorted for
-// deterministic error messages.
-func (e *Engine) blockedProcs() []string {
-	var out []string
+// blockedProcs collects every alive proc for a deadlock report. Formatting
+// and ordering happen lazily in DeadlockError.Error.
+func (e *Engine) blockedProcs() []BlockedProc {
+	var out []BlockedProc
 	for _, p := range e.procs {
 		if !p.done {
-			out = append(out, fmt.Sprintf("%s (%s)", p.name, p.reason))
+			out = append(out, BlockedProc{Name: p.name, Reason: p.Reason()})
 		}
 	}
-	sort.Strings(out)
 	return out
 }
 

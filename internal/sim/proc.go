@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"runtime/debug"
+	"strconv"
 )
 
 // procKilled is the panic value used to unwind a Proc goroutine when the
@@ -34,17 +35,30 @@ type Proc struct {
 	body   func(*Proc)
 	resume chan struct{}
 
+	// resumeFn is the one closure every Sleep/Unblock schedules, built once
+	// at NewProc so waking the proc never allocates.
+	resumeFn func()
+
 	started bool
 	done    bool
 	killed  bool
 	blocked bool
-	reason  string // why the proc is blocked, for deadlock reports
+
+	// reason (+ optional reasonID, -1 if unset) says why the proc is
+	// blocked. Kept unformatted: Reason() joins them only when a deadlock
+	// report or observability hook actually reads the string.
+	reason   string
+	reasonID int
 }
 
 // NewProc registers a proc whose body starts running at time start.
 // The body receives the proc itself so it can Sleep and Block.
 func (e *Engine) NewProc(name string, start Time, body func(*Proc)) *Proc {
-	p := &Proc{e: e, name: name, body: body, resume: make(chan struct{})}
+	p := &Proc{e: e, name: name, body: body, resume: make(chan struct{}), reasonID: -1}
+	p.resumeFn = func() {
+		p.resume <- struct{}{}
+		<-e.yield
+	}
 	e.procs = append(e.procs, p)
 	e.Schedule(start, func() { e.startProc(p) })
 	return p
@@ -93,29 +107,69 @@ func (p *Proc) yieldToEngine() {
 // between. d <= 0 yields without advancing time (other events scheduled for
 // the current instant run first).
 func (p *Proc) Sleep(d Time) {
-	at := p.e.now
+	e := p.e
+	at := e.now
 	if d > 0 {
 		at += d
 	}
-	p.e.Schedule(at, func() {
-		p.resume <- struct{}{}
-		<-p.e.yield
-	})
+	// Fast path: if nothing else is due before (or at) the wake-up time,
+	// skipping the schedule/dispatch round trip — two channel handoffs and
+	// a heap push/pop — cannot change what runs when: advance the clock in
+	// place and keep going. Events scheduled strictly later keep their
+	// relative order because their sequence numbers are untouched.
+	// Conditions that force the slow path: an event due at or before `at`
+	// (it must run first), a Dispatch hook (it observes every dispatch), a
+	// pending Stop or time limit (Run's loop must see this wake-up), or an
+	// interrupt poll falling due (the poll happens in Run's loop).
+	if (len(e.events) == 0 || at < e.events[0].at) &&
+		e.hooks.Dispatch == nil && !e.stopped &&
+		(e.limit == 0 || at <= e.limit) {
+		if e.interrupt != nil {
+			if e.interruptCount+1 >= interruptStride {
+				goto slow
+			}
+			e.interruptCount++
+		}
+		e.now = at
+		return
+	}
+slow:
+	e.Schedule(at, p.resumeFn)
 	p.yieldToEngine()
 }
 
 // Block parks the proc until Unblock is called. reason appears in deadlock
 // reports. Block panics if the proc is already blocked (a bug).
 func (p *Proc) Block(reason string) {
+	p.block(reason, -1)
+}
+
+// BlockID is Block for reasons of the form "reason N" (a block number, a
+// lock id): the id is carried unformatted and only joined to the string if
+// the reason is ever displayed, keeping fault-path blocking alloc-free.
+func (p *Proc) BlockID(reason string, id int) {
+	p.block(reason, id)
+}
+
+func (p *Proc) block(reason string, id int) {
 	if p.blocked {
-		panic(fmt.Sprintf("sim: proc %s double-blocked (%s, was %s)", p.name, reason, p.reason))
+		panic(fmt.Sprintf("sim: proc %s double-blocked (%s, was %s)", p.name, reason, p.Reason()))
 	}
 	p.blocked = true
 	p.reason = reason
+	p.reasonID = id
 	if p.e.hooks.ProcBlock != nil {
-		p.e.hooks.ProcBlock(p, reason)
+		p.e.hooks.ProcBlock(p, p.Reason())
 	}
 	p.yieldToEngine()
+}
+
+// Reason formats why the proc is blocked ("" if it is not).
+func (p *Proc) Reason() string {
+	if p.reasonID < 0 {
+		return p.reason
+	}
+	return p.reason + " " + strconv.Itoa(p.reasonID)
 }
 
 // Blocked reports whether the proc is currently parked in Block.
@@ -133,11 +187,9 @@ func (p *Proc) Unblock() {
 	}
 	p.blocked = false
 	p.reason = ""
+	p.reasonID = -1
 	if p.e.hooks.ProcUnblock != nil {
 		p.e.hooks.ProcUnblock(p)
 	}
-	p.e.Schedule(p.e.now, func() {
-		p.resume <- struct{}{}
-		<-p.e.yield
-	})
+	p.e.Schedule(p.e.now, p.resumeFn)
 }

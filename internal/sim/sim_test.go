@@ -108,8 +108,11 @@ func TestDeadlockDetection(t *testing.T) {
 	if !ok {
 		t.Fatalf("err = %v, want DeadlockError", err)
 	}
-	if len(de.Blocked) != 1 || !strings.Contains(de.Blocked[0], "never signalled") {
-		t.Fatalf("blocked = %v", de.Blocked)
+	if len(de.Procs) != 1 || de.Procs[0].Reason != "never signalled" {
+		t.Fatalf("blocked = %v", de.Procs)
+	}
+	if want := "sim: deadlock, 1 procs blocked: [stuck (never signalled)]"; de.Error() != want {
+		t.Fatalf("Error() = %q, want %q", de.Error(), want)
 	}
 }
 

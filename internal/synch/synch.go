@@ -28,26 +28,21 @@ const (
 	kBarRelease
 )
 
-type acquireReq struct {
-	lock int
-	vc   proto.VC
-}
-
-type grantReq struct {
-	lock int
-	to   int
-	toVC proto.VC
-}
-
+// Wire encoding on network.Msg's inline fields:
+//
+//	kLockAcquire:  A = lock, Payload = acquirer's proto.VC (nil under SC)
+//	kLockRelease:  A = lock
+//	kLockGrantReq: A = lock, B = acquirer, Payload = acquirer's proto.VC
+//	kLockGrant:    A = lock, Payload = *grant or nil (direct grant, no notices)
+//	kBarArrive:    Payload = arriver's proto.VC (nil under SC)
+//	kBarRelease:   Payload = *barRelease or nil (SC: no notices to carry)
+//
+// A nil proto.VC boxes into Payload without allocating, so SC — where
+// synchronization carries no consistency payload — stays allocation-free.
 type grant struct {
-	lock   int
 	ivs    []proto.Interval
 	fromVC proto.VC
 }
-
-type releaseMsg struct{ lock int }
-
-type barArrive struct{ vc proto.VC }
 
 type barRelease struct {
 	ivs    []proto.Interval
@@ -111,9 +106,9 @@ func (s *Sync) Acquire(node, lock int) {
 	}
 	s.env.Send(node, &network.Msg{
 		Dst: s.lockHome(lock), Kind: kLockAcquire, Block: -1,
-		Payload: acquireReq{lock: lock, vc: vc}, Bytes: bytes,
+		A: int64(lock), Payload: vc, Bytes: bytes,
 	})
-	s.env.Procs[node].Block(fmt.Sprintf("lock %d acquire", lock))
+	s.env.Procs[node].BlockID("lock acquire", lock)
 }
 
 // Release releases the lock held by node. Proc context. It closes the
@@ -122,7 +117,7 @@ func (s *Sync) Release(node, lock int) {
 	s.closeInterval(node)
 	s.env.Send(node, &network.Msg{
 		Dst: s.lockHome(lock), Kind: kLockRelease, Block: -1,
-		Payload: releaseMsg{lock: lock}, Bytes: 8,
+		A: int64(lock), Bytes: 8,
 	})
 }
 
@@ -155,7 +150,7 @@ func (s *Sync) Barrier(node int) {
 	}
 	s.env.Send(node, &network.Msg{
 		Dst: 0, Kind: kBarArrive, Block: -1,
-		Payload: barArrive{vc: vc}, Bytes: bytes,
+		Payload: vc, Bytes: bytes,
 	})
 	s.env.Procs[node].Block("barrier")
 }
@@ -165,11 +160,15 @@ func (s *Sync) ServiceCost(m *network.Msg) sim.Time {
 	model := s.env.Model
 	switch m.Kind {
 	case kLockGrant:
-		g := m.Payload.(grant)
-		return model.LockHandling + sim.Time(s.noticeCount(g.ivs))*model.NoticeApply
+		if g, ok := m.Payload.(*grant); ok {
+			return model.LockHandling + sim.Time(s.noticeCount(g.ivs))*model.NoticeApply
+		}
+		return model.LockHandling
 	case kBarRelease:
-		b := m.Payload.(barRelease)
-		return model.BarrierHandling + sim.Time(s.noticeCount(b.ivs))*model.NoticeApply
+		if b, ok := m.Payload.(*barRelease); ok {
+			return model.BarrierHandling + sim.Time(s.noticeCount(b.ivs))*model.NoticeApply
+		}
+		return model.BarrierHandling
 	case kBarArrive:
 		return model.BarrierHandling
 	default:
@@ -207,22 +206,23 @@ func (s *Sync) lock(id int) *lockState {
 }
 
 func (s *Sync) handleAcquire(m *network.Msg) {
-	req := m.Payload.(acquireReq)
-	st := s.lock(req.lock)
+	lock := int(m.A)
+	vc, _ := m.Payload.(proto.VC)
+	st := s.lock(lock)
 	if st.held {
-		st.queue = append(st.queue, waiter{node: m.Src, vc: req.vc})
+		st.queue = append(st.queue, waiter{node: m.Src, vc: vc})
 		return
 	}
 	st.held = true
 	st.holder = m.Src
-	s.grantFrom(m.Dst, st.lastReleaser, req.lock, m.Src, req.vc)
+	s.grantFrom(m.Dst, st.lastReleaser, lock, m.Src, vc)
 }
 
 func (s *Sync) handleRelease(m *network.Msg) {
-	rel := m.Payload.(releaseMsg)
-	st := s.lock(rel.lock)
+	lock := int(m.A)
+	st := s.lock(lock)
 	if !st.held || st.holder != m.Src {
-		panic(fmt.Sprintf("synch: release of lock %d by %d, holder %d held=%v", rel.lock, m.Src, st.holder, st.held))
+		panic(fmt.Sprintf("synch: release of lock %d by %d, holder %d held=%v", lock, m.Src, st.holder, st.held))
 	}
 	st.lastReleaser = m.Src
 	if len(st.queue) == 0 {
@@ -232,7 +232,7 @@ func (s *Sync) handleRelease(m *network.Msg) {
 	w := st.queue[0]
 	st.queue = st.queue[1:]
 	st.holder = w.node
-	s.grantFrom(m.Dst, st.lastReleaser, rel.lock, w.node, w.vc)
+	s.grantFrom(m.Dst, st.lastReleaser, lock, w.node, w.vc)
 }
 
 // grantFrom routes the grant for lock to acquirer: directly from the home
@@ -242,40 +242,45 @@ func (s *Sync) grantFrom(home, lastReleaser, lock, acquirer int, acqVC proto.VC)
 	if !s.proto.UsesIntervals() || lastReleaser < 0 {
 		s.env.Send(home, &network.Msg{
 			Dst: acquirer, Kind: kLockGrant, Block: -1,
-			Payload: grant{lock: lock}, Bytes: 8,
+			A: int64(lock), Bytes: 8,
 		})
 		return
 	}
 	s.env.Send(home, &network.Msg{
 		Dst: lastReleaser, Kind: kLockGrantReq, Block: -1,
-		Payload: grantReq{lock: lock, to: acquirer, toVC: acqVC},
-		Bytes:   8 + s.vcBytes(),
+		A: int64(lock), B: int64(acquirer), Payload: acqVC,
+		Bytes: 8 + s.vcBytes(),
 	})
 }
 
 func (s *Sync) handleGrantReq(m *network.Msg) {
-	req := m.Payload.(grantReq)
+	toVC := m.Payload.(proto.VC)
 	r := m.Dst // the last releaser computes the notices
 	myVC := s.env.VCs[r]
 	var ivs []proto.Interval
 	for j := 0; j < s.env.Nodes(); j++ {
-		ivs = append(ivs, s.env.Log.Between(j, req.toVC[j], myVC[j])...)
+		ivs = append(ivs, s.env.Log.Between(j, toVC[j], myVC[j])...)
 	}
 	s.env.Send(r, &network.Msg{
-		Dst: req.to, Kind: kLockGrant, Block: -1,
-		Payload: grant{lock: req.lock, ivs: ivs, fromVC: myVC.Clone()},
+		Dst: int(m.B), Kind: kLockGrant, Block: -1,
+		A:       m.A,
+		Payload: &grant{ivs: ivs, fromVC: myVC.Clone()},
 		Bytes:   8 + s.vcBytes() + s.noticeCount(ivs)*s.env.Model.WriteNoticeBytes,
 	})
 }
 
 func (s *Sync) handleGrant(m *network.Msg) {
-	g := m.Payload.(grant)
+	g, _ := m.Payload.(*grant)
 	node := m.Dst
 	if tr := s.env.Tracer; tr != nil {
+		notices := 0
+		if g != nil {
+			notices = s.noticeCount(g.ivs)
+		}
 		tr.Instant(node, trace.CatSynch, "grant",
-			trace.A("lock", int64(g.lock)), trace.A("notices", int64(s.noticeCount(g.ivs))))
+			trace.A("lock", m.A), trace.A("notices", int64(notices)))
 	}
-	if s.proto.UsesIntervals() {
+	if s.proto.UsesIntervals() && g != nil {
 		s.proto.ApplyNotices(node, g.ivs)
 		s.env.Stats[node].WriteNoticesRecv += int64(s.noticeCount(g.ivs))
 		if g.fromVC != nil {
@@ -290,7 +295,8 @@ func (s *Sync) handleBarArrive(m *network.Msg) {
 	if s.barVCs == nil {
 		s.barVCs = make([]proto.VC, s.env.Nodes())
 	}
-	s.barVCs[m.Src] = m.Payload.(barArrive).vc
+	vc, _ := m.Payload.(proto.VC)
+	s.barVCs[m.Src] = vc
 	s.barCount++
 	if s.barCount < s.env.Nodes() {
 		return
@@ -306,31 +312,38 @@ func (s *Sync) handleBarArrive(m *network.Msg) {
 		}
 	}
 	for i := 0; i < n; i++ {
-		var ivs []proto.Interval
 		bytes := 8
+		var payload *barRelease
 		if uses {
+			var ivs []proto.Interval
 			for j := 0; j < n; j++ {
 				ivs = append(ivs, s.env.Log.Between(j, s.barVCs[i][j], merged[j])...)
 			}
 			bytes += s.vcBytes() + s.noticeCount(ivs)*s.env.Model.WriteNoticeBytes
+			payload = &barRelease{ivs: ivs, merged: merged}
 		}
-		s.env.Send(0, &network.Msg{
-			Dst: i, Kind: kBarRelease, Block: -1,
-			Payload: barRelease{ivs: ivs, merged: merged}, Bytes: bytes,
-		})
+		msg := network.Msg{Dst: i, Kind: kBarRelease, Block: -1, Bytes: bytes}
+		if payload != nil {
+			msg.Payload = payload
+		}
+		s.env.Send(0, &msg)
 	}
 	s.barCount = 0
 	s.barVCs = nil
 }
 
 func (s *Sync) handleBarRelease(m *network.Msg) {
-	b := m.Payload.(barRelease)
+	b, _ := m.Payload.(*barRelease)
 	node := m.Dst
 	if tr := s.env.Tracer; tr != nil {
+		notices := 0
+		if b != nil {
+			notices = s.noticeCount(b.ivs)
+		}
 		tr.Instant(node, trace.CatSynch, "bar-release",
-			trace.A("notices", int64(s.noticeCount(b.ivs))))
+			trace.A("notices", int64(notices)))
 	}
-	if s.proto.UsesIntervals() {
+	if s.proto.UsesIntervals() && b != nil {
 		s.proto.ApplyNotices(node, b.ivs)
 		s.env.Stats[node].WriteNoticesRecv += int64(s.noticeCount(b.ivs))
 		s.env.VCs[node].Merge(b.merged)
