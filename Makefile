@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test test-short bench bench-json examples paper verify-paper trace-demo sweep-demo clean
+.PHONY: all test test-short bench bench-json examples paper verify-paper trace-demo sweep-demo metrics-demo clean
 
 all: test
 
@@ -70,5 +70,15 @@ trace-demo:
 	$(GO) run ./examples/quickstart -trace-json trace.json
 	@echo "wrote trace.json — open it at https://ui.perfetto.dev"
 
+# Demonstrate the virtual-time metrics sampler on one Ocean-Rowwise run:
+# the phase-resolved Figure-2 breakdown on stdout, the sampler time-series
+# as CSV, and Chrome-trace counter tracks for https://ui.perfetto.dev.
+metrics-demo:
+	$(GO) run ./cmd/dsmrun -app ocean-rowwise -protocol hlrc -block 4096 \
+		-nodes 4 -sample-every 100us \
+		-sample-csv metrics_demo.csv -sample-json metrics_demo.json
+	@echo "wrote metrics_demo.csv and metrics_demo.json — open the JSON at https://ui.perfetto.dev"
+
 clean:
-	rm -f results.csv trace.json sweep_p1.txt sweep_pN.txt sweep_p1.csv sweep_pN.csv
+	rm -f results.csv trace.json sweep_p1.txt sweep_pN.txt sweep_p1.csv sweep_pN.csv \
+		metrics_demo.csv metrics_demo.json

@@ -19,9 +19,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Metrics is one benchmark's measured costs.
@@ -47,12 +50,32 @@ type Ratios struct {
 	AllocsReduction float64 `json:"allocs_reduction"`
 }
 
+// Env stamps the measurement environment so recorded numbers can be traced
+// to the commit and toolchain that produced them.
+type Env struct {
+	Commit     string `json:"commit,omitempty"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
 // Report is the BENCH_hotpath.json shape.
 type Report struct {
 	Note       string             `json:"note"`
+	Env        Env                `json:"env"`
 	Baseline   Baseline           `json:"baseline"`
 	Current    map[string]Metrics `json:"current"`
 	VsBaseline map[string]Ratios  `json:"vs_baseline"`
+}
+
+// environment captures the current commit (best-effort: empty outside a
+// git checkout), Go version and GOMAXPROCS.
+func environment() Env {
+	env := Env{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err == nil {
+		env.Commit = strings.TrimSpace(string(out))
+	}
+	return env
 }
 
 // benchLine matches `go test -bench -benchmem` result lines, e.g.
@@ -96,6 +119,7 @@ func main() {
 		Note: "Hot-path microbenchmarks (make bench-json). Ratios above 1 are " +
 			"improvements over the recorded baseline: ns_speedup = baseline/current ns/op, " +
 			"allocs_reduction = baseline/current allocs/op.",
+		Env:        environment(),
 		Baseline:   base,
 		Current:    current,
 		VsBaseline: map[string]Ratios{},

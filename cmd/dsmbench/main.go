@@ -21,10 +21,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"dsmsim/internal/apps"
 	"dsmsim/internal/harness"
+	"dsmsim/internal/metrics"
 	"dsmsim/internal/profiling"
+	"dsmsim/internal/sim"
 )
 
 func main() {
@@ -40,6 +43,11 @@ func main() {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+
+		sampleEvery  = flag.Duration("sample-every", 0, "virtual-time metrics sampling interval (e.g. 100us; 0 = off)")
+		sampleCSV    = flag.String("sample-csv", "", "append every run's sampler time-series to this file (needs -sample-every)")
+		metricsAddr  = flag.String("metrics-addr", "", "serve live sweep metrics over HTTP on this address")
+		metricsAfter = flag.Duration("metrics-linger", 0, "keep serving -metrics-addr this long after the run (for scrapers)")
 	)
 	flag.Parse()
 	defer profiling.Start(*cpuProf, *memProf)()
@@ -76,6 +84,28 @@ func main() {
 		defer f.Close()
 		opts.CSV = f
 	}
+	opts.SampleEvery = sim.Time(*sampleEvery)
+	if *sampleCSV != "" {
+		if *sampleEvery <= 0 {
+			fatal(fmt.Errorf("-sample-csv needs -sample-every"))
+		}
+		f, err := os.OpenFile(*sampleCSV, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		opts.SampleCSV = f
+	}
+	if *metricsAddr != "" {
+		reg := metrics.NewRegistry()
+		addr, stop, err := reg.Serve(*metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "serving live metrics on http://%s/metrics\n", addr)
+		opts.Metrics = reg
+	}
 	r := harness.New(opts)
 	defer r.Flush()
 
@@ -100,6 +130,15 @@ func main() {
 		fmt.Println()
 		if err := e.Run(r); err != nil {
 			fatal(fmt.Errorf("%s: %v", e.Name, err))
+		}
+	}
+
+	// Hold the metrics endpoint open for interval-based scrapers that would
+	// otherwise miss a short run entirely. Ctrl-C ends the linger early.
+	if *metricsAddr != "" && *metricsAfter > 0 {
+		select {
+		case <-time.After(*metricsAfter):
+		case <-ctx.Done():
 		}
 	}
 }

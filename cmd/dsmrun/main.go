@@ -20,6 +20,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
@@ -45,6 +46,11 @@ func main() {
 		csvPath  = flag.String("csv", "", "append one machine-readable record per run to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+
+		sampleEvery = flag.Duration("sample-every", 0, "virtual-time metrics sampling interval (e.g. 100us; 0 = off)")
+		sampleCSV   = flag.String("sample-csv", "", "write the sampler time-series as CSV to this file (needs -sample-every)")
+		sampleJSON  = flag.String("sample-json", "", "write Chrome-trace counter tracks to this file (single runs only; needs -sample-every)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live sweep metrics over HTTP on this address (sweeps only)")
 	)
 	flag.Parse()
 	defer profiling.Start(*cpuProf, *memProf)()
@@ -68,18 +74,24 @@ func main() {
 	defer stop()
 
 	if points == 1 {
-		runOne(ctx, spec, *verify, *static, *trace, *traceJS)
+		if *metricsAddr != "" {
+			fatal(fmt.Errorf("-metrics-addr applies to sweeps only (1 configuration selected)"))
+		}
+		runOne(ctx, spec, *verify, *static, *trace, *traceJS,
+			dsmsim.Time(*sampleEvery), *sampleCSV, *sampleJSON)
 		return
 	}
-	if *static || *trace != "" || *traceJS != "" {
-		fatal(fmt.Errorf("-static-homes/-trace/-trace-json apply to single runs only (%d configurations selected)", points))
+	if *static || *trace != "" || *traceJS != "" || *sampleJSON != "" {
+		fatal(fmt.Errorf("-static-homes/-trace/-trace-json/-sample-json apply to single runs only (%d configurations selected)", points))
 	}
-	runSweep(ctx, spec, *verify, *parallel, *csvPath)
+	runSweep(ctx, spec, *verify, *parallel, *csvPath,
+		dsmsim.Time(*sampleEvery), *sampleCSV, *metricsAddr)
 }
 
 // runSweep fans the cross product out over the worker pool and prints one
 // speedup row per configuration.
-func runSweep(ctx context.Context, spec dsmsim.SweepSpec, verify bool, parallel int, csvPath string) {
+func runSweep(ctx context.Context, spec dsmsim.SweepSpec, verify bool, parallel int, csvPath string,
+	sampleEvery dsmsim.Time, sampleCSV, metricsAddr string) {
 	opts := []dsmsim.SweepOption{
 		dsmsim.WithParallelism(parallel),
 		dsmsim.WithProgress(os.Stderr),
@@ -92,6 +104,30 @@ func runSweep(ctx context.Context, spec dsmsim.SweepSpec, verify bool, parallel 
 		}
 		defer f.Close()
 		opts = append(opts, dsmsim.WithCSV(f))
+	}
+	if sampleEvery > 0 {
+		opts = append(opts, dsmsim.WithSampleEvery(sampleEvery))
+	}
+	if sampleCSV != "" {
+		if sampleEvery <= 0 {
+			fatal(fmt.Errorf("-sample-csv needs -sample-every"))
+		}
+		f, err := os.OpenFile(sampleCSV, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		opts = append(opts, dsmsim.WithSampleCSV(f))
+	}
+	if metricsAddr != "" {
+		reg := dsmsim.NewMetrics()
+		addr, stop, err := reg.Serve(metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "serving live metrics on http://%s/metrics\n", addr)
+		opts = append(opts, dsmsim.WithMetrics(reg))
 	}
 	res, err := dsmsim.Sweep(ctx, spec, opts...)
 	if err != nil {
@@ -109,10 +145,14 @@ func runSweep(ctx context.Context, spec dsmsim.SweepSpec, verify bool, parallel 
 }
 
 // runOne executes a single configuration with the full statistics dump.
-func runOne(ctx context.Context, spec dsmsim.SweepSpec, verify, static bool, trace, traceJS string) {
+func runOne(ctx context.Context, spec dsmsim.SweepSpec, verify, static bool, trace, traceJS string,
+	sampleEvery dsmsim.Time, sampleCSV, sampleJSON string) {
+	if (sampleCSV != "" || sampleJSON != "") && sampleEvery <= 0 {
+		fatal(fmt.Errorf("-sample-csv/-sample-json need -sample-every"))
+	}
 	cfg := dsmsim.Config{
 		Nodes: spec.Nodes, BlockSize: spec.Granularities[0], Protocol: spec.Protocols[0],
-		Notify: spec.Notify[0], StaticHomes: static,
+		Notify: spec.Notify[0], StaticHomes: static, SampleEvery: sampleEvery,
 	}
 	if trace != "" {
 		f, err := os.Create(trace)
@@ -188,6 +228,86 @@ func runOne(ctx context.Context, spec dsmsim.SweepSpec, verify, static bool, tra
 	fmt.Printf("    message      %s\n", res.MsgLatency.Summary())
 	fmt.Printf("    lock wait    %s\n", res.Total.LockWait.Summary())
 	fmt.Printf("    barrier wait %s\n", res.Total.BarrierWait.Summary())
+	printPhases(res)
+
+	if sampleCSV != "" {
+		if err := writeSamples(sampleCSV, res, (*dsmsim.Series).WriteCSV); err != nil {
+			fatal(err)
+		}
+	}
+	if sampleJSON != "" {
+		if err := writeSamples(sampleJSON, res, (*dsmsim.Series).WriteCounterJSON); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// printPhases renders the phase-resolved cost breakdown (the paper's
+// Figure-2 categories per barrier epoch). The component columns plus idle
+// sum exactly to nodes × parallel time — the closing line shows the check.
+func printPhases(res *dsmsim.Result) {
+	if len(res.Phases) == 0 {
+		return
+	}
+	const maxRows = 12
+	fmt.Printf("  phase breakdown (%d phases at barrier epochs; sums over %d nodes):\n",
+		len(res.Phases), res.Nodes)
+	fmt.Printf("    %-7s %14s %14s %14s %14s %14s\n",
+		"phase", "span", "compute", "data", "sync", "proto")
+	row := func(label string, span, compute, data, sync, proto dsmsim.Time) {
+		fmt.Printf("    %-7s %14v %14v %14v %14v %14v\n", label, span, compute, data, sync, proto)
+	}
+	shown := res.Phases
+	var rest []dsmsim.Phase
+	if len(shown) > maxRows {
+		shown, rest = shown[:maxRows], shown[maxRows:]
+	}
+	var span, compute, data, sync, proto dsmsim.Time
+	add := func(ph dsmsim.Phase) (s, c, d, y, p dsmsim.Time) {
+		s, c, d, y, p = ph.Span, ph.Delta.Compute, ph.DataWait(), ph.SyncWait(), ph.Overhead()
+		span += s
+		compute += c
+		data += d
+		sync += y
+		proto += p
+		return
+	}
+	for _, ph := range shown {
+		s, c, d, y, p := add(ph)
+		row(fmt.Sprintf("%d", ph.Index), s, c, d, y, p)
+	}
+	if len(rest) > 0 {
+		var s, c, d, y, p dsmsim.Time
+		for _, ph := range rest {
+			rs, rc, rd, ry, rp := add(ph)
+			s, c, d, y, p = s+rs, c+rc, d+rd, y+ry, p+rp
+		}
+		row(fmt.Sprintf("%d-%d", rest[0].Index, rest[len(rest)-1].Index), s, c, d, y, p)
+	}
+	row("total", span, compute, data, sync, proto)
+	fmt.Printf("    idle (after last barrier) %v;  total+idle = %v = %d nodes x %v\n",
+		res.Total.Idle, span+res.Total.Idle, res.Nodes, res.Time)
+}
+
+// writeSamples streams the run's sampler series to path via write.
+func writeSamples(path string, res *dsmsim.Result, write func(*dsmsim.Series, io.Writer) error) error {
+	if res.Samples == nil {
+		return fmt.Errorf("no sampler series on the result (is -sample-every set?)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := write(res.Samples, w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // splitList parses a comma-separated selector; "all" (or "*") yields all.

@@ -34,6 +34,7 @@ package dsmsim
 import (
 	"dsmsim/internal/apps"
 	"dsmsim/internal/core"
+	"dsmsim/internal/metrics"
 	"dsmsim/internal/network"
 	"dsmsim/internal/sim"
 	"dsmsim/internal/stats"
@@ -70,7 +71,22 @@ type (
 	// Summary) used by Result.MsgLatency and the per-node fault, lock and
 	// barrier wait distributions.
 	Histogram = stats.Histogram
+	// Phase is one barrier-to-barrier segment of a run's phase-resolved
+	// cost breakdown (Result.Phases).
+	Phase = metrics.Phase
+	// Sample is one interval of the virtual-time metrics sampler's series.
+	Sample = metrics.Sample
+	// Series is a run's sampler time-series (Result.Samples), exportable
+	// as CSV or a Chrome-trace counter track.
+	Series = metrics.Series
+	// Metrics is the live sweep-progress registry: attach one with
+	// WithMetrics, serve it with Metrics.Serve (Prometheus text at
+	// /metrics, expvar at /debug/vars, a JSON progress doc at /progress).
+	Metrics = metrics.Registry
 )
+
+// NewMetrics creates a live metrics registry for WithMetrics.
+func NewMetrics() *Metrics { return metrics.NewRegistry() }
 
 // Protocol names. DC (delayed consistency) is this library's extension
 // beyond the paper's three protocols: SC's directory protocol with

@@ -11,6 +11,7 @@ import (
 	"io"
 
 	"dsmsim/internal/mem"
+	"dsmsim/internal/metrics"
 	"dsmsim/internal/network"
 	"dsmsim/internal/proto"
 	"dsmsim/internal/proto/hlrc"
@@ -80,6 +81,12 @@ type Config struct {
 	// TraceDispatch additionally logs every engine event dispatch — very
 	// verbose; useful when debugging the simulation core itself.
 	TraceDispatch bool
+	// SampleEvery, when positive, attaches the virtual-time metrics
+	// sampler: every SampleEvery of virtual time the run snapshots all
+	// per-node stats deltas into Result.Samples. Strictly observational —
+	// the sampler fires between event dispatches, never from the event
+	// queue — so enabling it changes no result and no other output.
+	SampleEvery sim.Time
 }
 
 // Validate checks the configuration.
@@ -159,6 +166,16 @@ type Result struct {
 	// memory-utilization dimension §7 leaves unexamined.
 	ProtoStaticBytes int64
 	ProtoPeakBytes   int64
+
+	// Phases is the barrier-epoch-resolved execution-time breakdown (the
+	// paper's Figure 2 cut along virtual time): one entry per barrier
+	// epoch with compute / data-wait / synchronization / overhead summed
+	// across nodes. Always recorded; the accounting is pure proc-context
+	// bookkeeping.
+	Phases []metrics.Phase
+	// Samples is the virtual-time metrics series, non-nil only when
+	// Config.SampleEvery was set.
+	Samples *metrics.Series
 
 	// Heap exposes the final shared image (gathered from the
 	// authoritative copies) for verification and inspection.
@@ -284,6 +301,26 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 		}
 	}
 
+	// The phase accountant is always on: Ctx.Barrier cuts each node's
+	// stats at its barrier returns, pure bookkeeping that cannot yield.
+	phases := metrics.NewPhaseAccountant(cfg.Nodes)
+	var sampler *metrics.Sampler
+	if cfg.SampleEvery > 0 {
+		sampler = metrics.NewSampler(cfg.SampleEvery, env.Stats, metrics.Probes{
+			Net: func() (int64, int64) {
+				var msgs, bytes int64
+				for i := 0; i < cfg.Nodes; i++ {
+					s := &net.Endpoint(i).Stats
+					msgs += s.MsgsSent
+					bytes += s.BytesSent
+				}
+				return msgs, bytes
+			},
+			LockQueue: sy.QueuedWaiters,
+		})
+		engine.SetSampler(cfg.SampleEvery, sampler.Tick)
+	}
+
 	nodes := make([]*Node, cfg.Nodes)
 	dilation := info.PollDilation
 	if cfg.Notify != network.Polling || cfg.Sequential {
@@ -303,6 +340,7 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 			dilation: dilation,
 			tracer:   tr,
 			writers:  writers,
+			phases:   phases,
 		}
 		nodes[i] = n
 		n.ep.Bind(n, m.serviceCost(sy, p), m.handler(sy, p))
@@ -312,6 +350,13 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 		n := nodes[i]
 		n.proc = engine.NewProc(fmt.Sprintf("node%d", i), 0, func(pr *sim.Proc) {
 			app.Run(&Ctx{n: n})
+			n.finishAt = engine.Now()
+			// Service time stolen from computation extends the *next*
+			// Compute call; what was charged after the last one never
+			// lengthened anything, so give it back — the breakdown
+			// components must describe time that actually passed.
+			n.stats.Stolen -= n.stolen
+			n.stolen = 0
 		})
 		env.Procs = append(env.Procs, n.proc)
 	}
@@ -364,6 +409,19 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 		Nodes:     cfg.Nodes,
 		Time:      engine.Now(),
 		Heap:      heap,
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		// Close each node's final phase at the moment its body returned,
+		// and book the tail it then spent waiting for the run to end
+		// (trailing message drain, slower siblings) as Idle — with that,
+		// every node's components sum to res.Time exactly.
+		phases.Cut(i, nodes[i].finishAt, env.Stats[i])
+		env.Stats[i].Idle = res.Time - nodes[i].finishAt
+	}
+	res.Phases = phases.Phases()
+	if sampler != nil {
+		sampler.Finish(engine.Now())
+		res.Samples = sampler.Series()
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		res.PerNode = append(res.PerNode, *env.Stats[i])

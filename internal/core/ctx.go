@@ -179,10 +179,14 @@ func (c *Ctx) Lock(id int) {
 func (c *Ctx) Unlock(id int) {
 	n := c.n
 	start := n.engine.Now()
+	// HLRC's release-time diff flush runs inside this call and charges
+	// FlushTime itself; subtract its delta so the flush is not counted
+	// twice and the breakdown components stay disjoint.
+	flush0 := n.stats.FlushTime
 	n.inRuntime = true
 	n.sync.Release(n.id, id)
 	n.inRuntime = false
-	n.stats.LockStall += n.engine.Now() - start
+	n.stats.LockStall += n.engine.Now() - start - (n.stats.FlushTime - flush0)
 	if tr := n.tracer; tr != nil {
 		tr.Span(n.id, trace.CatSynch, "release", start, trace.A("id", int64(id)))
 	}
@@ -194,13 +198,17 @@ func (c *Ctx) Barrier() {
 	n := c.n
 	n.settleChecks()
 	start := n.engine.Now()
+	flush0 := n.stats.FlushTime // see Unlock: the entry-side flush charges itself
 	n.inRuntime = true
 	n.sync.Barrier(n.id)
 	n.inRuntime = false
 	elapsed := n.engine.Now() - start
-	n.stats.BarrierStall += elapsed
+	n.stats.BarrierStall += elapsed - (n.stats.FlushTime - flush0)
 	n.stats.BarrierWait.ObserveTime(elapsed)
 	if tr := n.tracer; tr != nil {
 		tr.Span(n.id, trace.CatSynch, "barrier", start)
 	}
+	// A barrier return ends this node's current phase: cut the epoch with
+	// the just-booked stall included. Pure bookkeeping, cannot yield.
+	n.phases.Cut(n.id, n.engine.Now(), n.stats)
 }

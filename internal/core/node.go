@@ -2,6 +2,7 @@ package core
 
 import (
 	"dsmsim/internal/mem"
+	"dsmsim/internal/metrics"
 	"dsmsim/internal/network"
 	"dsmsim/internal/proto"
 	"dsmsim/internal/sim"
@@ -26,6 +27,13 @@ type Node struct {
 	protocol proto.Protocol
 	sync     *synch.Sync
 	tracer   *trace.Tracer // nil when tracing is off
+
+	// phases receives a per-node cut at every barrier return (and one
+	// final cut when the body finishes), building Result.Phases.
+	phases *metrics.PhaseAccountant
+	// finishAt is when the node's body returned; the gap to the run's end
+	// becomes stats.Idle.
+	finishAt sim.Time
 
 	// writers is the run-local per-block writer bitmap shared by all nodes
 	// of one run (Table 2's classification); Machine itself stays stateless.

@@ -5,8 +5,10 @@ import (
 
 	"dsmsim/internal/apps"
 	"dsmsim/internal/core"
+	"dsmsim/internal/metrics"
 	"dsmsim/internal/network"
 	"dsmsim/internal/sim"
+	"dsmsim/internal/stats"
 	"dsmsim/internal/sweep"
 )
 
@@ -49,6 +51,12 @@ func init() {
 				return append(pts, o.matrix(apps.Names(), []string{core.HLRC}, []int{4096}, polling, false)...)
 			},
 			(*Runner).BreakdownTable},
+		{"phases", "Phase-resolved cost breakdown at barrier epochs (Figure 2 style)",
+			func(o Options) []sweep.Key {
+				return o.matrix([]string{"ocean-rowwise", "barnes-original"},
+					[]string{core.SC, core.HLRC}, []int{64, 4096}, polling, false)
+			},
+			(*Runner).PhasesTable},
 	}
 }
 
@@ -149,6 +157,58 @@ func (r *Runner) BreakdownTable() error {
 				e.Name, fmt.Sprintf("%s-%d", cfg.proto, cfg.g),
 				pct(tot.Compute), pct(tot.ReadStall+tot.WriteStall+tot.FlushTime),
 				pct(tot.LockStall+tot.BarrierStall), pct(tot.Stolen))
+		}
+	}
+	return nil
+}
+
+// PhasesTable renders the phase-resolved cost breakdown: the run cut at
+// its barrier epochs, each phase's summed node time split into the paper's
+// Figure-2 categories (compute / data wait / synchronization / protocol
+// overhead). Long runs are capped at a handful of leading phases with the
+// remainder aggregated, since barrier-per-iteration applications produce
+// hundreds of near-identical phases.
+func (r *Runner) PhasesTable() error {
+	const maxRows = 6
+	r.printf("Phase-resolved breakdown at barrier epochs (%% of phase node time)\n")
+	r.printf("%-18s %-10s %-8s %10s %8s %8s %8s %8s\n",
+		"Application", "Config", "Phase", "span", "compute", "data", "sync", "proto")
+	for _, app := range []string{"ocean-rowwise", "barnes-original"} {
+		for _, cfg := range []struct {
+			proto string
+			g     int
+		}{{core.SC, 64}, {core.SC, 4096}, {core.HLRC, 64}, {core.HLRC, 4096}} {
+			res, err := r.Result(app, cfg.proto, cfg.g, network.Polling)
+			if err != nil {
+				return err
+			}
+			row := func(label string, span sim.Time, d stats.Snapshot) {
+				if span == 0 {
+					return
+				}
+				pct := func(x sim.Time) float64 { return 100 * float64(x) / float64(span) }
+				r.printf("%-18s %-10s %-8s %10v %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+					app, fmt.Sprintf("%s-%d", cfg.proto, cfg.g), label, span,
+					pct(d.Compute), pct(d.ReadStall+d.WriteStall),
+					pct(d.LockStall+d.BarrierStall), pct(d.FlushTime+d.Stolen))
+			}
+			shown := res.Phases
+			var rest []metrics.Phase
+			if len(shown) > maxRows {
+				shown, rest = shown[:maxRows], shown[maxRows:]
+			}
+			for _, ph := range shown {
+				row(fmt.Sprintf("%d", ph.Index), ph.Span, ph.Delta)
+			}
+			if len(rest) > 0 {
+				var span sim.Time
+				var sum stats.Snapshot
+				for _, ph := range rest {
+					span += ph.Span
+					ph.Delta.AddTo(&sum)
+				}
+				row(fmt.Sprintf("%d-%d", rest[0].Index, rest[len(rest)-1].Index), span, sum)
+			}
 		}
 	}
 	return nil

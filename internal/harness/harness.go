@@ -20,6 +20,7 @@ import (
 
 	"dsmsim/internal/apps"
 	"dsmsim/internal/core"
+	"dsmsim/internal/metrics"
 	"dsmsim/internal/network"
 	"dsmsim/internal/sim"
 	"dsmsim/internal/sweep"
@@ -52,6 +53,15 @@ type Options struct {
 	// worker per available CPU. Rendered output is byte-identical at
 	// every setting.
 	Parallel int
+	// SampleEvery attaches the virtual-time metrics sampler to every run
+	// (strictly observational; tables and CSV records are unchanged).
+	SampleEvery sim.Time
+	// SampleCSV, if non-nil, receives each run's sampler time-series as CSV
+	// rows in canonical sweep order. Requires SampleEvery.
+	SampleCSV io.Writer
+	// Metrics, if non-nil, receives live sweep progress for the HTTP
+	// exporter and switches progress lines to the enriched format.
+	Metrics *metrics.Registry
 }
 
 // Runner executes and caches simulation runs via the sweep engine.
@@ -69,13 +79,16 @@ func New(opts Options) *Runner {
 		opts.Limit = 100000 * sim.Second
 	}
 	eng := sweep.New(sweep.Options{
-		Size:       opts.Size,
-		Workers:    opts.Parallel,
-		Verify:     opts.Verify,
-		Limit:      opts.Limit,
-		Progress:   opts.Progress,
-		CSV:        opts.CSV,
-		Histograms: opts.Histograms,
+		Size:        opts.Size,
+		Workers:     opts.Parallel,
+		Verify:      opts.Verify,
+		Limit:       opts.Limit,
+		Progress:    opts.Progress,
+		CSV:         opts.CSV,
+		Histograms:  opts.Histograms,
+		SampleEvery: opts.SampleEvery,
+		SampleCSV:   opts.SampleCSV,
+		Metrics:     opts.Metrics,
 	})
 	return &Runner{opts: opts, eng: eng}
 }

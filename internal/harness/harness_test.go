@@ -72,8 +72,8 @@ func TestSpeedupPositive(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 25 {
-		t.Fatalf("experiments = %d, want 25 (table1-17, fig1-2, 6 extensions)", len(exps))
+	if len(exps) != 26 {
+		t.Fatalf("experiments = %d, want 26 (table1-17, fig1-2, 7 extensions)", len(exps))
 	}
 	if _, err := Get("fig1"); err != nil {
 		t.Fatal(err)

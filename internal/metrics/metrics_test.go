@@ -1,0 +1,259 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"dsmsim/internal/sim"
+	"dsmsim/internal/stats"
+)
+
+func TestSamplerDeltasAndFinish(t *testing.T) {
+	nodes := []*stats.Node{{}, {}}
+	var msgs int64
+	s := NewSampler(100, nodes, Probes{
+		Net:       func() (int64, int64) { return msgs, msgs * 10 },
+		LockQueue: func() int64 { return 3 },
+	})
+	nodes[0].ReadFaults = 5
+	nodes[1].Compute = 40
+	msgs = 7
+	s.Tick(100)
+	nodes[0].ReadFaults = 6
+	s.Tick(200)
+	// Nothing new, run ends mid-interval.
+	nodes[1].WriteFaults = 2
+	s.Finish(250)
+	sm := s.Series().Samples
+	if len(sm) != 3 {
+		t.Fatalf("%d samples, want 3", len(sm))
+	}
+	if sm[0].Delta.ReadFaults != 5 || sm[0].Delta.Compute != 40 || sm[0].NetMsgs != 7 ||
+		sm[0].NetBytes != 70 || sm[0].LockQueue != 3 {
+		t.Errorf("first sample wrong: %+v", sm[0])
+	}
+	if sm[1].Delta.ReadFaults != 1 || sm[1].NetMsgs != 0 {
+		t.Errorf("second sample is not a delta: %+v", sm[1])
+	}
+	if sm[2].At != 250 || sm[2].Delta.WriteFaults != 2 {
+		t.Errorf("final partial sample wrong: %+v", sm[2])
+	}
+	// Finish at an already-sampled time must not add an empty sample.
+	s.Finish(250)
+	if len(s.Series().Samples) != 3 {
+		t.Error("double Finish added a sample")
+	}
+}
+
+func TestSeriesCSVDeterministic(t *testing.T) {
+	mk := func() *Series {
+		return &Series{Every: 100, Nodes: 2, Samples: []Sample{
+			{At: 100, Delta: stats.Snapshot{ReadFaults: 3, Compute: 50, ReadStall: 30}, NetMsgs: 4, NetBytes: 400},
+			{At: 150, Delta: stats.Snapshot{DiffPayloadBytes: 1024}, LockQueue: 1},
+		}}
+	}
+	var a, b strings.Builder
+	if err := mk().WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("identical series produced different CSV")
+	}
+	lines := strings.Split(strings.TrimRight(a.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want header + 2 rows", len(lines))
+	}
+	if lines[0] != SeriesHeader {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// Row 1: interval 100ns, 3 faults → 3/100ns = 3e7/s.
+	if !strings.Contains(lines[1], ",30000000.000,") {
+		t.Errorf("fault rate not rendered: %q", lines[1])
+	}
+	// Stall fraction row 1: 30ns stall over 2 nodes × 100ns = 0.150.
+	if !strings.Contains(lines[1], ",0.150,") {
+		t.Errorf("stall fraction not rendered: %q", lines[1])
+	}
+	// Prefixed rows carry the prefix verbatim.
+	rows := string(mk().AppendRows(nil, "lu,sc,64,polling,2,"))
+	for _, r := range strings.Split(strings.TrimRight(rows, "\n"), "\n") {
+		if !strings.HasPrefix(r, "lu,sc,64,polling,2,") {
+			t.Fatalf("row missing prefix: %q", r)
+		}
+	}
+}
+
+func TestSeriesCounterJSONValid(t *testing.T) {
+	s := &Series{Every: 100, Nodes: 2, Samples: []Sample{
+		{At: 100, Delta: stats.Snapshot{ReadFaults: 2, LockStall: 40}},
+		{At: 200, Delta: stats.Snapshot{DiffPayloadBytes: 512}, LockQueue: 2},
+	}}
+	var buf strings.Builder
+	if err := s.WriteCounterJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &events); err != nil {
+		t.Fatalf("counter JSON does not parse: %v\n%s", err, buf.String())
+	}
+	names := map[string]int{}
+	for _, ev := range events {
+		if ph, _ := ev["ph"].(string); ph == "C" {
+			names[ev["name"].(string)]++
+		}
+	}
+	for _, want := range []string{"faults/s", "stall fraction", "diff bytes/s", "lock queue"} {
+		if names[want] != 2 {
+			t.Errorf("counter %q has %d events, want 2", want, names[want])
+		}
+	}
+}
+
+func TestPhaseAccountantTail(t *testing.T) {
+	a := NewPhaseAccountant(2)
+	n0, n1 := &stats.Node{}, &stats.Node{}
+	n0.Compute = 80
+	n0.BarrierStall = 20
+	a.Cut(0, 100, n0)
+	n1.Compute = 100
+	a.Cut(1, 100, n1)
+	// Tail work after the last barrier on node 0 only.
+	n0.Compute = 110
+	a.Cut(0, 130, n0)
+	a.Cut(1, 100, n1) // node 1 finished at the barrier
+	ph := a.Phases()
+	if len(ph) != 2 {
+		t.Fatalf("%d phases, want 2", len(ph))
+	}
+	if ph[0].Span != 200 || ph[0].Delta.Compute != 180 || ph[0].SyncWait() != 20 {
+		t.Errorf("phase 0 wrong: %+v", ph[0])
+	}
+	if ph[1].Span != 30 || ph[1].Delta.Compute != 30 || ph[1].End != 130 {
+		t.Errorf("tail phase wrong: %+v", ph[1])
+	}
+}
+
+func TestPhaseAccountantDropsEmptyTail(t *testing.T) {
+	a := NewPhaseAccountant(1)
+	n := &stats.Node{Compute: 50}
+	a.Cut(0, 50, n)
+	a.Cut(0, 50, n) // finish cut with nothing since the barrier
+	if ph := a.Phases(); len(ph) != 1 {
+		t.Fatalf("%d phases, want empty tail dropped", len(ph))
+	}
+}
+
+func TestRegistryPrometheusAndProgress(t *testing.T) {
+	r := NewRegistry()
+	r.AddTotal(4)
+	r.PointStarted("lu/sc/64/polling/4p")
+	r.PointDone(PointResult{Key: "lu/sc/64/polling/4p", Wall: 50 * time.Millisecond,
+		Virtual: sim.Time(2 * sim.Second), ReadFaults: 10, WriteFaults: 5, NetBytes: 1 << 20})
+	r.PointStarted("lu/seq")
+	r.PointDone(PointResult{Key: "lu/seq", Wall: time.Millisecond, Virtual: sim.Second, Memoized: true})
+
+	var buf strings.Builder
+	r.WritePrometheus(&buf)
+	text := buf.String()
+	for _, want := range []string{
+		"dsmsim_sweep_points_total 4",
+		"dsmsim_sweep_points_completed 2",
+		"dsmsim_sweep_points_running 0",
+		"dsmsim_sweep_memo_hits_total 1",
+		"dsmsim_sweep_eta_seconds",
+		`dsmsim_point_wall_seconds{point="lu/sc/64/polling/4p"} 0.050`,
+		`dsmsim_point_read_faults{point="lu/sc/64/polling/4p"} 10`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Prometheus text missing %q:\n%s", want, text)
+		}
+	}
+	// Basic exposition-format sanity: every non-comment line is "name{...} value".
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if parts := strings.Fields(line); len(parts) != 2 {
+			t.Errorf("malformed metric line %q", line)
+		}
+	}
+
+	p := r.Snapshot()
+	if p.Completed != 2 || p.Total != 4 || p.MemoHits != 1 || len(p.Points) != 2 {
+		t.Errorf("progress doc wrong: %+v", p)
+	}
+	if p.ETASeconds <= 0 {
+		t.Errorf("no ETA with 2 of 4 points done: %+v", p)
+	}
+}
+
+func TestRegistryServe(t *testing.T) {
+	r := NewRegistry()
+	r.AddTotal(1)
+	r.PointDone(PointResult{Key: "fft/hlrc/1024/polling/8p", Wall: time.Millisecond, Virtual: sim.Second})
+	addr, stop, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "dsmsim_sweep_points_completed 1") {
+		t.Errorf("/metrics missing completion count:\n%s", body)
+	}
+	var prog Progress
+	if err := json.Unmarshal([]byte(get("/progress")), &prog); err != nil {
+		t.Fatalf("/progress does not parse: %v", err)
+	}
+	if prog.Completed != 1 || prog.Points[0].Key != "fft/hlrc/1024/polling/8p" {
+		t.Errorf("/progress wrong: %+v", prog)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars does not parse: %v", err)
+	}
+	if _, ok := vars["dsmsim"]; !ok {
+		t.Error("/debug/vars missing the dsmsim progress var")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	r.AddTotal(64)
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		w := w
+		go func() {
+			for i := 0; i < 8; i++ {
+				key := fmt.Sprintf("app%d/sc/64/polling/4p", w*8+i)
+				r.PointStarted(key)
+				r.PointDone(PointResult{Key: key, Wall: time.Microsecond, Virtual: 1})
+			}
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	if p := r.Snapshot(); p.Completed != 64 || p.Running != 0 {
+		t.Errorf("after 64 concurrent points: %+v", p)
+	}
+}

@@ -1,0 +1,232 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsmsim/internal/sim"
+)
+
+// Registry aggregates live sweep progress across parallel workers. It is
+// the one piece of this package that deals in wall-clock time — which is
+// why nothing it produces ever flows back into run results, tables, CSV
+// files, or the progress lines on the terminal: those all stay
+// deterministic, and the registry's wall-clock view is served only over
+// HTTP (Prometheus text, expvar, and a JSON progress document).
+//
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu        sync.Mutex
+	start     time.Time
+	total     int
+	running   int
+	memoHits  int
+	completed []PointResult
+}
+
+// PointResult is one finished sweep point as the registry records it.
+type PointResult struct {
+	Key      string        // canonical point key, e.g. "lu/hlrc/4096/polling/16p"
+	Wall     time.Duration // host time the simulation took
+	Virtual  sim.Time      // simulated time of the run
+	Memoized bool          // satisfied from the sweep memo, not computed
+
+	ReadFaults  int64
+	WriteFaults int64
+	NetMsgs     int64
+	NetBytes    int64
+}
+
+// NewRegistry creates a registry; the sweep's ETA clock starts now.
+func NewRegistry() *Registry {
+	return &Registry{start: time.Now()}
+}
+
+// AddTotal grows the expected point count (additive, so a multi-experiment
+// run can announce each experiment's sweep as it starts).
+func (r *Registry) AddTotal(n int) {
+	r.mu.Lock()
+	r.total += n
+	r.mu.Unlock()
+}
+
+// PointStarted records that a worker began computing a point.
+func (r *Registry) PointStarted(key string) {
+	r.mu.Lock()
+	r.running++
+	r.mu.Unlock()
+}
+
+// PointDone records a finished point.
+func (r *Registry) PointDone(p PointResult) {
+	r.mu.Lock()
+	r.running--
+	if p.Memoized {
+		r.memoHits++
+	}
+	r.completed = append(r.completed, p)
+	r.mu.Unlock()
+}
+
+// Progress is the JSON document served at /progress.
+type Progress struct {
+	Total          int             `json:"total"`
+	Completed      int             `json:"completed"`
+	Running        int             `json:"running"`
+	MemoHits       int             `json:"memo_hits"`
+	ElapsedSeconds float64         `json:"elapsed_seconds"`
+	ETASeconds     float64         `json:"eta_seconds"`
+	Points         []PointProgress `json:"points"`
+}
+
+// PointProgress is one completed point's runtime in the progress document.
+type PointProgress struct {
+	Key            string  `json:"key"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	VirtualSeconds float64 `json:"virtual_seconds"`
+	Memoized       bool    `json:"memoized,omitempty"`
+}
+
+// Snapshot builds the current progress document. The ETA scales observed
+// wall time per computed point over the points remaining.
+func (r *Registry) Snapshot() Progress {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := Progress{
+		Total:          r.total,
+		Completed:      len(r.completed),
+		Running:        r.running,
+		MemoHits:       r.memoHits,
+		ElapsedSeconds: time.Since(r.start).Seconds(),
+		Points:         make([]PointProgress, 0, len(r.completed)),
+	}
+	computed := 0
+	var wall time.Duration
+	for _, c := range r.completed {
+		p.Points = append(p.Points, PointProgress{
+			Key:            c.Key,
+			WallSeconds:    c.Wall.Seconds(),
+			VirtualSeconds: float64(c.Virtual) / float64(sim.Second),
+			Memoized:       c.Memoized,
+		})
+		if !c.Memoized {
+			computed++
+			wall += c.Wall
+		}
+	}
+	if remaining := p.Total - p.Completed; remaining > 0 && computed > 0 {
+		p.ETASeconds = wall.Seconds() / float64(computed) * float64(remaining)
+	}
+	return p
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): sweep-level gauges plus per-point counters
+// labeled with the canonical point key.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	p := r.Snapshot()
+	fmt.Fprintf(w, "# HELP dsmsim_sweep_points_total Points in the sweep.\n")
+	fmt.Fprintf(w, "# TYPE dsmsim_sweep_points_total gauge\n")
+	fmt.Fprintf(w, "dsmsim_sweep_points_total %d\n", p.Total)
+	fmt.Fprintf(w, "# HELP dsmsim_sweep_points_completed Points finished so far.\n")
+	fmt.Fprintf(w, "# TYPE dsmsim_sweep_points_completed gauge\n")
+	fmt.Fprintf(w, "dsmsim_sweep_points_completed %d\n", p.Completed)
+	fmt.Fprintf(w, "# HELP dsmsim_sweep_points_running Points being computed right now.\n")
+	fmt.Fprintf(w, "# TYPE dsmsim_sweep_points_running gauge\n")
+	fmt.Fprintf(w, "dsmsim_sweep_points_running %d\n", p.Running)
+	fmt.Fprintf(w, "# HELP dsmsim_sweep_memo_hits_total Points satisfied from the sweep memo.\n")
+	fmt.Fprintf(w, "# TYPE dsmsim_sweep_memo_hits_total counter\n")
+	fmt.Fprintf(w, "dsmsim_sweep_memo_hits_total %d\n", p.MemoHits)
+	fmt.Fprintf(w, "# HELP dsmsim_sweep_elapsed_seconds Wall time since the sweep began.\n")
+	fmt.Fprintf(w, "# TYPE dsmsim_sweep_elapsed_seconds gauge\n")
+	fmt.Fprintf(w, "dsmsim_sweep_elapsed_seconds %.3f\n", p.ElapsedSeconds)
+	fmt.Fprintf(w, "# HELP dsmsim_sweep_eta_seconds Estimated wall time to completion.\n")
+	fmt.Fprintf(w, "# TYPE dsmsim_sweep_eta_seconds gauge\n")
+	fmt.Fprintf(w, "dsmsim_sweep_eta_seconds %.3f\n", p.ETASeconds)
+
+	r.mu.Lock()
+	pts := make([]PointResult, len(r.completed))
+	copy(pts, r.completed)
+	r.mu.Unlock()
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Key < pts[j].Key })
+	writePer := func(metric, help, typ string, val func(*PointResult) string) {
+		if len(pts) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", metric, help, metric, typ)
+		for i := range pts {
+			fmt.Fprintf(w, "%s{point=%q} %s\n", metric, pts[i].Key, val(&pts[i]))
+		}
+	}
+	writePer("dsmsim_point_wall_seconds", "Host time one point took to simulate.", "gauge",
+		func(p *PointResult) string { return fmt.Sprintf("%.3f", p.Wall.Seconds()) })
+	writePer("dsmsim_point_virtual_seconds", "Simulated execution time of the point.", "gauge",
+		func(p *PointResult) string {
+			return fmt.Sprintf("%.6f", float64(p.Virtual)/float64(sim.Second))
+		})
+	writePer("dsmsim_point_read_faults", "Read faults across all nodes of the run.", "gauge",
+		func(p *PointResult) string { return fmt.Sprintf("%d", p.ReadFaults) })
+	writePer("dsmsim_point_write_faults", "Write faults across all nodes of the run.", "gauge",
+		func(p *PointResult) string { return fmt.Sprintf("%d", p.WriteFaults) })
+	writePer("dsmsim_point_net_bytes", "Network bytes sent during the run.", "gauge",
+		func(p *PointResult) string { return fmt.Sprintf("%d", p.NetBytes) })
+}
+
+// expvar integration: /debug/vars carries the same progress document under
+// the "dsmsim" key. expvar.Publish panics on duplicate names, so the hook
+// is installed once per process and reads whichever registry served last.
+var (
+	expvarOnce sync.Once
+	expvarCur  atomic.Pointer[Registry]
+)
+
+func publishExpvar(r *Registry) {
+	expvarCur.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("dsmsim", expvar.Func(func() any {
+			if cur := expvarCur.Load(); cur != nil {
+				return cur.Snapshot()
+			}
+			return nil
+		}))
+	})
+}
+
+// Handler returns the exporter's HTTP mux: /metrics (Prometheus text),
+// /debug/vars (expvar) and /progress (the JSON document).
+func (r *Registry) Handler() http.Handler {
+	publishExpvar(r)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+	return mux
+}
+
+// Serve exposes the exporter on addr (e.g. "localhost:9150"; a :0 port
+// picks a free one). It returns the bound address and a shutdown function.
+func (r *Registry) Serve(addr string) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

@@ -1,0 +1,207 @@
+// Package metrics is the simulator's observability layer above the raw
+// counters of internal/stats: a virtual-time sampler turning per-node
+// totals into deterministic time-series, a phase accountant cutting those
+// totals at barrier epochs into the paper's Figure-2 execution-time
+// breakdown, and a live registry exporting sweep progress over HTTP while
+// a long evaluation runs.
+//
+// Everything in this package is strictly observational, like
+// internal/trace: the sampler is driven by sim.Engine.SetSampler (which
+// fires between event dispatches, never from the event queue), the phase
+// accountant is pure bookkeeping in proc context, and the registry only
+// ever reads completed results. Enabling any of them leaves virtual time,
+// every counter, and all existing output byte-identical (tested).
+package metrics
+
+import (
+	"io"
+	"strconv"
+
+	"dsmsim/internal/sim"
+	"dsmsim/internal/stats"
+	"dsmsim/internal/trace"
+)
+
+// Probes are the machine-wide gauges the sampler reads at each boundary,
+// beyond the per-node stats it snapshots itself. Both must be pure reads.
+type Probes struct {
+	// Net returns cumulative whole-machine traffic (messages, bytes).
+	Net func() (msgs, bytes int64)
+	// LockQueue returns how many nodes are queued behind held locks now.
+	LockQueue func() int64
+}
+
+// Sample is one interval of the time-series: deltas of every counter and
+// time component over (previous boundary, At], plus point-in-time gauges.
+type Sample struct {
+	At        sim.Time       // end of the interval
+	Delta     stats.Snapshot // per-node stats summed across nodes, as deltas
+	NetMsgs   int64          // messages sent in the interval
+	NetBytes  int64          // bytes sent in the interval
+	LockQueue int64          // nodes queued behind locks at time At (gauge)
+}
+
+// Sampler accumulates Samples at fixed virtual-time boundaries. Tick is
+// designed to be passed to sim.Engine.SetSampler; Finish flushes the final
+// partial interval after the run (boundaries past the last event never
+// fire inside the engine).
+type Sampler struct {
+	every   sim.Time
+	nodes   []*stats.Node
+	probes  Probes
+	prev    stats.Snapshot
+	prevMsg int64
+	prevByt int64
+	series  Series
+}
+
+// NewSampler creates a sampler over the given per-node stats.
+func NewSampler(every sim.Time, nodes []*stats.Node, probes Probes) *Sampler {
+	return &Sampler{
+		every:  every,
+		nodes:  nodes,
+		probes: probes,
+		series: Series{Every: every, Nodes: len(nodes)},
+	}
+}
+
+// Tick records the interval ending at boundary. Engine-sampler context:
+// it must not (and does not) schedule events or advance time.
+func (s *Sampler) Tick(boundary sim.Time) { s.cut(boundary) }
+
+// Finish records the final partial interval ending at end (the run's final
+// virtual time), if any time passed since the last boundary.
+func (s *Sampler) Finish(end sim.Time) {
+	if n := len(s.series.Samples); n > 0 && s.series.Samples[n-1].At >= end {
+		return
+	}
+	s.cut(end)
+}
+
+func (s *Sampler) cut(at sim.Time) {
+	var cur stats.Snapshot
+	for _, n := range s.nodes {
+		n.Snap().AddTo(&cur)
+	}
+	sm := Sample{At: at, Delta: cur.Sub(s.prev)}
+	if s.probes.Net != nil {
+		m, b := s.probes.Net()
+		sm.NetMsgs, sm.NetBytes = m-s.prevMsg, b-s.prevByt
+		s.prevMsg, s.prevByt = m, b
+	}
+	if s.probes.LockQueue != nil {
+		sm.LockQueue = s.probes.LockQueue()
+	}
+	s.prev = cur
+	s.series.Samples = append(s.series.Samples, sm)
+}
+
+// Series returns the accumulated time-series.
+func (s *Sampler) Series() *Series { return &s.series }
+
+// Series is a completed sampler time-series, exportable as CSV or as
+// Chrome-trace counter tracks.
+type Series struct {
+	Every   sim.Time // the sampling interval (the last sample may be shorter)
+	Nodes   int
+	Samples []Sample
+}
+
+// SeriesHeader is the CSV header WriteCSV emits (without a trailing
+// newline). Sweep sinks prefix it with the run-key columns.
+const SeriesHeader = "t_ns,read_faults,write_faults,invalidations,diffs_created,diff_bytes," +
+	"write_notices,lock_acquires,barrier_entries,net_msgs,net_bytes," +
+	"compute_ns,read_stall_ns,write_stall_ns,lock_stall_ns,barrier_stall_ns," +
+	"flush_ns,stolen_ns,lock_queue,fault_rate_hz,stall_frac,diff_bytes_per_s"
+
+// WriteCSV writes the header and one row per sample.
+func (s *Series) WriteCSV(w io.Writer) error {
+	b := append([]byte(SeriesHeader), '\n')
+	b = s.AppendRows(b, "")
+	_, err := w.Write(b)
+	return err
+}
+
+// AppendRows appends one CSV row per sample to b, each prefixed with
+// prefix (pass "app,proto,..." including the trailing comma, or ""). All
+// numbers are rendered deterministically: integers as decimal, derived
+// rates with exactly three fractional digits.
+func (s *Series) AppendRows(b []byte, prefix string) []byte {
+	prevAt := sim.Time(0)
+	for _, sm := range s.Samples {
+		iv := sm.At - prevAt
+		prevAt = sm.At
+		b = append(b, prefix...)
+		b = strconv.AppendInt(b, int64(sm.At), 10)
+		d := &sm.Delta
+		for _, v := range [...]int64{
+			d.ReadFaults, d.WriteFaults, d.Invalidations, d.DiffsCreated,
+			d.DiffPayloadBytes, d.WriteNoticesSent, d.LockAcquires,
+			d.BarrierEntries, sm.NetMsgs, sm.NetBytes,
+			int64(d.Compute), int64(d.ReadStall), int64(d.WriteStall),
+			int64(d.LockStall), int64(d.BarrierStall), int64(d.FlushTime),
+			int64(d.Stolen), sm.LockQueue,
+		} {
+			b = append(b, ',')
+			b = strconv.AppendInt(b, v, 10)
+		}
+		secs := float64(iv) / float64(sim.Second)
+		b = append(b, ',')
+		b = appendRate(b, float64(d.ReadFaults+d.WriteFaults), secs)
+		b = append(b, ',')
+		// Stall fraction: all four stall components over the interval's
+		// total node-time (nodes run in parallel, so the interval offers
+		// Nodes × iv of node-time).
+		b = appendRate(b,
+			float64(d.ReadStall+d.WriteStall+d.LockStall+d.BarrierStall),
+			float64(int64(iv)*int64(s.Nodes)))
+		b = append(b, ',')
+		b = appendRate(b, float64(d.DiffPayloadBytes), secs)
+		b = append(b, '\n')
+	}
+	return b
+}
+
+// appendRate renders num/den with three fractional digits; a zero
+// denominator (an empty interval) renders as 0.000.
+func appendRate(b []byte, num, den float64) []byte {
+	v := 0.0
+	if den > 0 {
+		v = num / den
+	}
+	return strconv.AppendFloat(b, v, 'f', 3, 64)
+}
+
+// WriteCounterJSON writes the series as a standalone Chrome trace-event
+// file of counter tracks — load it in Perfetto next to a Config.TraceJSON
+// trace of the same run and the tracks line up on the same time axis.
+func (s *Series) WriteCounterJSON(w io.Writer) error {
+	cw := trace.NewCounterWriter(w)
+	prevAt := sim.Time(0)
+	for _, sm := range s.Samples {
+		iv := sm.At - prevAt
+		prevAt = sm.At
+		secs := float64(iv) / float64(sim.Second)
+		nodeSecs := float64(int64(iv) * int64(s.Nodes))
+		d := &sm.Delta
+		cw.Counter("faults/s", sm.At,
+			trace.CounterVal{Key: "read", Val: rate(float64(d.ReadFaults), secs)},
+			trace.CounterVal{Key: "write", Val: rate(float64(d.WriteFaults), secs)})
+		cw.Counter("stall fraction", sm.At,
+			trace.CounterVal{Key: "data", Val: rate(float64(d.ReadStall+d.WriteStall), nodeSecs)},
+			trace.CounterVal{Key: "sync", Val: rate(float64(d.LockStall+d.BarrierStall), nodeSecs)},
+			trace.CounterVal{Key: "proto", Val: rate(float64(d.FlushTime+d.Stolen), nodeSecs)})
+		cw.Counter("diff bytes/s", sm.At,
+			trace.CounterVal{Key: "bytes", Val: rate(float64(d.DiffPayloadBytes), secs)})
+		cw.Counter("lock queue", sm.At,
+			trace.CounterVal{Key: "waiters", Val: float64(sm.LockQueue)})
+	}
+	return cw.Flush()
+}
+
+func rate(num, den float64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}

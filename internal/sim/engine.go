@@ -126,6 +126,15 @@ type Engine struct {
 	interrupt      func() error
 	interruptCount int
 
+	// sampler, when set, fires at every multiple of sampleEvery that
+	// virtual time crosses. It is not an event: the queue never sees it,
+	// so it cannot reorder dispatches, keep Run alive, or advance the
+	// final clock past the last real event. nextSample is the first
+	// boundary not yet fired.
+	sampler     func(boundary Time)
+	sampleEvery Time
+	nextSample  Time
+
 	// yield is signalled by a Proc when it hands control back to the engine.
 	yield chan struct{}
 
@@ -159,6 +168,27 @@ func (e *Engine) SetHooks(h Hooks) { e.hooks = h }
 // events; a non-nil return aborts Run with that error. The function must
 // not touch engine state. Call before Run.
 func (e *Engine) SetInterrupt(fn func() error) { e.interrupt = fn }
+
+// SetSampler arranges for fn(boundary) to fire at every multiple of every
+// (every, 2*every, ...) that virtual time crosses during Run. The sampler
+// is strictly observational — like Hooks, fn must not schedule events,
+// advance time, or touch procs — and it is not implemented as an event:
+// Run fires all due boundaries immediately before dispatching the first
+// event at or past them, so the event queue, the dispatch order, and the
+// final value of Now are exactly what they would be with no sampler set.
+// Boundaries past the last queued event never fire; callers that need a
+// final partial interval flush it themselves after Run returns.
+// Call before Run with every > 0, or with fn nil to clear.
+func (e *Engine) SetSampler(every Time, fn func(boundary Time)) {
+	if fn == nil {
+		e.sampler, e.sampleEvery, e.nextSample = nil, 0, 0
+		return
+	}
+	if every <= 0 {
+		panic("sim: SetSampler with non-positive interval")
+	}
+	e.sampler, e.sampleEvery, e.nextSample = fn, every, every
+}
 
 // Schedule registers fn to run at virtual time at. If at is in the past it
 // runs at the current time (after already-queued events for that time).
@@ -276,6 +306,18 @@ func (e *Engine) Run() error {
 		ev := e.pop()
 		if e.limit > 0 && ev.at > e.limit {
 			return fmt.Errorf("sim: virtual time limit %v exceeded (event at %v)", e.limit, ev.at)
+		}
+		if e.sampler != nil {
+			// Fire every sample boundary the clock is about to cross.
+			// Boundaries are strictly after the previous event's time (all
+			// earlier ones already fired), so advancing now to each keeps
+			// the clock monotonic and lets the sampler read a consistent
+			// Now() without perturbing when ev itself runs.
+			for e.nextSample <= ev.at {
+				e.now = e.nextSample
+				e.sampler(e.nextSample)
+				e.nextSample += e.sampleEvery
+			}
 		}
 		e.now = ev.at
 		if e.hooks.Dispatch != nil {

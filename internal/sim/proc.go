@@ -119,11 +119,14 @@ func (p *Proc) Sleep(d Time) {
 	// relative order because their sequence numbers are untouched.
 	// Conditions that force the slow path: an event due at or before `at`
 	// (it must run first), a Dispatch hook (it observes every dispatch), a
-	// pending Stop or time limit (Run's loop must see this wake-up), or an
-	// interrupt poll falling due (the poll happens in Run's loop).
+	// pending Stop or time limit (Run's loop must see this wake-up), an
+	// interrupt poll falling due (the poll happens in Run's loop), or a
+	// sample boundary inside (now, at] (boundaries fire in Run's loop, so
+	// the wake-up must travel through it).
 	if (len(e.events) == 0 || at < e.events[0].at) &&
 		e.hooks.Dispatch == nil && !e.stopped &&
-		(e.limit == 0 || at <= e.limit) {
+		(e.limit == 0 || at <= e.limit) &&
+		(e.sampler == nil || at < e.nextSample) {
 		if e.interrupt != nil {
 			if e.interruptCount+1 >= interruptStride {
 				goto slow

@@ -1,0 +1,82 @@
+package sim
+
+import "testing"
+
+// TestSamplerFiresOnBoundaries: the sampler fires once per crossed
+// boundary, in order, at the boundary's own virtual time, and never past
+// the last real event.
+func TestSamplerFiresOnBoundaries(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	var nowAt []Time
+	e.SetSampler(10, func(b Time) {
+		fired = append(fired, b)
+		nowAt = append(nowAt, e.Now())
+	})
+	for _, at := range []Time{5, 25, 26, 47} {
+		e.Schedule(at, func() {})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{10, 20, 30, 40}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] || nowAt[i] != want[i] {
+			t.Fatalf("boundary %d fired at %v (now %v), want %v", i, fired[i], nowAt[i], want[i])
+		}
+	}
+	if e.Now() != 47 {
+		t.Fatalf("final time %v, want 47 (sampler must not advance the clock)", e.Now())
+	}
+}
+
+// TestSamplerDoesNotPerturbSleep: a proc sleeping across boundaries wakes
+// at exactly the same times with and without a sampler (the fast path is
+// bypassed, but the slow path is semantically identical).
+func TestSamplerDoesNotPerturbSleep(t *testing.T) {
+	run := func(sample bool) []Time {
+		e := NewEngine()
+		ticks := 0
+		if sample {
+			e.SetSampler(7, func(Time) { ticks++ })
+		}
+		var wakes []Time
+		e.NewProc("p", 0, func(p *Proc) {
+			for i := 0; i < 5; i++ {
+				p.Sleep(13)
+				wakes = append(wakes, p.Now())
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if sample && ticks == 0 {
+			t.Fatal("sampler never fired")
+		}
+		return wakes
+	}
+	plain, sampled := run(false), run(true)
+	for i := range plain {
+		if plain[i] != sampled[i] {
+			t.Fatalf("wake %d: %v without sampler, %v with", i, plain[i], sampled[i])
+		}
+	}
+}
+
+// TestSamplerClear: SetSampler(0, nil) removes the sampler.
+func TestSamplerClear(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.SetSampler(10, func(Time) { fired = true })
+	e.SetSampler(0, nil)
+	e.Schedule(100, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cleared sampler fired")
+	}
+}

@@ -100,7 +100,14 @@ func (h *Histogram) Quantile(q float64) int64 {
 		if cum+float64(c) >= rank {
 			lo, hi := bucketBounds(i)
 			frac := (rank - cum) / float64(c)
-			return lo + int64(frac*float64(hi-lo))
+			// frac is in [0, 1], but float64 cannot represent the top
+			// bucket's width exactly: frac*float64(hi-lo) can round up
+			// past the width and overflow lo's addition. Clamp to hi.
+			off := int64(frac * float64(hi-lo))
+			if off < 0 || off > hi-lo {
+				return hi
+			}
+			return lo + off
 		}
 		cum += float64(c)
 	}

@@ -113,3 +113,72 @@ func TestHistogramSummary(t *testing.T) {
 		t.Fatalf("Summary = %q", s)
 	}
 }
+
+// TestHistogramMergeEmpty: merging an empty histogram in either direction
+// is the identity — the sampler merges partial histograms constantly, and
+// intervals with no events must not move any quantile.
+func TestHistogramMergeEmpty(t *testing.T) {
+	var full, empty Histogram
+	for _, v := range []int64{100, 200, 400, 800} {
+		full.Observe(v)
+	}
+	before := full
+	full.Merge(&empty)
+	if full != before {
+		t.Fatal("merging an empty histogram changed the receiver")
+	}
+	var dst Histogram
+	dst.Merge(&full)
+	if dst != full {
+		t.Fatal("merging into an empty histogram did not copy it")
+	}
+	if empty.Count != 0 || empty.Sum != 0 {
+		t.Fatal("empty histogram mutated by being merged")
+	}
+}
+
+// TestHistogramSingleSampleQuantiles: with exactly one sample, every
+// quantile must land inside that sample's bucket, across the whole range
+// of bucket sizes (including bucket 1's lo == hi degenerate bounds).
+func TestHistogramSingleSampleQuantiles(t *testing.T) {
+	for _, v := range []int64{1, 2, 3, 1000, 1 << 40, math.MaxInt64} {
+		var h Histogram
+		h.Observe(v)
+		lo, hi := bucketBounds(bucketOf(v))
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			got := h.Quantile(q)
+			if got < lo || got > hi {
+				t.Errorf("sample %d: Quantile(%v) = %d outside bucket [%d, %d]",
+					v, q, got, lo, hi)
+			}
+		}
+	}
+}
+
+// TestHistogramOverflowBucket: values at and around the top bucket's lower
+// bound land in bucket 63, whose upper bound saturates at MaxInt64 instead
+// of overflowing to a negative bound.
+func TestHistogramOverflowBucket(t *testing.T) {
+	top := int64(1) << 62
+	var h Histogram
+	for _, v := range []int64{top, top + 1, math.MaxInt64} {
+		h.Observe(v)
+	}
+	if got := h.Buckets[63]; got != 3 {
+		t.Fatalf("bucket 63 holds %d samples, want 3", got)
+	}
+	lo, hi := bucketBounds(63)
+	if lo != top || hi != math.MaxInt64 {
+		t.Fatalf("bucket 63 bounds [%d, %d], want [%d, %d]", lo, hi, top, int64(math.MaxInt64))
+	}
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if got := h.Quantile(q); got < lo {
+			t.Errorf("Quantile(%v) = %d below the overflow bucket's bound %d", q, got, lo)
+		}
+	}
+	if h.Sum != top+(top+1)+math.MaxInt64 {
+		// Sum may wrap for adversarial inputs; real virtual-time samples
+		// cannot reach it, but the wrap must at least be deterministic.
+		t.Logf("Sum wrapped to %d (expected for MaxInt64-scale samples)", h.Sum)
+	}
+}

@@ -35,6 +35,7 @@ type Node struct {
 	BarrierStall sim.Time // blocked at barriers
 	FlushTime    sim.Time // release-time diff creation and flushing (HLRC)
 	Stolen       sim.Time // protocol service stolen from computation
+	Idle         sim.Time // after this node finished, waiting for the run to end
 
 	// Latency distributions (virtual nanoseconds). The flat stall totals
 	// above give the paper's breakdown; these give the shape behind it —
@@ -67,6 +68,7 @@ func (n *Node) Add(other *Node) {
 	n.BarrierStall += other.BarrierStall
 	n.FlushTime += other.FlushTime
 	n.Stolen += other.Stolen
+	n.Idle += other.Idle
 	n.ReadFaultTime.Merge(&other.ReadFaultTime)
 	n.WriteFaultTime.Merge(&other.WriteFaultTime)
 	n.LockWait.Merge(&other.LockWait)
@@ -75,3 +77,108 @@ func (n *Node) Add(other *Node) {
 
 // Reset zeroes every counter (used at the parallel-phase boundary).
 func (n *Node) Reset() { *n = Node{} }
+
+// Snapshot is the histogram-free slice of Node: every counter and time
+// component, but none of the latency distributions. Copying one is a few
+// dozen words, so the metrics sampler and phase accountant can snapshot
+// all nodes at every boundary without touching the 2 KB of histogram
+// buckets a full Node copy would drag along.
+type Snapshot struct {
+	ReadFaults       int64
+	WriteFaults      int64
+	Invalidations    int64
+	TwinsCreated     int64
+	DiffsCreated     int64
+	DiffsApplied     int64
+	DiffPayloadBytes int64
+	WriteNoticesSent int64
+	WriteNoticesRecv int64
+	HomeMigrations   int64
+	Forwards         int64
+	LockAcquires     int64
+	BarrierEntries   int64
+
+	Compute      sim.Time
+	ReadStall    sim.Time
+	WriteStall   sim.Time
+	LockStall    sim.Time
+	BarrierStall sim.Time
+	FlushTime    sim.Time
+	Stolen       sim.Time
+}
+
+// Snap copies the histogram-free fields of n into a Snapshot.
+func (n *Node) Snap() Snapshot {
+	return Snapshot{
+		ReadFaults:       n.ReadFaults,
+		WriteFaults:      n.WriteFaults,
+		Invalidations:    n.Invalidations,
+		TwinsCreated:     n.TwinsCreated,
+		DiffsCreated:     n.DiffsCreated,
+		DiffsApplied:     n.DiffsApplied,
+		DiffPayloadBytes: n.DiffPayloadBytes,
+		WriteNoticesSent: n.WriteNoticesSent,
+		WriteNoticesRecv: n.WriteNoticesRecv,
+		HomeMigrations:   n.HomeMigrations,
+		Forwards:         n.Forwards,
+		LockAcquires:     n.LockAcquires,
+		BarrierEntries:   n.BarrierEntries,
+		Compute:          n.Compute,
+		ReadStall:        n.ReadStall,
+		WriteStall:       n.WriteStall,
+		LockStall:        n.LockStall,
+		BarrierStall:     n.BarrierStall,
+		FlushTime:        n.FlushTime,
+		Stolen:           n.Stolen,
+	}
+}
+
+// Sub returns the field-wise difference s - prev (deltas over an interval).
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	return Snapshot{
+		ReadFaults:       s.ReadFaults - prev.ReadFaults,
+		WriteFaults:      s.WriteFaults - prev.WriteFaults,
+		Invalidations:    s.Invalidations - prev.Invalidations,
+		TwinsCreated:     s.TwinsCreated - prev.TwinsCreated,
+		DiffsCreated:     s.DiffsCreated - prev.DiffsCreated,
+		DiffsApplied:     s.DiffsApplied - prev.DiffsApplied,
+		DiffPayloadBytes: s.DiffPayloadBytes - prev.DiffPayloadBytes,
+		WriteNoticesSent: s.WriteNoticesSent - prev.WriteNoticesSent,
+		WriteNoticesRecv: s.WriteNoticesRecv - prev.WriteNoticesRecv,
+		HomeMigrations:   s.HomeMigrations - prev.HomeMigrations,
+		Forwards:         s.Forwards - prev.Forwards,
+		LockAcquires:     s.LockAcquires - prev.LockAcquires,
+		BarrierEntries:   s.BarrierEntries - prev.BarrierEntries,
+		Compute:          s.Compute - prev.Compute,
+		ReadStall:        s.ReadStall - prev.ReadStall,
+		WriteStall:       s.WriteStall - prev.WriteStall,
+		LockStall:        s.LockStall - prev.LockStall,
+		BarrierStall:     s.BarrierStall - prev.BarrierStall,
+		FlushTime:        s.FlushTime - prev.FlushTime,
+		Stolen:           s.Stolen - prev.Stolen,
+	}
+}
+
+// AddTo accumulates s into dst field-wise.
+func (s Snapshot) AddTo(dst *Snapshot) {
+	dst.ReadFaults += s.ReadFaults
+	dst.WriteFaults += s.WriteFaults
+	dst.Invalidations += s.Invalidations
+	dst.TwinsCreated += s.TwinsCreated
+	dst.DiffsCreated += s.DiffsCreated
+	dst.DiffsApplied += s.DiffsApplied
+	dst.DiffPayloadBytes += s.DiffPayloadBytes
+	dst.WriteNoticesSent += s.WriteNoticesSent
+	dst.WriteNoticesRecv += s.WriteNoticesRecv
+	dst.HomeMigrations += s.HomeMigrations
+	dst.Forwards += s.Forwards
+	dst.LockAcquires += s.LockAcquires
+	dst.BarrierEntries += s.BarrierEntries
+	dst.Compute += s.Compute
+	dst.ReadStall += s.ReadStall
+	dst.WriteStall += s.WriteStall
+	dst.LockStall += s.LockStall
+	dst.BarrierStall += s.BarrierStall
+	dst.FlushTime += s.FlushTime
+	dst.Stolen += s.Stolen
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"dsmsim/internal/core"
+	"dsmsim/internal/metrics"
 	"dsmsim/internal/stats"
 )
 
@@ -20,7 +21,15 @@ import (
 type Sink struct {
 	progress   io.Writer
 	csv        *csvSink
+	samples    *sampleSink
 	histograms bool
+
+	// enriched switches progress lines to the metrics format: a
+	// completion counter prefix and per-run fault/traffic fields. The
+	// counter counts emissions, which happen in canonical sweep order, so
+	// enriched output is as parallelism-independent as the legacy format.
+	enriched bool
+	emitted  int
 
 	mu     sync.Mutex // guards ch against Emit/Close races
 	ch     chan func()
@@ -28,12 +37,17 @@ type Sink struct {
 	closed bool
 }
 
-// NewSink builds a sink. progress and csv may be nil; histograms adds a
-// latency-distribution line after each run record.
-func NewSink(progress, csv io.Writer, histograms bool) *Sink {
-	s := &Sink{progress: progress, histograms: histograms, ch: make(chan func(), 64), done: make(chan struct{})}
+// NewSink builds a sink. progress, csv and samples may be nil; histograms
+// adds a latency-distribution line after each run record; enriched selects
+// the counter-prefixed progress format (the live-metrics mode).
+func NewSink(progress, csv io.Writer, histograms bool, samples io.Writer, enriched bool) *Sink {
+	s := &Sink{progress: progress, histograms: histograms, enriched: enriched,
+		ch: make(chan func(), 64), done: make(chan struct{})}
 	if csv != nil {
 		s.csv = &csvSink{w: csv}
+	}
+	if samples != nil {
+		s.samples = &sampleSink{w: samples}
 	}
 	go func() {
 		defer close(s.done)
@@ -50,11 +64,22 @@ func NewSink(progress, csv io.Writer, histograms bool) *Sink {
 func (s *Sink) Emit(k Key, res *core.Result) {
 	s.enqueue(func() {
 		if s.progress != nil {
+			prefix := ""
+			if s.enriched {
+				s.emitted++
+				prefix = fmt.Sprintf("[%4d] ", s.emitted)
+			}
 			if k.Sequential {
-				fmt.Fprintf(s.progress, "seq  %-18s T=%v\n", k.App, res.Time)
+				fmt.Fprintf(s.progress, "%sseq  %-18s T=%v\n", prefix, k.App, res.Time)
 			} else {
-				fmt.Fprintf(s.progress, "run  %-18s %-5s %4dB %-9s T=%v\n",
-					k.App, k.Protocol, k.Block, k.Notify, res.Time)
+				if s.enriched {
+					fmt.Fprintf(s.progress, "%srun  %-18s %-5s %4dB %-9s T=%v rf=%d wf=%d msgs=%d\n",
+						prefix, k.App, k.Protocol, k.Block, k.Notify, res.Time,
+						res.Total.ReadFaults, res.Total.WriteFaults, res.NetMsgs)
+				} else {
+					fmt.Fprintf(s.progress, "run  %-18s %-5s %4dB %-9s T=%v\n",
+						k.App, k.Protocol, k.Block, k.Notify, res.Time)
+				}
 				if s.histograms {
 					fault := FaultHist(res)
 					fmt.Fprintf(s.progress, "lat  %-18s fault[%s] msg[%s] lock[%s]\n",
@@ -64,6 +89,9 @@ func (s *Sink) Emit(k Key, res *core.Result) {
 		}
 		if s.csv != nil && !k.Sequential {
 			s.csv.Write(res)
+		}
+		if s.samples != nil && !k.Sequential && res.Samples != nil {
+			s.samples.Write(k, res)
 		}
 	})
 }
@@ -157,6 +185,34 @@ func (c *csvSink) Write(res *core.Result) {
 		fault.P50(), fault.P90(), fault.P99(),
 		res.MsgLatency.P50(), res.MsgLatency.P90(), res.MsgLatency.P99(),
 		t.LockWait.P50(), t.LockWait.P90(), t.LockWait.P99())
+}
+
+// sampleSink writes each run's sampler time-series as CSV rows prefixed
+// with the run-key columns. Same header discipline as csvSink: written
+// once, suppressed on an append-mode file with existing records. Rows
+// reach it in canonical sweep order through the Sink goroutine, so the
+// file is byte-identical at any parallelism.
+type sampleSink struct {
+	mu     sync.Mutex
+	w      io.Writer
+	header bool
+}
+
+// sampleHeader prefixes the series schema with the run-key columns.
+const sampleHeader = "app,protocol,block,notify,nodes," + metrics.SeriesHeader
+
+// Write appends one run's series.
+func (c *sampleSink) Write(k Key, res *core.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.header {
+		c.header = true
+		if !hasExistingData(c.w) {
+			fmt.Fprintln(c.w, sampleHeader)
+		}
+	}
+	prefix := fmt.Sprintf("%s,%s,%d,%s,%d,", res.App, res.Protocol, res.BlockSize, res.Notify, res.Nodes)
+	c.w.Write(res.Samples.AppendRows(nil, prefix))
 }
 
 // hasExistingData reports whether w is a seekable file that already holds

@@ -22,9 +22,11 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"dsmsim/internal/apps"
 	"dsmsim/internal/core"
+	"dsmsim/internal/metrics"
 	"dsmsim/internal/network"
 	"dsmsim/internal/sim"
 )
@@ -126,6 +128,19 @@ type Options struct {
 	CSV io.Writer
 	// Histograms adds a latency-distribution line after each run record.
 	Histograms bool
+	// SampleEvery attaches the virtual-time metrics sampler to every run
+	// (strictly observational; results are unchanged).
+	SampleEvery sim.Time
+	// SampleCSV, if non-nil, receives each run's sampler series as CSV
+	// rows prefixed with the run-key columns, in canonical sweep order —
+	// like every other sink output, byte-identical at any parallelism.
+	// Requires SampleEvery.
+	SampleCSV io.Writer
+	// Metrics, if non-nil, receives live progress (point started/done,
+	// wall-clock runtimes) for the HTTP exporter, and switches the
+	// progress lines to the enriched format with a completion counter.
+	// Wall-clock data never reaches the deterministic outputs.
+	Metrics *metrics.Registry
 }
 
 // Engine runs sweeps. It owns the memo and the output sink, so one Engine
@@ -148,7 +163,8 @@ func New(opts Options) *Engine {
 	return &Engine{
 		opts: opts,
 		memo: NewMemo(),
-		sink: NewSink(opts.Progress, opts.CSV, opts.Histograms),
+		sink: NewSink(opts.Progress, opts.CSV, opts.Histograms,
+			opts.SampleCSV, opts.Metrics != nil),
 	}
 }
 
@@ -162,10 +178,38 @@ func (e *Engine) Workers() int { return e.opts.Workers }
 // Flush blocks until all output enqueued so far is written.
 func (e *Engine) Flush() { e.sink.Flush() }
 
+// runKey is the memoized run step shared by RunOne and Run's workers: it
+// computes (or waits for) the key's result, reporting the point's lifetime
+// and wall-clock runtime to the live metrics registry when one is attached.
+func (e *Engine) runKey(ctx context.Context, k Key) (*core.Result, error, bool) {
+	reg := e.opts.Metrics
+	var began time.Time
+	if reg != nil {
+		reg.PointStarted(k.String())
+		began = time.Now()
+	}
+	res, err, fresh := e.memo.Do(k, func() (*core.Result, error) { return e.compute(ctx, k) })
+	if reg != nil {
+		pr := metrics.PointResult{Key: k.String(), Wall: time.Since(began), Memoized: !fresh}
+		if res != nil {
+			pr.Virtual = res.Time
+			pr.ReadFaults = res.Total.ReadFaults
+			pr.WriteFaults = res.Total.WriteFaults
+			pr.NetMsgs = res.NetMsgs
+			pr.NetBytes = res.NetBytes
+		}
+		reg.PointDone(pr)
+	}
+	return res, err, fresh
+}
+
 // RunOne returns the (memoized) result for one key, emitting its progress
 // line and CSV record if this call computed it.
 func (e *Engine) RunOne(ctx context.Context, k Key) (*core.Result, error) {
-	res, err, fresh := e.memo.Do(k, func() (*core.Result, error) { return e.compute(ctx, k) })
+	if reg := e.opts.Metrics; reg != nil {
+		reg.AddTotal(1)
+	}
+	res, err, fresh := e.runKey(ctx, k)
 	if err != nil {
 		return nil, err
 	}
@@ -186,6 +230,9 @@ func (e *Engine) Run(ctx context.Context, keys []Key) ([]*core.Result, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	if reg := e.opts.Metrics; reg != nil {
+		reg.AddTotal(len(keys))
+	}
 	n := len(keys)
 	results := make([]*core.Result, n)
 	errs := make([]error, n)
@@ -216,9 +263,7 @@ func (e *Engine) Run(ctx context.Context, keys []Key) ([]*core.Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				res, err, fresh := e.memo.Do(keys[i], func() (*core.Result, error) {
-					return e.compute(ctx, keys[i])
-				})
+				res, err, fresh := e.runKey(ctx, keys[i])
 				if err != nil {
 					cancel() // abort the rest of the sweep promptly
 				}
@@ -271,7 +316,7 @@ func (e *Engine) compute(ctx context.Context, k Key) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.Config{Limit: e.opts.Limit}
+	cfg := core.Config{Limit: e.opts.Limit, SampleEvery: e.opts.SampleEvery}
 	if k.Sequential {
 		cfg.Sequential = true
 		cfg.BlockSize = 4096

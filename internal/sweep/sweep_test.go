@@ -8,12 +8,15 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
 	"dsmsim/internal/apps"
 	"dsmsim/internal/core"
+	"dsmsim/internal/metrics"
 	"dsmsim/internal/network"
+	"dsmsim/internal/sim"
 )
 
 // testSpec is a small-but-real slice of the evaluation matrix: 2 apps ×
@@ -95,6 +98,51 @@ func TestParallelByteIdenticalToSerial(t *testing.T) {
 	}
 	if p1 == "" || c1 == "" {
 		t.Fatal("no output produced")
+	}
+}
+
+// TestSamplerCSVParallelDeterminism extends the byte-identity guarantee to
+// the metrics surfaces: with sampling and a live registry attached, the
+// sampler CSV and the enriched progress lines from an 8-worker sweep are
+// byte-identical to a 1-worker sweep, and the registry agrees on the counts.
+func TestSamplerCSVParallelDeterminism(t *testing.T) {
+	run := func(workers int) (progress, samples string, reg *metrics.Registry) {
+		var pb, sb bytes.Buffer
+		reg = metrics.NewRegistry()
+		e := New(Options{Size: apps.Small, Workers: workers, Progress: &pb,
+			SampleEvery: 200 * sim.Microsecond, SampleCSV: &sb, Metrics: reg})
+		if _, err := e.Run(context.Background(), testSpec().Points()); err != nil {
+			t.Fatal(err)
+		}
+		e.sink.Close()
+		return pb.String(), sb.String(), reg
+	}
+	p1, s1, _ := run(1)
+	p8, s8, reg := run(8)
+	if s1 != s8 {
+		t.Fatalf("sampler CSV diverged between 1 and 8 workers:\n-- serial --\n%s\n-- parallel --\n%s", s1, s8)
+	}
+	if p1 != p8 {
+		t.Fatalf("enriched progress diverged:\n-- serial --\n%s\n-- parallel --\n%s", p1, p8)
+	}
+	if s1 == "" {
+		t.Fatal("no sampler CSV produced")
+	}
+	lines := strings.Split(strings.TrimRight(s1, "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "app,protocol,block,notify,nodes,t_ns,") {
+		t.Fatalf("sample CSV header = %q", lines[0])
+	}
+	// 8 matrix points (baselines emit no samples), several rows each.
+	if len(lines) < 9 {
+		t.Fatalf("only %d sample CSV lines", len(lines))
+	}
+	// Enriched lines carry the emission counter and fault fields.
+	if !strings.Contains(p1, "[   1] ") || !strings.Contains(p1, "rf=") {
+		t.Fatalf("progress not in enriched format:\n%s", p1)
+	}
+	snap := reg.Snapshot()
+	if snap.Total != 10 || snap.Completed != 10 || snap.Running != 0 {
+		t.Fatalf("registry after sweep: %+v", snap)
 	}
 }
 
@@ -272,7 +320,7 @@ func TestCSVSinkAppendAware(t *testing.T) {
 
 func TestSinkSerializesLogf(t *testing.T) {
 	var buf bytes.Buffer
-	s := NewSink(&buf, nil, false)
+	s := NewSink(&buf, nil, false, nil, false)
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		i := i
@@ -299,7 +347,7 @@ func TestSinkSerializesLogf(t *testing.T) {
 
 func TestSinkEmitAfterClose(t *testing.T) {
 	var buf bytes.Buffer
-	s := NewSink(&buf, nil, false)
+	s := NewSink(&buf, nil, false, nil, false)
 	s.Close()
 	s.Logf("late") // must not panic; degrades to synchronous
 	if !bytes.Contains(buf.Bytes(), []byte("late")) {

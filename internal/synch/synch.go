@@ -82,6 +82,18 @@ func New(env *proto.Env) *Sync {
 // SetProtocol attaches the coherence protocol whose hooks the manager calls.
 func (s *Sync) SetProtocol(p proto.Protocol) { s.proto = p }
 
+// QueuedWaiters returns how many nodes are currently queued behind held
+// locks, machine-wide. Purely observational — a sum over the lock table,
+// so map iteration order cannot leak into the value — and read by the
+// metrics sampler as the lock-queue-depth gauge.
+func (s *Sync) QueuedWaiters() int64 {
+	var n int64
+	for _, st := range s.locks {
+		n += int64(len(st.queue))
+	}
+	return n
+}
+
 // lockHome returns the node managing the given lock.
 func (s *Sync) lockHome(lock int) int { return lock % s.env.Nodes() }
 

@@ -77,12 +77,15 @@ func (r *SweepResult) Get(app, protocol string, block int, notify Notify) *Resul
 
 // sweepConfig collects the functional options of Sweep.
 type sweepConfig struct {
-	workers    int
-	progress   io.Writer
-	csv        io.Writer
-	histograms bool
-	verify     *bool
-	limit      Time
+	workers     int
+	progress    io.Writer
+	csv         io.Writer
+	histograms  bool
+	verify      *bool
+	limit       Time
+	sampleEvery Time
+	sampleCSV   io.Writer
+	metrics     *Metrics
 }
 
 // SweepOption customizes a Sweep call.
@@ -114,6 +117,27 @@ func WithVerify(v bool) SweepOption { return func(c *sweepConfig) { c.verify = &
 // WithLimit bounds each run's virtual time (0 restores the generous
 // default).
 func WithLimit(t Time) SweepOption { return func(c *sweepConfig) { c.limit = t } }
+
+// WithSampleEvery attaches the virtual-time metrics sampler to every run,
+// snapshotting per-interval deltas of the node counters. Sampling is
+// strictly observational: results, progress lines and CSV records are
+// unchanged. Each run's series is available as Result.Samples.
+func WithSampleEvery(every Time) SweepOption {
+	return func(c *sweepConfig) { c.sampleEvery = every }
+}
+
+// WithSampleCSV streams every run's sampler time-series to w as CSV rows
+// prefixed with the run-key columns, in canonical sweep order — like all
+// sweep output, byte-identical at any parallelism. Requires
+// WithSampleEvery.
+func WithSampleCSV(w io.Writer) SweepOption { return func(c *sweepConfig) { c.sampleCSV = w } }
+
+// WithMetrics attaches a live metrics registry: the sweep reports point
+// lifecycle and wall-clock runtimes to m (servable over HTTP with
+// Metrics.Serve), and progress lines switch to an enriched format with a
+// completion counter and per-run fault/traffic fields. Wall-clock data
+// stays on the live surface only; deterministic outputs are unaffected.
+func WithMetrics(m *Metrics) SweepOption { return func(c *sweepConfig) { c.metrics = m } }
 
 // Sweep runs the spec's cross-product of simulations, fanning independent
 // runs out over a host-level worker pool. Every run is an independent
@@ -154,13 +178,16 @@ func Sweep(ctx context.Context, spec SweepSpec, opts ...SweepOption) (*SweepResu
 		verify = *c.verify
 	}
 	eng := sweep.New(sweep.Options{
-		Size:       spec.Size,
-		Workers:    c.workers,
-		Verify:     verify,
-		Limit:      c.limit,
-		Progress:   c.progress,
-		CSV:        c.csv,
-		Histograms: c.histograms,
+		Size:        spec.Size,
+		Workers:     c.workers,
+		Verify:      verify,
+		Limit:       c.limit,
+		Progress:    c.progress,
+		CSV:         c.csv,
+		Histograms:  c.histograms,
+		SampleEvery: c.sampleEvery,
+		SampleCSV:   c.sampleCSV,
+		Metrics:     c.metrics,
 	})
 	points := sweep.Dedupe(sweep.Spec{
 		Apps:          spec.Apps,
