@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test test-short bench bench-json examples paper verify-paper trace-demo sweep-demo metrics-demo clean
+.PHONY: all test test-short bench bench-json examples paper verify-paper trace-demo sweep-demo metrics-demo faults-demo clean
 
 all: test
 
@@ -78,6 +78,15 @@ metrics-demo:
 		-nodes 4 -sample-every 100us \
 		-sample-csv metrics_demo.csv -sample-json metrics_demo.json
 	@echo "wrote metrics_demo.csv and metrics_demo.json — open the JSON at https://ui.perfetto.dev"
+
+# Demonstrate deterministic fault injection: one verified LU run at 1%
+# message loss (the reliability counters print after the messages line),
+# then the degradation table — completion time vs loss rate per protocol.
+faults-demo:
+	$(GO) run ./cmd/dsmrun -app lu -protocol sc -block 4096 -nodes 4 \
+		-faults 'drop=0.01,seed=1'
+	$(GO) run ./cmd/dsmbench -exp degradation -nodes 4 -size small \
+		-progress=false
 
 clean:
 	rm -f results.csv trace.json sweep_p1.txt sweep_pN.txt sweep_p1.csv sweep_pN.csv \

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"dsmsim/internal/apps"
+	"dsmsim/internal/faults"
 	"dsmsim/internal/harness"
 	"dsmsim/internal/metrics"
 	"dsmsim/internal/profiling"
@@ -48,6 +49,10 @@ func main() {
 		sampleCSV    = flag.String("sample-csv", "", "append every run's sampler time-series to this file (needs -sample-every)")
 		metricsAddr  = flag.String("metrics-addr", "", "serve live sweep metrics over HTTP on this address")
 		metricsAfter = flag.Duration("metrics-linger", 0, "keep serving -metrics-addr this long after the run (for scrapers)")
+
+		faultSpec = flag.String("faults", "", "apply a deterministic fault plan to every matrix run: drop=P,dup=P,jitter=DUR,partition=A-B@FROM:TO,seed=N")
+		faultSeed = flag.Uint64("fault-seed", 0, "override the fault plan's PRNG seed (0 keeps the plan's seed)")
+		straggler = flag.String("straggler", "", "straggler node(s): NODExFACTOR[@FROM:TO], comma-separated")
 	)
 	flag.Parse()
 	defer profiling.Start(*cpuProf, *memProf)()
@@ -83,6 +88,23 @@ func main() {
 		}
 		defer f.Close()
 		opts.CSV = f
+	}
+	if *faultSpec != "" || *faultSeed != 0 || *straggler != "" {
+		plan, err := faults.Parse(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		if *straggler != "" {
+			rules, err := faults.ParseStragglers(*straggler)
+			if err != nil {
+				fatal(err)
+			}
+			plan.Add(rules...)
+		}
+		if *faultSeed != 0 {
+			plan.Add(faults.Seed(*faultSeed))
+		}
+		opts.Faults = plan
 	}
 	opts.SampleEvery = sim.Time(*sampleEvery)
 	if *sampleCSV != "" {

@@ -51,6 +51,10 @@ func main() {
 		sampleCSV   = flag.String("sample-csv", "", "write the sampler time-series as CSV to this file (needs -sample-every)")
 		sampleJSON  = flag.String("sample-json", "", "write Chrome-trace counter tracks to this file (single runs only; needs -sample-every)")
 		metricsAddr = flag.String("metrics-addr", "", "serve live sweep metrics over HTTP on this address (sweeps only)")
+
+		faultSpec = flag.String("faults", "", "deterministic fault plan: drop=P,dup=P,jitter=DUR,partition=A-B@FROM:TO,linkdrop=A-B:P,rto=DUR,seed=N")
+		faultSeed = flag.Uint64("fault-seed", 0, "override the fault plan's PRNG seed (0 keeps the plan's seed)")
+		straggler = flag.String("straggler", "", "straggler node(s): NODExFACTOR[@FROM:TO], comma-separated (e.g. '3x2.5' or '0x4@10ms:20ms')")
 	)
 	flag.Parse()
 	defer profiling.Start(*cpuProf, *memProf)()
@@ -69,6 +73,7 @@ func main() {
 		Size:          sz,
 	}
 	points := len(spec.Apps) * len(spec.Protocols) * len(spec.Granularities) * len(spec.Notify)
+	plan := faultPlan(*faultSpec, *faultSeed, *straggler)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -77,25 +82,51 @@ func main() {
 		if *metricsAddr != "" {
 			fatal(fmt.Errorf("-metrics-addr applies to sweeps only (1 configuration selected)"))
 		}
-		runOne(ctx, spec, *verify, *static, *trace, *traceJS,
+		runOne(ctx, spec, plan, *verify, *static, *trace, *traceJS,
 			dsmsim.Time(*sampleEvery), *sampleCSV, *sampleJSON)
 		return
 	}
 	if *static || *trace != "" || *traceJS != "" || *sampleJSON != "" {
 		fatal(fmt.Errorf("-static-homes/-trace/-trace-json/-sample-json apply to single runs only (%d configurations selected)", points))
 	}
-	runSweep(ctx, spec, *verify, *parallel, *csvPath,
+	runSweep(ctx, spec, plan, *verify, *parallel, *csvPath,
 		dsmsim.Time(*sampleEvery), *sampleCSV, *metricsAddr)
+}
+
+// faultPlan builds the fault plan from the -faults / -fault-seed /
+// -straggler flags; nil when none are set.
+func faultPlan(spec string, seed uint64, straggler string) *dsmsim.FaultPlan {
+	if spec == "" && seed == 0 && straggler == "" {
+		return nil
+	}
+	plan, err := dsmsim.ParseFaults(spec)
+	if err != nil {
+		fatal(err)
+	}
+	if straggler != "" {
+		rules, err := dsmsim.ParseStragglers(straggler)
+		if err != nil {
+			fatal(err)
+		}
+		plan.Add(rules...)
+	}
+	if seed != 0 {
+		plan.Add(dsmsim.FaultSeed(seed))
+	}
+	return plan
 }
 
 // runSweep fans the cross product out over the worker pool and prints one
 // speedup row per configuration.
-func runSweep(ctx context.Context, spec dsmsim.SweepSpec, verify bool, parallel int, csvPath string,
+func runSweep(ctx context.Context, spec dsmsim.SweepSpec, plan *dsmsim.FaultPlan, verify bool, parallel int, csvPath string,
 	sampleEvery dsmsim.Time, sampleCSV, metricsAddr string) {
-	opts := []dsmsim.SweepOption{
+	opts := []dsmsim.Option{
 		dsmsim.WithParallelism(parallel),
 		dsmsim.WithProgress(os.Stderr),
 		dsmsim.WithVerify(verify),
+	}
+	if plan != nil {
+		opts = append(opts, dsmsim.WithFaults(plan))
 	}
 	if csvPath != "" {
 		f, err := os.OpenFile(csvPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
@@ -145,7 +176,7 @@ func runSweep(ctx context.Context, spec dsmsim.SweepSpec, verify bool, parallel 
 }
 
 // runOne executes a single configuration with the full statistics dump.
-func runOne(ctx context.Context, spec dsmsim.SweepSpec, verify, static bool, trace, traceJS string,
+func runOne(ctx context.Context, spec dsmsim.SweepSpec, plan *dsmsim.FaultPlan, verify, static bool, trace, traceJS string,
 	sampleEvery dsmsim.Time, sampleCSV, sampleJSON string) {
 	if (sampleCSV != "" || sampleJSON != "") && sampleEvery <= 0 {
 		fatal(fmt.Errorf("-sample-csv/-sample-json need -sample-every"))
@@ -153,6 +184,10 @@ func runOne(ctx context.Context, spec dsmsim.SweepSpec, verify, static bool, tra
 	cfg := dsmsim.Config{
 		Nodes: spec.Nodes, BlockSize: spec.Granularities[0], Protocol: spec.Protocols[0],
 		Notify: spec.Notify[0], StaticHomes: static, SampleEvery: sampleEvery,
+	}
+	opts := []dsmsim.Option{dsmsim.WithVerify(verify)}
+	if plan != nil {
+		opts = append(opts, dsmsim.WithFaults(plan))
 	}
 	if trace != "" {
 		f, err := os.Create(trace)
@@ -162,7 +197,7 @@ func runOne(ctx context.Context, spec dsmsim.SweepSpec, verify, static bool, tra
 		defer f.Close()
 		w := bufio.NewWriter(f)
 		defer w.Flush()
-		cfg.Trace = w
+		opts = append(opts, dsmsim.WithTrace(w))
 	}
 	if traceJS != "" {
 		f, err := os.Create(traceJS)
@@ -172,22 +207,13 @@ func runOne(ctx context.Context, spec dsmsim.SweepSpec, verify, static bool, tra
 		defer f.Close()
 		w := bufio.NewWriter(f)
 		defer w.Flush()
-		cfg.TraceJSON = w
-	}
-	m, err := dsmsim.NewMachine(cfg)
-	if err != nil {
-		fatal(err)
+		opts = append(opts, dsmsim.WithTraceJSON(w))
 	}
 	workload, err := dsmsim.NewApp(spec.Apps[0], spec.Size)
 	if err != nil {
 		fatal(err)
 	}
-	var res *dsmsim.Result
-	if verify {
-		res, err = m.RunVerifiedContext(ctx, workload)
-	} else {
-		res, err = m.RunContext(ctx, workload)
-	}
+	res, err := dsmsim.Start(ctx, cfg, workload, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -216,6 +242,13 @@ func runOne(ctx context.Context, spec dsmsim.SweepSpec, verify, static bool, tra
 	fmt.Printf("  lock acquires   %12d\n", res.Total.LockAcquires)
 	fmt.Printf("  barriers/node   %12d\n", res.Total.BarrierEntries/int64(res.Nodes))
 	fmt.Printf("  messages        %12d  (%.2f MB)\n", res.NetMsgs, float64(res.NetBytes)/1e6)
+	if plan != nil {
+		fmt.Printf("  reliability     retx=%d timeouts=%d wire-drops=%d dups=%d acks=%d\n",
+			res.Retransmits, res.Timeouts, res.WireDrops, res.Duplicates, res.AcksSent)
+		if res.RetransmitLatency.Count > 0 {
+			fmt.Printf("    retransmit   %s\n", res.RetransmitLatency.Summary())
+		}
+	}
 	fmt.Printf("  blocks written  %12d  (multi-writer: %d)\n", res.BlocksWritten, res.MultiWriterBlocks)
 	fmt.Printf("  time breakdown (sums over %d nodes):\n", res.Nodes)
 	fmt.Printf("    compute  %v  read-stall %v  write-stall %v\n",

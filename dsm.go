@@ -15,11 +15,16 @@
 // Applications program against Ctx: typed reads and writes of a shared
 // address space (access-checked per coherence block), explicit computation
 // time, locks, and barriers. The twelve applications of the paper live in
-// internal/apps and are runnable through this package's Run helpers; new
-// workloads implement the App interface.
+// internal/apps and are runnable through Start/StartApp; new workloads
+// implement the App interface.
 //
 //	cfg := dsmsim.Config{Nodes: 16, BlockSize: 4096, Protocol: dsmsim.HLRC}
-//	res, err := dsmsim.RunApp(cfg, "lu", dsmsim.Paper)
+//	res, err := dsmsim.StartApp(ctx, cfg, "lu", dsmsim.Paper, dsmsim.WithVerify())
+//
+// Runs can degrade the machine deterministically: a FaultPlan injects
+// seeded link loss, duplication, delay jitter, timed partitions and
+// straggler nodes, carried by the network's ack/retransmission layer so
+// every run still completes and verifies (see NewFaultPlan, WithFaults).
 //
 // The paper's whole evaluation is a cross-product of configurations; Sweep
 // runs any slice of it over a host-level worker pool with deterministic,
@@ -32,6 +37,8 @@
 package dsmsim
 
 import (
+	"context"
+
 	"dsmsim/internal/apps"
 	"dsmsim/internal/core"
 	"dsmsim/internal/metrics"
@@ -142,23 +149,19 @@ func NewApp(name string, size apps.SizeClass) (App, error) {
 }
 
 // RunApp runs a bundled application under cfg with verification.
+//
+// Deprecated: use StartApp with WithVerify(), which also accepts faults,
+// tracing and cancellation. RunApp(cfg, name, size) is exactly
+// StartApp(context.Background(), cfg, name, size, WithVerify()).
 func RunApp(cfg Config, name string, size apps.SizeClass) (*Result, error) {
-	m, err := NewMachine(cfg)
-	if err != nil {
-		return nil, err
-	}
-	app, err := NewApp(name, size)
-	if err != nil {
-		return nil, err
-	}
-	return m.RunVerified(app)
+	return StartApp(context.Background(), cfg, name, size, WithVerify())
 }
 
 // Run runs a custom App under cfg with verification.
+//
+// Deprecated: use Start with WithVerify(), which also accepts faults,
+// tracing and cancellation. Run(cfg, app) is exactly
+// Start(context.Background(), cfg, app, WithVerify()).
 func Run(cfg Config, app App) (*Result, error) {
-	m, err := NewMachine(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return m.RunVerified(app)
+	return Start(context.Background(), cfg, app, WithVerify())
 }

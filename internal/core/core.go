@@ -7,9 +7,11 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 
+	"dsmsim/internal/faults"
 	"dsmsim/internal/mem"
 	"dsmsim/internal/metrics"
 	"dsmsim/internal/network"
@@ -87,7 +89,30 @@ type Config struct {
 	// the sampler fires between event dispatches, never from the event
 	// queue — so enabling it changes no result and no other output.
 	SampleEvery sim.Time
+	// Faults, when non-nil, injects deterministic failures: seeded link
+	// drops, duplicates, delay jitter and timed partitions (carried by the
+	// network's ack/retransmission layer so runs still complete and
+	// verify), plus per-node compute-dilation straggler windows. A nil or
+	// inactive plan is byte-identical to the fault-free machine; identical
+	// plans (same seed) reproduce runs bit-for-bit. Ignored by Sequential
+	// baselines.
+	Faults *faults.Plan
 }
+
+// Typed validation errors returned (wrapped) by Config.Validate and
+// NewMachine; test with errors.Is.
+var (
+	// ErrBadNodes reports a node count outside [1, 64].
+	ErrBadNodes = errors.New("core: invalid node count")
+	// ErrBadBlockSize reports a block size that is not a positive power of two.
+	ErrBadBlockSize = errors.New("core: block size is not a power of two")
+	// ErrNoProtocol reports a non-sequential config with no protocol named.
+	ErrNoProtocol = errors.New("core: no protocol selected")
+	// ErrUnknownProtocol reports a protocol name outside SC/SWLRC/HLRC/DC.
+	ErrUnknownProtocol = errors.New("core: unknown protocol")
+	// ErrBadFaultPlan wraps a fault-plan rule that fails validation.
+	ErrBadFaultPlan = errors.New("core: invalid fault plan")
+)
 
 // Validate checks the configuration.
 func (c *Config) Validate() error {
@@ -95,20 +120,23 @@ func (c *Config) Validate() error {
 		c.Nodes = 1
 	}
 	if c.Nodes <= 0 || c.Nodes > 64 {
-		return fmt.Errorf("core: invalid node count %d", c.Nodes)
+		return fmt.Errorf("%w: %d", ErrBadNodes, c.Nodes)
 	}
 	if c.BlockSize <= 0 || c.BlockSize&(c.BlockSize-1) != 0 {
-		return fmt.Errorf("core: block size %d is not a power of two", c.BlockSize)
+		return fmt.Errorf("%w: %d", ErrBadBlockSize, c.BlockSize)
 	}
 	switch c.Protocol {
 	case SC, SWLRC, HLRC, DC:
 	case "":
 		if !c.Sequential {
-			return fmt.Errorf("core: no protocol selected")
+			return ErrNoProtocol
 		}
 		c.Protocol = SC
 	default:
-		return fmt.Errorf("core: unknown protocol %q", c.Protocol)
+		return fmt.Errorf("%w: %q", ErrUnknownProtocol, c.Protocol)
+	}
+	if err := c.Faults.ValidateFor(c.Nodes); err != nil {
+		return fmt.Errorf("%w: %w", ErrBadFaultPlan, err)
 	}
 	return nil
 }
@@ -154,6 +182,20 @@ type Result struct {
 	NetMsgs    int64
 	NetBytes   int64
 	MsgLatency stats.Histogram
+
+	// Link-layer reliability totals, nonzero only under a wire-active
+	// fault plan: data frames retransmitted after timeouts, timer
+	// expirations, transmissions lost on the wire (injected drops and
+	// partition cuts, frames and acks alike), duplicate frames discarded
+	// by receive-side dedup, and cumulative acks generated.
+	// RetransmitLatency is the first-send→ack distribution of frames that
+	// needed at least one retransmission.
+	Retransmits       int64
+	Timeouts          int64
+	WireDrops         int64
+	Duplicates        int64
+	AcksSent          int64
+	RetransmitLatency stats.Histogram
 
 	// BlocksWritten counts blocks written by at least one node, and
 	// MultiWriterBlocks those written by more than one — the paper's
@@ -237,6 +279,15 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 		engine.SetInterrupt(func() error { return ctx.Err() })
 	}
 	net := network.New(engine, model, cfg.Notify, cfg.Nodes)
+	// Compile the fault plan into this run's injector: each run owns its
+	// PRNG, so identical configs replay bit-for-bit and concurrent runs on
+	// one Machine never share fault state. Sequential baselines measure the
+	// healthy machine and ignore the plan.
+	var inj *faults.Injector
+	if cfg.Faults != nil && !cfg.Sequential {
+		inj = cfg.Faults.Compile(cfg.Nodes)
+		net.SetFaults(inj) // no-op unless the plan has wire-active rules
+	}
 	var tr *trace.Tracer // nil when tracing is off: every emit site costs one branch
 	if cfg.Trace != nil || cfg.TraceJSON != nil {
 		tr = trace.New(engine)
@@ -317,6 +368,15 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 				return msgs, bytes
 			},
 			LockQueue: sy.QueuedWaiters,
+			Retrans: func() (int64, int64) {
+				var rtx, drp int64
+				for i := 0; i < cfg.Nodes; i++ {
+					s := &net.Endpoint(i).Stats
+					rtx += s.Retransmits
+					drp += s.WireDrops
+				}
+				return rtx, drp
+			},
 		})
 		engine.SetSampler(cfg.SampleEvery, sampler.Tick)
 	}
@@ -341,6 +401,9 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 			tracer:   tr,
 			writers:  writers,
 			phases:   phases,
+		}
+		if inj.Straggling() {
+			n.faults = inj // only stragglers dilate Compute; wire faults stay in the network
 		}
 		nodes[i] = n
 		n.ep.Bind(n, m.serviceCost(sy, p), m.handler(sy, p))
@@ -430,6 +493,12 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 		res.NetMsgs += s.MsgsSent
 		res.NetBytes += s.BytesSent
 		res.MsgLatency.Merge(&s.Latency)
+		res.Retransmits += s.Retransmits
+		res.Timeouts += s.Timeouts
+		res.WireDrops += s.WireDrops
+		res.Duplicates += s.Duplicates
+		res.AcksSent += s.AcksSent
+		res.RetransmitLatency.Merge(&s.RetransmitLatency)
 	}
 	for _, w := range writers {
 		if w == 0 {

@@ -55,6 +55,14 @@ func (c *Ctx) Compute(d sim.Time) {
 	if n.dilation > 0 {
 		d += sim.Time(float64(d) * n.dilation)
 	}
+	if n.faults != nil {
+		// A straggler window dilates this node's computation: the whole
+		// Compute call is scaled by the factor in force when it starts,
+		// modeling a slowed clock rather than re-slicing mid-call.
+		if f := n.faults.Dilation(n.id, n.engine.Now()); f > 1 {
+			d = sim.Time(float64(d) * f)
+		}
+	}
 	n.stats.Compute += d
 	target := n.engine.Now() + d
 	for {

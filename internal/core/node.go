@@ -1,6 +1,7 @@
 package core
 
 import (
+	"dsmsim/internal/faults"
 	"dsmsim/internal/mem"
 	"dsmsim/internal/metrics"
 	"dsmsim/internal/network"
@@ -40,6 +41,11 @@ type Node struct {
 	writers []uint64
 
 	dilation float64
+
+	// faults is the run's injector, set only when the plan has straggler
+	// windows: Compute consults Dilation per call. Wire faults never reach
+	// the node — the network's ARQ layer absorbs them.
+	faults *faults.Injector
 
 	// inRuntime is true while the app thread is blocked inside the DSM
 	// runtime (fault, lock, barrier, flush); message service is then

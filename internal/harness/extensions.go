@@ -5,6 +5,7 @@ import (
 
 	"dsmsim/internal/apps"
 	"dsmsim/internal/core"
+	"dsmsim/internal/faults"
 	"dsmsim/internal/metrics"
 	"dsmsim/internal/network"
 	"dsmsim/internal/sim"
@@ -57,6 +58,11 @@ func init() {
 					[]string{core.SC, core.HLRC}, []int{64, 4096}, polling, false)
 			},
 			(*Runner).PhasesTable},
+		{"degradation", "Completion time vs link loss rate per protocol (unreliable network)",
+			// Every run carries its own fault plan, so these are custom
+			// machines outside the memoized matrix; nothing to prefetch.
+			nil,
+			(*Runner).DegradationTable},
 	}
 }
 
@@ -295,6 +301,54 @@ func (r *Runner) SoftwareTable() error {
 			r.printf(" %8.2f", float64(seq)/float64(res.Time))
 		}
 		r.printf("\n")
+	}
+	return nil
+}
+
+// DegradationTable sweeps link loss rate × protocol on one application and
+// reports completion time, slowdown relative to the lossless wire, and the
+// reliability-layer work (retransmissions, wire drops, acks) each protocol
+// pays. Every faulty run still verifies under the runner's verify policy —
+// the ack/retransmission layer hides the loss from the coherence
+// protocols; only the clock shows it. All plans share fault seed 1, so the
+// table is deterministic and byte-identical across hosts and runs.
+func (r *Runner) DegradationTable() error {
+	const app, block = "lu", 4096
+	rates := []float64{0, 0.001, 0.01, 0.05}
+	entry, err := apps.Get(app)
+	if err != nil {
+		return err
+	}
+	r.printf("Degradation under link loss: %s, %s, %dB blocks, %d nodes\n",
+		app, "all protocols", block, r.opts.Nodes)
+	r.printf("%-6s %7s %14s %9s %9s %9s %8s\n",
+		"Proto", "loss", "time", "slowdown", "retx", "drops", "acks")
+	for _, p := range core.Protocols {
+		var lossless sim.Time
+		for _, rate := range rates {
+			cfg := core.Config{
+				Nodes: r.opts.Nodes, BlockSize: block, Protocol: p, Limit: r.opts.Limit,
+			}
+			if rate > 0 {
+				cfg.Faults = faults.NewPlan(faults.Drop(rate), faults.Seed(1))
+			}
+			m, err := core.NewMachine(cfg)
+			if err != nil {
+				return err
+			}
+			res, err := r.runMachine(m, entry)
+			if err != nil {
+				return err
+			}
+			if rate == 0 {
+				lossless = res.Time
+			}
+			r.progress("run  %-18s %-5s %4dB loss=%.3f T=%v retx=%d",
+				app, p, block, rate, res.Time, res.Retransmits)
+			r.printf("%-6s %7.3f %14v %8.3fx %9d %9d %8d\n",
+				p, rate, res.Time, float64(res.Time)/float64(lossless),
+				res.Retransmits, res.WireDrops, res.AcksSent)
+		}
 	}
 	return nil
 }

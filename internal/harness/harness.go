@@ -20,6 +20,7 @@ import (
 
 	"dsmsim/internal/apps"
 	"dsmsim/internal/core"
+	"dsmsim/internal/faults"
 	"dsmsim/internal/metrics"
 	"dsmsim/internal/network"
 	"dsmsim/internal/sim"
@@ -62,6 +63,10 @@ type Options struct {
 	// Metrics, if non-nil, receives live sweep progress for the HTTP
 	// exporter and switches progress lines to the enriched format.
 	Metrics *metrics.Registry
+	// Faults applies a deterministic fault plan to every non-sequential
+	// matrix run (the degradation experiment additionally sweeps its own
+	// loss rates regardless of this plan).
+	Faults *faults.Plan
 }
 
 // Runner executes and caches simulation runs via the sweep engine.
@@ -89,6 +94,7 @@ func New(opts Options) *Runner {
 		SampleEvery: opts.SampleEvery,
 		SampleCSV:   opts.SampleCSV,
 		Metrics:     opts.Metrics,
+		Faults:      opts.Faults,
 	})
 	return &Runner{opts: opts, eng: eng}
 }

@@ -72,10 +72,13 @@ func TestSpeedupPositive(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 26 {
-		t.Fatalf("experiments = %d, want 26 (table1-17, fig1-2, 7 extensions)", len(exps))
+	if len(exps) != 27 {
+		t.Fatalf("experiments = %d, want 27 (table1-17, fig1-2, 8 extensions)", len(exps))
 	}
 	if _, err := Get("fig1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Get("degradation"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Get("nonesuch"); err == nil {
@@ -160,6 +163,41 @@ func TestExtensionExperimentsSmall(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Fatalf("missing %q in:\n%s", want, s)
 		}
+	}
+}
+
+func TestDegradationTableSmall(t *testing.T) {
+	render := func() string {
+		r, out := testRunner(t)
+		if err := r.DegradationTable(); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	s := render()
+	for _, want := range []string{"Degradation under link loss", "sc", "swlrc", "hlrc", "0.050"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+	// The lossless row is the 1.000x baseline; lossy rows must do ARQ work.
+	if !strings.Contains(s, "1.000x") {
+		t.Fatalf("no lossless baseline row:\n%s", s)
+	}
+	var sawRetx bool
+	for _, line := range strings.Split(s, "\n") {
+		f := strings.Fields(line)
+		if len(f) == 7 && f[1] != "loss" && f[1] != "0.000" {
+			if n, err := strconv.Atoi(f[4]); err == nil && n > 0 {
+				sawRetx = true
+			}
+		}
+	}
+	if !sawRetx {
+		t.Fatalf("no lossy row reports retransmissions:\n%s", s)
+	}
+	if again := render(); again != s {
+		t.Fatal("degradation table not deterministic across runners")
 	}
 }
 

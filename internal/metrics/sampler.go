@@ -29,6 +29,9 @@ type Probes struct {
 	Net func() (msgs, bytes int64)
 	// LockQueue returns how many nodes are queued behind held locks now.
 	LockQueue func() int64
+	// Retrans returns cumulative link-layer reliability traffic
+	// (retransmitted frames, wire drops); nil on fault-free runs.
+	Retrans func() (retransmits, drops int64)
 }
 
 // Sample is one interval of the time-series: deltas of every counter and
@@ -39,6 +42,11 @@ type Sample struct {
 	NetMsgs   int64          // messages sent in the interval
 	NetBytes  int64          // bytes sent in the interval
 	LockQueue int64          // nodes queued behind locks at time At (gauge)
+
+	// Retransmits and WireDrops are the interval's link-layer reliability
+	// deltas; zero except under a wire-active fault plan.
+	Retransmits int64
+	WireDrops   int64
 }
 
 // Sampler accumulates Samples at fixed virtual-time boundaries. Tick is
@@ -52,6 +60,8 @@ type Sampler struct {
 	prev    stats.Snapshot
 	prevMsg int64
 	prevByt int64
+	prevRtx int64
+	prevDrp int64
 	series  Series
 }
 
@@ -92,6 +102,11 @@ func (s *Sampler) cut(at sim.Time) {
 	if s.probes.LockQueue != nil {
 		sm.LockQueue = s.probes.LockQueue()
 	}
+	if s.probes.Retrans != nil {
+		r, d := s.probes.Retrans()
+		sm.Retransmits, sm.WireDrops = r-s.prevRtx, d-s.prevDrp
+		s.prevRtx, s.prevDrp = r, d
+	}
 	s.prev = cur
 	s.series.Samples = append(s.series.Samples, sm)
 }
@@ -112,7 +127,8 @@ type Series struct {
 const SeriesHeader = "t_ns,read_faults,write_faults,invalidations,diffs_created,diff_bytes," +
 	"write_notices,lock_acquires,barrier_entries,net_msgs,net_bytes," +
 	"compute_ns,read_stall_ns,write_stall_ns,lock_stall_ns,barrier_stall_ns," +
-	"flush_ns,stolen_ns,lock_queue,fault_rate_hz,stall_frac,diff_bytes_per_s"
+	"flush_ns,stolen_ns,lock_queue,fault_rate_hz,stall_frac,diff_bytes_per_s," +
+	"retransmits,wire_drops"
 
 // WriteCSV writes the header and one row per sample.
 func (s *Series) WriteCSV(w io.Writer) error {
@@ -157,6 +173,10 @@ func (s *Series) AppendRows(b []byte, prefix string) []byte {
 			float64(int64(iv)*int64(s.Nodes)))
 		b = append(b, ',')
 		b = appendRate(b, float64(d.DiffPayloadBytes), secs)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, sm.Retransmits, 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, sm.WireDrops, 10)
 		b = append(b, '\n')
 	}
 	return b
@@ -195,6 +215,9 @@ func (s *Series) WriteCounterJSON(w io.Writer) error {
 			trace.CounterVal{Key: "bytes", Val: rate(float64(d.DiffPayloadBytes), secs)})
 		cw.Counter("lock queue", sm.At,
 			trace.CounterVal{Key: "waiters", Val: float64(sm.LockQueue)})
+		cw.Counter("retransmissions/s", sm.At,
+			trace.CounterVal{Key: "retx", Val: rate(float64(sm.Retransmits), secs)},
+			trace.CounterVal{Key: "drops", Val: rate(float64(sm.WireDrops), secs)})
 	}
 	return cw.Flush()
 }

@@ -1,0 +1,311 @@
+// Link-layer reliability for the fault-injected network.
+//
+// When a fault plan with wire-active rules is attached (SetFaults), every
+// cross-node Send is carried by a simple ARQ protocol instead of the
+// reliable-fabric fast path: frames carry per-directed-link sequence
+// numbers, receivers deliver strictly in order (buffering out-of-order
+// arrivals, discarding duplicates) and acknowledge cumulatively, and
+// senders retransmit on virtual-time timeouts with exponential backoff.
+// The protocols above never see loss — only latency — so SC, SW-LRC and
+// HLRC complete and verify unchanged under drops, duplicates, jitter and
+// transient partitions.
+//
+// Everything runs in engine context off the event queue: retransmissions
+// and acks are NI work, not host-CPU work, so they appear as wire latency
+// but are never charged to the application thread and never enter the
+// endpoint's service queue.
+package network
+
+import (
+	"dsmsim/internal/faults"
+	"dsmsim/internal/sim"
+	"dsmsim/internal/trace"
+)
+
+// rtoSlack pads the computed round-trip estimate so marginally late acks
+// (queued same-instant events, holdoff boundaries) don't trigger spurious
+// retransmissions in the fault-free direction of a lossy run.
+const rtoSlack = 50 * sim.Microsecond
+
+// rtoBackoffCap bounds exponential backoff at this multiple of the initial
+// timeout: long partitions back off instead of hammering the cut link, but
+// recovery is detected within a bounded interval once the window closes.
+const rtoBackoffCap = 16
+
+// SetFaults attaches a compiled fault injector. Only wire-active plans
+// (drops, duplicates, jitter or partitions) switch the network onto the ARQ
+// path; a nil injector or a straggler-only plan leaves every code path —
+// and therefore every byte of output — identical to the fault-free network.
+// Call before any traffic flows.
+func (n *Network) SetFaults(inj *faults.Injector) {
+	if inj.WireActive() {
+		n.faults = inj
+	}
+}
+
+// frame is one sender-side unacknowledged message: the master copy plus the
+// retransmission state. Frames are heap-allocated per send (the fault path
+// trades the zero-alloc discipline for simplicity) and become garbage once
+// acknowledged; the pending timeout event holds the only remaining
+// reference and ignores acked frames.
+type frame struct {
+	m        *Msg // master copy; owns its (pooled) data buffer until acked
+	net      *Network
+	seq      uint64
+	src, dst int
+	sent     sim.Time // first-transmission time
+	rto      sim.Time // current timeout; doubles per expiry
+	rtoCap   sim.Time
+	attempts int
+	acked    bool
+}
+
+// linkTx is the sender side of one directed link.
+type linkTx struct {
+	nextSeq uint64
+	unacked []*frame // in sequence order
+	// lastNominal is the jitter-free arrival time of the link's most recent
+	// transmission: the wire is FIFO, so a frame cannot overtake its
+	// predecessor (the ARQ mirror of the fast path's lastArrival clamp —
+	// without it, a small frame sent behind a 4KB transfer would "arrive"
+	// 800µs early and time out spuriously in the reorder buffer).
+	lastNominal sim.Time
+}
+
+// linkRx is the receiver side of one directed link: the next sequence
+// number to deliver and the out-of-order arrivals waiting for it.
+type linkRx struct {
+	expect uint64
+	buf    map[uint64]*Msg
+}
+
+// sendReliable is the ARQ counterpart of the Send fast path: register the
+// message as an unacknowledged frame on the src→dst link and put its first
+// copy on the wire.
+func (ep *Endpoint) sendReliable(m *Msg) {
+	net := ep.net
+	pm := net.getMsg()
+	*pm = *m
+	pm.net = net
+	pm.retained = false
+	pm.sent = net.engine.Now()
+	if pm.Data != nil && !pm.DataPooled {
+		// Non-pooled data may alias live application memory; snapshot it so
+		// retransmissions resend the contents as of the Send call.
+		d := net.AllocData(len(pm.Data))
+		copy(d, pm.Data)
+		pm.Data, pm.DataPooled = d, true
+	}
+	if ep.tx == nil {
+		ep.tx = make([]linkTx, len(net.eps))
+	}
+	tx := &ep.tx[m.Dst]
+	rto := net.faults.BaseRTO()
+	if rto == 0 {
+		model := net.model
+		rto = model.SendOverhead +
+			model.OneWayLatency(pm.Bytes+model.MsgHeader) + // frame out
+			model.OneWayLatency(model.MsgHeader) + // ack back
+			2*net.faults.MaxJitter() + rtoSlack
+	}
+	f := &frame{
+		m: pm, net: net, seq: tx.nextSeq, src: ep.id, dst: m.Dst,
+		sent: pm.sent, rto: rto, rtoCap: rtoBackoffCap * rto,
+	}
+	tx.nextSeq++
+	tx.unacked = append(tx.unacked, f)
+	ep.transmit(f)
+}
+
+// transmit puts one copy of a frame on the wire, drawing the link's faults
+// in a fixed order (partition cut, drop, jitter, duplicate) so the PRNG
+// stream — and with it the whole run — replays exactly from the seed, and
+// arms the retransmission timer.
+//
+// The timer is armed past the nominal ack arrival for THIS transmission:
+// the sender knows the deterministic wire model, so it accounts for the
+// link being busy with earlier (possibly much larger) frames instead of
+// guessing from its own frame size alone. Only genuine loss — of the frame
+// or of its acks — can expire the timer; under jitter the 2×MaxJitter
+// allowance covers the worst frame+ack delay.
+func (ep *Endpoint) transmit(f *frame) {
+	net := ep.net
+	inj := net.faults
+	eng := net.engine
+	model := net.model
+	now := eng.Now()
+	f.attempts++
+	base := now + model.SendOverhead + model.OneWayLatency(f.m.Bytes+model.MsgHeader)
+	tx := &ep.tx[f.dst]
+	if base < tx.lastNominal {
+		base = tx.lastNominal // FIFO wire: no overtaking the previous frame
+	}
+	tx.lastNominal = base
+	switch {
+	case inj.Cut(f.src, f.dst, now):
+		ep.Stats.WireDrops++
+		if tr := net.tracer; tr != nil {
+			tr.Instant(ep.id, trace.CatNet, "cut",
+				trace.A("dst", int64(f.dst)), trace.A("seq", int64(f.seq)))
+		}
+	case inj.DropDraw(f.src, f.dst):
+		ep.Stats.WireDrops++
+		if tr := net.tracer; tr != nil {
+			tr.Instant(ep.id, trace.CatNet, "drop",
+				trace.A("dst", int64(f.dst)), trace.A("seq", int64(f.seq)))
+		}
+	default:
+		eng.ScheduleArg(base+inj.JitterDraw(), deliverFrame, ep.wireCopy(f))
+		if inj.DupDraw() {
+			eng.ScheduleArg(base+inj.JitterDraw(), deliverFrame, ep.wireCopy(f))
+		}
+	}
+	deadline := base + model.OneWayLatency(model.MsgHeader) + 2*inj.MaxJitter() + rtoSlack
+	if t := now + f.rto; t > deadline {
+		deadline = t // exponential backoff dominates once timeouts begin
+	}
+	eng.ScheduleArg(deadline, frameTimeout, f)
+}
+
+// wireCopy clones the master message for one wire transmission. Each copy
+// owns a fresh pooled data buffer: the arrival that wins delivery hands its
+// buffer to the handler under the normal recycling contract, duplicates are
+// recycled whole at dedup, and the master's buffer stays with the frame
+// until the ack — no buffer is ever shared between live messages.
+func (ep *Endpoint) wireCopy(f *frame) *Msg {
+	net := ep.net
+	cm := net.getMsg()
+	*cm = *f.m
+	cm.net = net
+	cm.retained = false
+	cm.linkSeq = f.seq
+	if f.m.Data != nil {
+		cm.Data = net.AllocData(len(f.m.Data))
+		copy(cm.Data, f.m.Data)
+		cm.DataPooled = true
+	}
+	return cm
+}
+
+// deliverFrame is the ARQ arrival event: dedup by sequence number, release
+// the in-order prefix to the endpoint's service queue, and acknowledge
+// cumulatively (every arrival re-acks, so lost acks heal on the next
+// arrival or retransmission).
+func deliverFrame(arg any) {
+	m := arg.(*Msg)
+	net := m.net
+	dst := net.eps[m.Dst]
+	src := m.Src
+	if dst.rx == nil {
+		dst.rx = make([]linkRx, len(net.eps))
+	}
+	rx := &dst.rx[src]
+	if m.linkSeq < rx.expect || rx.buf[m.linkSeq] != nil {
+		dst.Stats.Duplicates++
+		if tr := net.tracer; tr != nil {
+			tr.Instant(dst.id, trace.CatNet, "dup",
+				trace.A("src", int64(src)), trace.A("seq", int64(m.linkSeq)))
+		}
+		net.Recycle(m)
+		dst.sendAck(src, rx.expect)
+		return
+	}
+	if rx.buf == nil {
+		rx.buf = make(map[uint64]*Msg)
+	}
+	rx.buf[m.linkSeq] = m
+	for {
+		mm := rx.buf[rx.expect]
+		if mm == nil {
+			break
+		}
+		delete(rx.buf, rx.expect)
+		rx.expect++
+		// From here the message follows the normal arrival path: the link
+		// layer has established exactly-once in-order delivery, so the
+		// service queue sees the same FIFO stream a healthy link produces.
+		mm.linkSeq = 0
+		mm.arrived = net.engine.Now()
+		dst.Stats.MsgsReceived++
+		if tr := net.tracer; tr != nil {
+			tr.Instant(dst.id, trace.CatNet, "recv",
+				trace.A("src", int64(mm.Src)), trace.A("kind", int64(mm.Kind)),
+				trace.A("block", int64(mm.Block)))
+		}
+		dst.queue = append(dst.queue, mm)
+	}
+	dst.trySvc()
+	dst.sendAck(src, rx.expect)
+}
+
+// sendAck transmits a cumulative acknowledgement ("next sequence number I
+// expect") back to the link's sender. Acks are NI-generated — no send
+// overhead, no service cost, not counted as messages — but they cross the
+// same faulty wire: they can be dropped, jittered, or cut by a partition,
+// in which case a later retransmission provokes a fresh one.
+func (ep *Endpoint) sendAck(to int, expect uint64) {
+	net := ep.net
+	inj := net.faults
+	ep.Stats.AcksSent++
+	now := net.engine.Now()
+	if inj.Cut(ep.id, to, now) || inj.DropDraw(ep.id, to) {
+		ep.Stats.WireDrops++
+		return
+	}
+	am := net.getMsg()
+	*am = Msg{Src: ep.id, Dst: to, linkSeq: expect}
+	am.net = net
+	at := now + net.model.OneWayLatency(net.model.MsgHeader) + inj.JitterDraw()
+	net.engine.ScheduleArg(at, deliverAck, am)
+}
+
+// deliverAck retires every frame the cumulative ack covers: the master
+// copies (and their pooled buffers) return to the pool, and frames that
+// needed at least one retransmission record their full first-send→ack
+// latency.
+func deliverAck(arg any) {
+	m := arg.(*Msg)
+	net := m.net
+	snd := net.eps[m.Dst]
+	from, ack := m.Src, m.linkSeq
+	net.Recycle(m)
+	if snd.tx == nil {
+		return
+	}
+	tx := &snd.tx[from]
+	now := net.engine.Now()
+	for len(tx.unacked) > 0 && tx.unacked[0].seq < ack {
+		f := tx.unacked[0]
+		tx.unacked[0] = nil
+		tx.unacked = tx.unacked[1:]
+		f.acked = true
+		if f.attempts > 1 {
+			snd.Stats.RetransmitLatency.ObserveTime(now - f.sent)
+		}
+		net.Recycle(f.m)
+	}
+}
+
+// frameTimeout fires when a frame's retransmission timer expires. Acked
+// frames ignore it (the engine has no event cancellation — the stale event
+// is the cheap alternative); live frames double their timeout, bounded by
+// rtoCap, and go back on the wire.
+func frameTimeout(arg any) {
+	f := arg.(*frame)
+	if f.acked {
+		return
+	}
+	net := f.net
+	ep := net.eps[f.src]
+	ep.Stats.Timeouts++
+	ep.Stats.Retransmits++
+	if tr := net.tracer; tr != nil {
+		tr.Instant(f.src, trace.CatNet, "retx",
+			trace.A("dst", int64(f.dst)), trace.A("seq", int64(f.seq)),
+			trace.A("attempt", int64(f.attempts)))
+	}
+	if f.rto *= 2; f.rto > f.rtoCap {
+		f.rto = f.rtoCap
+	}
+	ep.transmit(f)
+}

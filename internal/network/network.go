@@ -19,6 +19,7 @@ package network
 import (
 	"fmt"
 
+	"dsmsim/internal/faults"
 	"dsmsim/internal/sim"
 	"dsmsim/internal/stats"
 	"dsmsim/internal/timing"
@@ -72,6 +73,7 @@ type Msg struct {
 	retained bool
 	sent     sim.Time // when Send was called (end-to-end latency origin)
 	arrived  sim.Time
+	linkSeq  uint64 // ARQ sequence number / cumulative ack (fault path only)
 }
 
 // Retain keeps the message (and its Data) alive past the handler return
@@ -121,6 +123,23 @@ type Stats struct {
 	// receiving endpoint: send call → service start, so it includes wire
 	// time, FIFO queueing, notification wait and holdoff.
 	Latency stats.Histogram
+
+	// Link-layer reliability counters, nonzero only on the ARQ path (a
+	// wire-active fault plan). Sender side: Retransmits data frames resent
+	// after a timeout, Timeouts timer expirations, WireDrops transmissions
+	// (frames and acks) lost, cut or deliberately duplicated on the wire.
+	// Receiver side: Duplicates frames discarded by sequence-number dedup,
+	// AcksSent cumulative acknowledgements generated.
+	Retransmits int64
+	Timeouts    int64
+	WireDrops   int64
+	Duplicates  int64
+	AcksSent    int64
+
+	// RetransmitLatency is the first-send→ack latency distribution of
+	// frames that needed at least one retransmission — the price of each
+	// loss the ARQ layer absorbed.
+	RetransmitLatency stats.Histogram
 }
 
 // Endpoint is one node's network interface.
@@ -146,6 +165,11 @@ type Endpoint struct {
 	// overtakes an earlier (larger) one on the same src→dst pair.
 	lastArrival []sim.Time
 
+	// ARQ per-link state (fault path only; see arq.go). tx is indexed by
+	// destination, rx by source; both allocate lazily like lastArrival.
+	tx []linkTx
+	rx []linkRx
+
 	Stats Stats
 }
 
@@ -165,6 +189,11 @@ type Network struct {
 	// send, delivery and service, with virtual timestamps. Deterministic
 	// like everything else, so traces diff cleanly between runs.
 	tracer *trace.Tracer
+
+	// faults, when non-nil, is a wire-active fault injector: cross-node
+	// sends take the ARQ path (see arq.go) instead of the reliable-fabric
+	// fast path. Nil for every fault-free run.
+	faults *faults.Injector
 }
 
 // SetTracer attaches the structured event tracer (nil disables). It
@@ -277,14 +306,20 @@ func (ep *Endpoint) Send(m *Msg) {
 	model := net.model
 	ep.Stats.MsgsSent++
 	ep.Stats.BytesSent += int64(m.Bytes + model.MsgHeader)
-	var wire sim.Time
-	if m.Dst != ep.id {
-		wire = model.OneWayLatency(m.Bytes + model.MsgHeader)
-	}
 	if tr := net.tracer; tr != nil {
 		tr.Instant(ep.id, trace.CatNet, "send",
 			trace.A("dst", int64(m.Dst)), trace.A("kind", int64(m.Kind)),
 			trace.A("block", int64(m.Block)), trace.A("bytes", int64(m.Bytes)))
+	}
+	if net.faults != nil && m.Dst != ep.id {
+		// An unreliable wire: hand the message to the ARQ layer. Self-sends
+		// never touch the wire and keep the fast path even under faults.
+		ep.sendReliable(m)
+		return
+	}
+	var wire sim.Time
+	if m.Dst != ep.id {
+		wire = model.OneWayLatency(m.Bytes + model.MsgHeader)
 	}
 	if ep.lastArrival == nil {
 		ep.lastArrival = make([]sim.Time, len(net.eps))

@@ -152,7 +152,7 @@ func FaultHist(res *core.Result) stats.Histogram {
 }
 
 // csvHeader is the machine-readable schema, one record per run.
-const csvHeader = "app,protocol,block,notify,nodes,time_ns,read_faults,write_faults,invalidations,twins,diffs,write_notices,lock_acquires,barrier_entries,net_msgs,net_bytes,fault_p50_ns,fault_p90_ns,fault_p99_ns,msg_p50_ns,msg_p90_ns,msg_p99_ns,lock_p50_ns,lock_p90_ns,lock_p99_ns"
+const csvHeader = "app,protocol,block,notify,nodes,time_ns,read_faults,write_faults,invalidations,twins,diffs,write_notices,lock_acquires,barrier_entries,net_msgs,net_bytes,fault_p50_ns,fault_p90_ns,fault_p99_ns,msg_p50_ns,msg_p90_ns,msg_p99_ns,lock_p50_ns,lock_p90_ns,lock_p99_ns,retransmits,wire_drops,dup_frames,retx_p50_ns,retx_p99_ns"
 
 // csvSink writes CSV records with the header emitted exactly once, even
 // under concurrent use, and is append-aware: when the underlying writer is
@@ -178,13 +178,15 @@ func (c *csvSink) Write(res *core.Result) {
 	}
 	t := res.Total
 	fault := FaultHist(res)
-	fmt.Fprintf(c.w, "%s,%s,%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+	fmt.Fprintf(c.w, "%s,%s,%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 		res.App, res.Protocol, res.BlockSize, res.Notify, res.Nodes, int64(res.Time),
 		t.ReadFaults, t.WriteFaults, t.Invalidations, t.TwinsCreated, t.DiffsCreated,
 		t.WriteNoticesSent, t.LockAcquires, t.BarrierEntries, res.NetMsgs, res.NetBytes,
 		fault.P50(), fault.P90(), fault.P99(),
 		res.MsgLatency.P50(), res.MsgLatency.P90(), res.MsgLatency.P99(),
-		t.LockWait.P50(), t.LockWait.P90(), t.LockWait.P99())
+		t.LockWait.P50(), t.LockWait.P90(), t.LockWait.P99(),
+		res.Retransmits, res.WireDrops, res.Duplicates,
+		res.RetransmitLatency.P50(), res.RetransmitLatency.P99())
 }
 
 // sampleSink writes each run's sampler time-series as CSV rows prefixed

@@ -26,6 +26,7 @@ import (
 
 	"dsmsim/internal/apps"
 	"dsmsim/internal/core"
+	"dsmsim/internal/faults"
 	"dsmsim/internal/metrics"
 	"dsmsim/internal/network"
 	"dsmsim/internal/sim"
@@ -141,6 +142,11 @@ type Options struct {
 	// progress lines to the enriched format with a completion counter.
 	// Wall-clock data never reaches the deterministic outputs.
 	Metrics *metrics.Registry
+	// Faults applies a deterministic fault plan to every non-sequential
+	// run of the sweep. Each run compiles its own injector from the plan's
+	// seed, so runs stay independent and the sweep remains byte-identical
+	// at any parallelism.
+	Faults *faults.Plan
 }
 
 // Engine runs sweeps. It owns the memo and the output sink, so one Engine
@@ -325,6 +331,7 @@ func (e *Engine) compute(ctx context.Context, k Key) (*core.Result, error) {
 		cfg.BlockSize = k.Block
 		cfg.Protocol = k.Protocol
 		cfg.Notify = k.Notify
+		cfg.Faults = e.opts.Faults
 	}
 	m, err := core.NewMachine(cfg)
 	if err != nil {

@@ -1,0 +1,124 @@
+package dsmsim
+
+import "io"
+
+// options collects everything the functional options can configure. Start
+// and Sweep share one option vocabulary: the settings that describe a run
+// (verification, fault plan, virtual-time limit, sampling, tracing) mean
+// the same thing in both, and the rest apply to whichever call understands
+// them and are ignored by the other.
+type options struct {
+	// Shared between Start and Sweep.
+	verify      *bool
+	faults      *FaultPlan
+	limit       Time
+	sampleEvery Time
+	// Single-run only: per-run event trace writers. Ignored by Sweep,
+	// where parallel runs would interleave on one writer.
+	trace     io.Writer
+	traceJSON io.Writer
+	// Sweep only.
+	workers    int
+	progress   io.Writer
+	csv        io.Writer
+	histograms bool
+	sampleCSV  io.Writer
+	metrics    *Metrics
+}
+
+// Option customizes a Start or Sweep call. All options are functional:
+// pass any number to either entrypoint. Options that only apply to one of
+// the two calls (tracing is per-run, parallelism is per-sweep) are
+// silently ignored by the other.
+type Option func(*options)
+
+// SweepOption is the former name of Option, kept so existing callers
+// compile unchanged.
+//
+// Deprecated: use Option.
+type SweepOption = Option
+
+// collect folds opts into one options struct.
+func collect(opts []Option) options {
+	var c options
+	for _, opt := range opts {
+		opt(&c)
+	}
+	return c
+}
+
+// WithVerify enables result verification against the sequential
+// reference. WithVerify() (no argument) turns verification on;
+// WithVerify(false) forces it off. Without this option, Start runs
+// unverified and Sweep verifies at Small size only (verification is slow
+// at Paper size).
+func WithVerify(v ...bool) Option {
+	on := true
+	if len(v) > 0 {
+		on = v[0]
+	}
+	return func(c *options) { c.verify = &on }
+}
+
+// WithFaults applies a deterministic fault plan — seeded link drops,
+// duplicates, delay jitter, timed partitions, straggler windows — to the
+// run (Start) or to every non-sequential run of the sweep. Build plans
+// with NewFaultPlan and the rule constructors (Drop, Partition,
+// Straggler, …) or from a flag string with ParseFaults. A nil or inactive
+// plan leaves the machine byte-identical to the fault-free one; the same
+// plan (same FaultSeed) reproduces a run bit-for-bit.
+func WithFaults(p *FaultPlan) Option { return func(c *options) { c.faults = p } }
+
+// WithLimit bounds each run's virtual time (0 keeps the generous
+// default).
+func WithLimit(t Time) Option { return func(c *options) { c.limit = t } }
+
+// WithSampleEvery attaches the virtual-time metrics sampler,
+// snapshotting per-interval deltas of the node counters. Sampling is
+// strictly observational: results, progress lines and CSV records are
+// unchanged. Each run's series is available as Result.Samples.
+func WithSampleEvery(every Time) Option {
+	return func(c *options) { c.sampleEvery = every }
+}
+
+// WithTrace streams the run's deterministic line-format event log to w:
+// every fault, synchronization operation, message send/service — and,
+// under a fault plan, every wire drop, duplicate and retransmission —
+// with virtual timestamps. Start only; ignored by Sweep.
+func WithTrace(w io.Writer) Option { return func(c *options) { c.trace = w } }
+
+// WithTraceJSON streams the same events as a Chrome trace-event JSON
+// array (load in Perfetto or chrome://tracing). Start only; ignored by
+// Sweep.
+func WithTraceJSON(w io.Writer) Option { return func(c *options) { c.traceJSON = w } }
+
+// WithParallelism bounds the sweep worker pool. n <= 0 (and the default)
+// means one worker per available CPU (GOMAXPROCS); 1 recovers fully
+// serial execution. Output is byte-identical at every setting.
+func WithParallelism(n int) Option { return func(c *options) { c.workers = n } }
+
+// WithProgress streams one line per completed run to w, in canonical
+// sweep order regardless of completion order.
+func WithProgress(w io.Writer) Option { return func(c *options) { c.progress = w } }
+
+// WithCSV streams one machine-readable record per completed run to w. The
+// header is written exactly once, and suppressed automatically when w is
+// an append-mode file that already holds records.
+func WithCSV(w io.Writer) Option { return func(c *options) { c.csv = w } }
+
+// WithHistograms adds a latency-distribution summary line (fault service
+// time, message latency, lock wait) after each run's progress line.
+func WithHistograms() Option { return func(c *options) { c.histograms = true } }
+
+// WithSampleCSV streams every run's sampler time-series to w as CSV rows
+// prefixed with the run-key columns, in canonical sweep order — like all
+// sweep output, byte-identical at any parallelism. Requires
+// WithSampleEvery.
+func WithSampleCSV(w io.Writer) Option { return func(c *options) { c.sampleCSV = w } }
+
+// WithMetrics attaches a live metrics registry: the sweep reports point
+// lifecycle and wall-clock runtimes to m (servable over HTTP with
+// Metrics.Serve), and progress lines switch to an enriched format with a
+// completion counter and per-run fault/traffic fields. Wall-clock data
+// stays on the live surface only; deterministic outputs are unaffected.
+func WithMetrics(m *Metrics) Option { return func(c *options) { c.metrics = m } }

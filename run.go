@@ -1,0 +1,54 @@
+package dsmsim
+
+import "context"
+
+// Start is the single entrypoint for individual runs: it validates cfg,
+// applies the functional options, builds the machine and executes app to
+// completion (or ctx cancellation), consolidating what used to take four
+// calls (Run, RunApp, Machine.RunContext, Machine.RunVerifiedContext):
+//
+//	res, err := dsmsim.Start(ctx, cfg, app,
+//	    dsmsim.WithVerify(),
+//	    dsmsim.WithFaults(plan),
+//	    dsmsim.WithTrace(os.Stderr))
+//
+// By default the run is unverified; WithVerify() re-checks the final
+// shared image against the sequential reference. Options mirror Config
+// where they overlap (WithFaults, WithLimit, WithSampleEvery, WithTrace,
+// WithTraceJSON) and take precedence over the corresponding Config
+// fields when both are set.
+func Start(ctx context.Context, cfg Config, app App, opts ...Option) (*Result, error) {
+	c := collect(opts)
+	if c.faults != nil {
+		cfg.Faults = c.faults
+	}
+	if c.limit > 0 {
+		cfg.Limit = c.limit
+	}
+	if c.sampleEvery > 0 {
+		cfg.SampleEvery = c.sampleEvery
+	}
+	if c.trace != nil {
+		cfg.Trace = c.trace
+	}
+	if c.traceJSON != nil {
+		cfg.TraceJSON = c.traceJSON
+	}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if c.verify != nil && *c.verify {
+		return m.RunVerifiedContext(ctx, app)
+	}
+	return m.RunContext(ctx, app)
+}
+
+// StartApp is Start for a bundled application selected by name and size.
+func StartApp(ctx context.Context, cfg Config, name string, size SizeClass, opts ...Option) (*Result, error) {
+	app, err := NewApp(name, size)
+	if err != nil {
+		return nil, err
+	}
+	return Start(ctx, cfg, app, opts...)
+}

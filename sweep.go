@@ -3,7 +3,6 @@ package dsmsim
 import (
 	"context"
 	"fmt"
-	"io"
 
 	"dsmsim/internal/sweep"
 )
@@ -75,70 +74,6 @@ func (r *SweepResult) Get(app, protocol string, block int, notify Notify) *Resul
 	return nil
 }
 
-// sweepConfig collects the functional options of Sweep.
-type sweepConfig struct {
-	workers     int
-	progress    io.Writer
-	csv         io.Writer
-	histograms  bool
-	verify      *bool
-	limit       Time
-	sampleEvery Time
-	sampleCSV   io.Writer
-	metrics     *Metrics
-}
-
-// SweepOption customizes a Sweep call.
-type SweepOption func(*sweepConfig)
-
-// WithParallelism bounds the worker pool. n <= 0 (and the default) means
-// one worker per available CPU (GOMAXPROCS); 1 recovers fully serial
-// execution. Output is byte-identical at every setting.
-func WithParallelism(n int) SweepOption { return func(c *sweepConfig) { c.workers = n } }
-
-// WithProgress streams one line per completed run to w, in canonical sweep
-// order regardless of completion order.
-func WithProgress(w io.Writer) SweepOption { return func(c *sweepConfig) { c.progress = w } }
-
-// WithCSV streams one machine-readable record per completed run to w. The
-// header is written exactly once, and suppressed automatically when w is
-// an append-mode file that already holds records.
-func WithCSV(w io.Writer) SweepOption { return func(c *sweepConfig) { c.csv = w } }
-
-// WithHistograms adds a latency-distribution summary line (fault service
-// time, message latency, lock wait) after each run's progress line.
-func WithHistograms() SweepOption { return func(c *sweepConfig) { c.histograms = true } }
-
-// WithVerify overrides result verification: by default runs are verified
-// against the sequential reference at Small size and unverified at Paper
-// size (where verification is slow).
-func WithVerify(v bool) SweepOption { return func(c *sweepConfig) { c.verify = &v } }
-
-// WithLimit bounds each run's virtual time (0 restores the generous
-// default).
-func WithLimit(t Time) SweepOption { return func(c *sweepConfig) { c.limit = t } }
-
-// WithSampleEvery attaches the virtual-time metrics sampler to every run,
-// snapshotting per-interval deltas of the node counters. Sampling is
-// strictly observational: results, progress lines and CSV records are
-// unchanged. Each run's series is available as Result.Samples.
-func WithSampleEvery(every Time) SweepOption {
-	return func(c *sweepConfig) { c.sampleEvery = every }
-}
-
-// WithSampleCSV streams every run's sampler time-series to w as CSV rows
-// prefixed with the run-key columns, in canonical sweep order — like all
-// sweep output, byte-identical at any parallelism. Requires
-// WithSampleEvery.
-func WithSampleCSV(w io.Writer) SweepOption { return func(c *sweepConfig) { c.sampleCSV = w } }
-
-// WithMetrics attaches a live metrics registry: the sweep reports point
-// lifecycle and wall-clock runtimes to m (servable over HTTP with
-// Metrics.Serve), and progress lines switch to an enriched format with a
-// completion counter and per-run fault/traffic fields. Wall-clock data
-// stays on the live surface only; deterministic outputs are unaffected.
-func WithMetrics(m *Metrics) SweepOption { return func(c *sweepConfig) { c.metrics = m } }
-
 // Sweep runs the spec's cross-product of simulations, fanning independent
 // runs out over a host-level worker pool. Every run is an independent
 // deterministic virtual-time simulation, so parallel execution cannot
@@ -153,11 +88,8 @@ func WithMetrics(m *Metrics) SweepOption { return func(c *sweepConfig) { c.metri
 //	    Apps:  []string{"lu", "raytrace"},
 //	    Nodes: 16,
 //	}, dsmsim.WithProgress(os.Stderr))
-func Sweep(ctx context.Context, spec SweepSpec, opts ...SweepOption) (*SweepResult, error) {
-	var c sweepConfig
-	for _, opt := range opts {
-		opt(&c)
-	}
+func Sweep(ctx context.Context, spec SweepSpec, opts ...Option) (*SweepResult, error) {
+	c := collect(opts)
 	if len(spec.Apps) == 0 {
 		spec.Apps = AppNames()
 	}
@@ -188,6 +120,7 @@ func Sweep(ctx context.Context, spec SweepSpec, opts ...SweepOption) (*SweepResu
 		SampleEvery: c.sampleEvery,
 		SampleCSV:   c.sampleCSV,
 		Metrics:     c.metrics,
+		Faults:      c.faults,
 	})
 	points := sweep.Dedupe(sweep.Spec{
 		Apps:          spec.Apps,
