@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test test-short bench bench-json examples paper verify-paper trace-demo sweep-demo metrics-demo faults-demo clean
+.PHONY: all test test-short bench bench-json examples paper verify-paper trace-demo sweep-demo metrics-demo faults-demo prof-demo clean
 
 all: test
 
@@ -88,6 +88,16 @@ faults-demo:
 	$(GO) run ./cmd/dsmbench -exp degradation -nodes 4 -size small \
 		-progress=false
 
+# Demonstrate the sharing-pattern profiler: one Volrend-Original run with
+# the per-region report (the image plane shows the paper's false sharing),
+# then the restructuring comparison — false-sharing fraction vs coherence
+# granularity for the original and row-wise task shapes.
+prof-demo:
+	$(GO) run ./cmd/dsmrun -app volrend-original -protocol hlrc -block 4096 \
+		-nodes 16 -prof
+	$(GO) run ./cmd/dsmbench -exp sharing -nodes 16 -size small \
+		-progress=false
+
 clean:
 	rm -f results.csv trace.json sweep_p1.txt sweep_pN.txt sweep_p1.csv sweep_pN.csv \
-		metrics_demo.csv metrics_demo.json
+		metrics_demo.csv metrics_demo.json prof_p1.csv prof_p8.csv

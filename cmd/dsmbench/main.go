@@ -45,6 +45,9 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 
+		prof    = flag.Bool("prof", false, "attach the sharing-pattern profiler to every matrix run")
+		profCSV = flag.String("prof-csv", "", "append every run's sharing profile as CSV to this file (implies -prof)")
+
 		sampleEvery  = flag.Duration("sample-every", 0, "virtual-time metrics sampling interval (e.g. 100us; 0 = off)")
 		sampleCSV    = flag.String("sample-csv", "", "append every run's sampler time-series to this file (needs -sample-every)")
 		metricsAddr  = flag.String("metrics-addr", "", "serve live sweep metrics over HTTP on this address")
@@ -117,6 +120,15 @@ func main() {
 		}
 		defer f.Close()
 		opts.SampleCSV = f
+	}
+	opts.ShareProfile = *prof || *profCSV != ""
+	if *profCSV != "" {
+		f, err := os.OpenFile(*profCSV, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		opts.ProfCSV = f
 	}
 	if *metricsAddr != "" {
 		reg := metrics.NewRegistry()

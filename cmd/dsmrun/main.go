@@ -47,6 +47,10 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 
+		prof    = flag.Bool("prof", false, "attach the sharing-pattern profiler (per-region taxonomy and true/false-sharing attribution)")
+		profCSV = flag.String("prof-csv", "", "write sharing profiles as CSV to this file (implies -prof; appends for sweeps)")
+		profTop = flag.Int("prof-top", 10, "regions shown in the single-run sharing report (0 = all)")
+
 		sampleEvery = flag.Duration("sample-every", 0, "virtual-time metrics sampling interval (e.g. 100us; 0 = off)")
 		sampleCSV   = flag.String("sample-csv", "", "write the sampler time-series as CSV to this file (needs -sample-every)")
 		sampleJSON  = flag.String("sample-json", "", "write Chrome-trace counter tracks to this file (single runs only; needs -sample-every)")
@@ -78,19 +82,22 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *profCSV != "" {
+		*prof = true
+	}
 	if points == 1 {
 		if *metricsAddr != "" {
 			fatal(fmt.Errorf("-metrics-addr applies to sweeps only (1 configuration selected)"))
 		}
 		runOne(ctx, spec, plan, *verify, *static, *trace, *traceJS,
-			dsmsim.Time(*sampleEvery), *sampleCSV, *sampleJSON)
+			dsmsim.Time(*sampleEvery), *sampleCSV, *sampleJSON, *prof, *profCSV, *profTop)
 		return
 	}
 	if *static || *trace != "" || *traceJS != "" || *sampleJSON != "" {
 		fatal(fmt.Errorf("-static-homes/-trace/-trace-json/-sample-json apply to single runs only (%d configurations selected)", points))
 	}
 	runSweep(ctx, spec, plan, *verify, *parallel, *csvPath,
-		dsmsim.Time(*sampleEvery), *sampleCSV, *metricsAddr)
+		dsmsim.Time(*sampleEvery), *sampleCSV, *metricsAddr, *prof, *profCSV)
 }
 
 // faultPlan builds the fault plan from the -faults / -fault-seed /
@@ -119,11 +126,22 @@ func faultPlan(spec string, seed uint64, straggler string) *dsmsim.FaultPlan {
 // runSweep fans the cross product out over the worker pool and prints one
 // speedup row per configuration.
 func runSweep(ctx context.Context, spec dsmsim.SweepSpec, plan *dsmsim.FaultPlan, verify bool, parallel int, csvPath string,
-	sampleEvery dsmsim.Time, sampleCSV, metricsAddr string) {
+	sampleEvery dsmsim.Time, sampleCSV, metricsAddr string, prof bool, profCSV string) {
 	opts := []dsmsim.Option{
 		dsmsim.WithParallelism(parallel),
 		dsmsim.WithProgress(os.Stderr),
 		dsmsim.WithVerify(verify),
+	}
+	if prof {
+		opts = append(opts, dsmsim.WithShareProfile())
+	}
+	if profCSV != "" {
+		f, err := os.OpenFile(profCSV, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		opts = append(opts, dsmsim.WithProfCSV(f))
 	}
 	if plan != nil {
 		opts = append(opts, dsmsim.WithFaults(plan))
@@ -177,7 +195,7 @@ func runSweep(ctx context.Context, spec dsmsim.SweepSpec, plan *dsmsim.FaultPlan
 
 // runOne executes a single configuration with the full statistics dump.
 func runOne(ctx context.Context, spec dsmsim.SweepSpec, plan *dsmsim.FaultPlan, verify, static bool, trace, traceJS string,
-	sampleEvery dsmsim.Time, sampleCSV, sampleJSON string) {
+	sampleEvery dsmsim.Time, sampleCSV, sampleJSON string, prof bool, profCSV string, profTop int) {
 	if (sampleCSV != "" || sampleJSON != "") && sampleEvery <= 0 {
 		fatal(fmt.Errorf("-sample-csv/-sample-json need -sample-every"))
 	}
@@ -186,6 +204,9 @@ func runOne(ctx context.Context, spec dsmsim.SweepSpec, plan *dsmsim.FaultPlan, 
 		Notify: spec.Notify[0], StaticHomes: static, SampleEvery: sampleEvery,
 	}
 	opts := []dsmsim.Option{dsmsim.WithVerify(verify)}
+	if prof {
+		opts = append(opts, dsmsim.WithShareProfile())
+	}
 	if plan != nil {
 		opts = append(opts, dsmsim.WithFaults(plan))
 	}
@@ -262,6 +283,23 @@ func runOne(ctx context.Context, spec dsmsim.SweepSpec, plan *dsmsim.FaultPlan, 
 	fmt.Printf("    lock wait    %s\n", res.Total.LockWait.Summary())
 	fmt.Printf("    barrier wait %s\n", res.Total.BarrierWait.Summary())
 	printPhases(res)
+	if res.Sharing != nil {
+		var rep strings.Builder
+		res.Sharing.WriteText(&rep, profTop)
+		fmt.Print("  " + strings.ReplaceAll(strings.TrimSuffix(rep.String(), "\n"), "\n", "\n  ") + "\n")
+		if profCSV != "" {
+			f, err := os.Create(profCSV)
+			if err != nil {
+				fatal(err)
+			}
+			if err := res.Sharing.WriteCSV(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
 
 	if sampleCSV != "" {
 		if err := writeSamples(sampleCSV, res, (*dsmsim.Series).WriteCSV); err != nil {

@@ -43,6 +43,7 @@ import (
 	"dsmsim/internal/core"
 	"dsmsim/internal/metrics"
 	"dsmsim/internal/network"
+	"dsmsim/internal/shareprof"
 	"dsmsim/internal/sim"
 	"dsmsim/internal/stats"
 )
@@ -90,6 +91,16 @@ type (
 	// WithMetrics, serve it with Metrics.Serve (Prometheus text at
 	// /metrics, expvar at /debug/vars, a JSON progress doc at /progress).
 	Metrics = metrics.Registry
+	// SharingReport is the sharing-pattern profiler's per-run report
+	// (Result.Sharing under WithShareProfile): per-region taxonomy
+	// classification and true/false-sharing fault attribution,
+	// renderable as text (WriteText) or CSV (WriteCSV).
+	SharingReport = shareprof.Report
+	// SharingRegion is one named heap region's row of a SharingReport.
+	SharingRegion = shareprof.RegionStats
+	// SharingClass is a block's sharing-taxonomy classification
+	// (private, read-only, producer-consumer, migratory, write-shared).
+	SharingClass = shareprof.Class
 )
 
 // NewMetrics creates a live metrics registry for WithMetrics.

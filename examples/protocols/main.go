@@ -36,7 +36,7 @@ func main() {
 		Apps:  []string{app},
 		Nodes: 8,
 		Size:  dsmsim.Small,
-	})
+	}, dsmsim.WithShareProfile())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,6 +57,22 @@ func main() {
 		}
 		fmt.Println()
 	}
+	// The sweep carried the sharing-pattern profiler: show where each
+	// protocol's coherence traffic concentrated at page granularity.
+	fmt.Printf("\nhottest heap regions at 4096B (faults: true/false sharing of misses):\n")
+	for _, proto := range dsmsim.Protocols {
+		run := res.Get(app, proto, 4096, dsmsim.Polling)
+		if run == nil || run.Sharing == nil {
+			continue
+		}
+		fmt.Printf("%-7s", proto)
+		for _, rg := range run.Sharing.Top(3) {
+			fmt.Printf("  %s %d (%d/%d, %s)", rg.Name, rg.Faults(),
+				rg.TrueFaults, rg.FalseFaults, rg.TopClass())
+		}
+		fmt.Println()
+	}
+
 	fmt.Printf("\nsimulated %d runs in %v wall-clock (%.1f runs/sec)\n",
 		runs, elapsed.Round(time.Millisecond), float64(runs)/elapsed.Seconds())
 	fmt.Println("\n(Small problem sizes: absolute speedups are modest; run")

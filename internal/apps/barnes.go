@@ -131,7 +131,9 @@ func (a *Barnes) pAddr(p int) int             { return a.parts + p*partF64s*8 }
 // Setup implements core.App.
 func (a *Barnes) Setup(h *core.Heap) {
 	a.poolSize = a.poolCells()
+	h.Label("particles")
 	a.parts = h.AllocPage(a.n * partF64s * 8)
+	h.Label("cells")
 	a.cells = h.AllocPage(a.maxCells() * cellBytes)
 	ps := h.F64s(a.parts, a.n*partF64s)
 	for i := 0; i < a.n; i++ {

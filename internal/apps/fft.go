@@ -59,7 +59,9 @@ func (a *FFT) Info() core.AppInfo {
 
 // Setup implements core.App.
 func (a *FFT) Setup(h *core.Heap) {
+	h.Label("src")
 	a.src = h.AllocPage(a.n * 16)
+	h.Label("dst")
 	a.dst = h.AllocPage(a.n * 16)
 	s := h.F64s(a.src, a.n*2)
 	for i := 0; i < a.n; i++ {

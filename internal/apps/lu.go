@@ -93,6 +93,7 @@ func (a *LU) Setup(h *core.Heap) {
 		if len(mine) == 0 {
 			continue
 		}
+		h.Label(fmt.Sprintf("blocks-p%d", pid))
 		region := h.AllocPage(len(mine) * a.bsz * a.bsz * 8)
 		for i, idx := range mine {
 			a.blockAddr[idx] = region + i*a.bsz*a.bsz*8

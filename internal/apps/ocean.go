@@ -115,6 +115,7 @@ func (a *Ocean) initLayout() {
 func (a *Ocean) Setup(h *core.Heap) {
 	n := a.n
 	if a.rowwise {
+		h.Label("grid")
 		a.grid = h.AllocPage(n * n * 8)
 	} else {
 		a.initLayout()
@@ -126,6 +127,7 @@ func (a *Ocean) Setup(h *core.Heap) {
 			for pj := 0; pj < a.pc; pj++ {
 				r0, r1 := a.blockRows(pi)
 				c0, c1 := a.blockCols(pj)
+				h.Label(fmt.Sprintf("subgrid-%d.%d", pi, pj))
 				a.subOff[pi*a.pc+pj] = h.AllocPage((r1 - r0) * (c1 - c0) * 8)
 			}
 		}

@@ -57,6 +57,7 @@ func (a *Raytrace) Info() core.AppInfo {
 
 // Setup implements core.App.
 func (a *Raytrace) Setup(h *core.Heap) {
+	h.Label("spheres")
 	a.spheres = h.AllocPage(a.ns * sphF64s * 8)
 	s := h.F64s(a.spheres, a.ns*sphF64s)
 	for i := 0; i < a.ns; i++ {
@@ -70,6 +71,7 @@ func (a *Raytrace) Setup(h *core.Heap) {
 		r[6] = hashNoise(37, i) // color b
 		r[7] = 0.3 * hashNoise(38, i)
 	}
+	h.Label("image")
 	a.image = h.AllocPage(a.w * a.w * 4)
 	// Tasks: 4×4 pixel tiles, dealt to the 16 layout queues; filled in
 	// setup so the render phase needs only its single barrier (Table 2

@@ -20,6 +20,7 @@ type taskQueues struct {
 // newTaskQueues lays out p queues of the given capacity.
 func newTaskQueues(h *core.Heap, p, capacity, lockBase int) *taskQueues {
 	tq := &taskQueues{p: p, capacity: capacity, lockBase: lockBase}
+	h.Label("taskqueues")
 	for q := 0; q < p; q++ {
 		tq.base = append(tq.base, h.AllocPage((2+capacity)*8))
 	}

@@ -81,6 +81,7 @@ func (a *Volrend) density(x, y, z int) byte {
 // Setup implements core.App.
 func (a *Volrend) Setup(h *core.Heap) {
 	v := a.v
+	h.Label("volume")
 	a.volume = h.AllocPage(v * v * v)
 	vol := h.Bytes(a.volume, v*v*v)
 	for x := 0; x < v; x++ {
@@ -90,6 +91,7 @@ func (a *Volrend) Setup(h *core.Heap) {
 			}
 		}
 	}
+	h.Label("image")
 	a.image = h.AllocPage(v * v * 4)
 	a.tq = newTaskQueues(h, 16, a.numTasks(), 100)
 	a.ref = a.renderSeq(vol, a.frames-1)

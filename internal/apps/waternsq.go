@@ -63,6 +63,7 @@ func (a *WaterNsq) Info() core.AppInfo {
 
 // Setup implements core.App: molecules on a perturbed lattice.
 func (a *WaterNsq) Setup(h *core.Heap) {
+	h.Label("molecules")
 	a.mols = h.AllocPage(a.n * molF64s * 8)
 	m := h.F64s(a.mols, a.n*molF64s)
 	side := int(math.Cbrt(float64(a.n))) + 1

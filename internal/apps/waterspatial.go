@@ -89,8 +89,11 @@ func (a *WaterSpatial) cellOf(x, y, z float64) int {
 func (a *WaterSpatial) Setup(h *core.Heap) {
 	s := a.side
 	nc := s * s * s
+	h.Label("molecules")
 	a.mols = h.AllocPage(a.n * molF64s * 8)
+	h.Label("next-links")
 	a.next = h.AllocPage(a.n * 8)
+	h.Label("cell-heads")
 	a.heads = h.AllocPage(nc * 8)
 
 	m := h.F64s(a.mols, a.n*molF64s)

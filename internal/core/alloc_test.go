@@ -12,46 +12,52 @@ import (
 // runs inside the app's proc body, where access is ordinarily called.
 func TestAccessNoFaultZeroAlloc(t *testing.T) {
 	for _, proto := range []string{SC, SWLRC, HLRC} {
-		proto := proto
-		t.Run(proto, func(t *testing.T) {
-			var addr int
-			var reads, writes float64
-			app := &testApp{
-				name: "allocprobe",
-				heap: 4096,
-				setup: func(h *Heap) {
-					addr = h.AllocF64s(8)
-				},
-				run: func(c *Ctx) {
-					// Fault the block in once for read and write.
-					c.WriteF64(addr, 1.0)
-					_ = c.ReadF64(addr)
-					var sink float64
-					reads = testing.AllocsPerRun(200, func() {
-						sink += c.ReadF64(addr)
-					})
-					writes = testing.AllocsPerRun(200, func() {
-						c.WriteF64(addr, sink)
-					})
-				},
-				verify: func(h *Heap) error { return nil },
+		for _, profiled := range []bool{false, true} {
+			proto, profiled := proto, profiled
+			name := proto
+			if profiled {
+				name += "/profiled"
 			}
-			m, err := NewMachine(Config{
-				Nodes: 1, BlockSize: 1024, Protocol: proto,
-				Limit: 100 * sim.Second,
+			t.Run(name, func(t *testing.T) {
+				var addr int
+				var reads, writes float64
+				app := &testApp{
+					name: "allocprobe",
+					heap: 4096,
+					setup: func(h *Heap) {
+						addr = h.AllocF64s(8)
+					},
+					run: func(c *Ctx) {
+						// Fault the block in once for read and write.
+						c.WriteF64(addr, 1.0)
+						_ = c.ReadF64(addr)
+						var sink float64
+						reads = testing.AllocsPerRun(200, func() {
+							sink += c.ReadF64(addr)
+						})
+						writes = testing.AllocsPerRun(200, func() {
+							c.WriteF64(addr, sink)
+						})
+					},
+					verify: func(h *Heap) error { return nil },
+				}
+				m, err := NewMachine(Config{
+					Nodes: 1, BlockSize: 1024, Protocol: proto,
+					Limit: 100 * sim.Second, ShareProfile: profiled,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := m.Run(app); err != nil {
+					t.Fatal(err)
+				}
+				if reads != 0 {
+					t.Errorf("no-fault ReadF64 allocated %.1f per call, want 0", reads)
+				}
+				if writes != 0 {
+					t.Errorf("no-fault WriteF64 allocated %.1f per call, want 0", writes)
+				}
 			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if _, err := m.Run(app); err != nil {
-				t.Fatal(err)
-			}
-			if reads != 0 {
-				t.Errorf("no-fault ReadF64 allocated %.1f per call, want 0", reads)
-			}
-			if writes != 0 {
-				t.Errorf("no-fault WriteF64 allocated %.1f per call, want 0", writes)
-			}
-		})
+		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"dsmsim/internal/proto/hlrc"
 	"dsmsim/internal/proto/sc"
 	"dsmsim/internal/proto/swlrc"
+	"dsmsim/internal/shareprof"
 	"dsmsim/internal/sim"
 	"dsmsim/internal/stats"
 	"dsmsim/internal/synch"
@@ -89,6 +90,15 @@ type Config struct {
 	// the sampler fires between event dispatches, never from the event
 	// queue — so enabling it changes no result and no other output.
 	SampleEvery sim.Time
+	// ShareProfile attaches the sharing-pattern profiler: every touched
+	// block is classified into the paper's sharing taxonomy and every
+	// fault and invalidation attributed as cold, true sharing, false
+	// sharing or upgrade, aggregated per named heap region into
+	// Result.Sharing. Strictly observational — no virtual-time cost, no
+	// events — so everything else in the Result is byte-identical to a
+	// profiler-off run. Ignored by Sequential baselines (nothing is
+	// shared).
+	ShareProfile bool
 	// Faults, when non-nil, injects deterministic failures: seeded link
 	// drops, duplicates, delay jitter and timed partitions (carried by the
 	// network's ack/retransmission layer so runs still complete and
@@ -218,6 +228,10 @@ type Result struct {
 	// Samples is the virtual-time metrics series, non-nil only when
 	// Config.SampleEvery was set.
 	Samples *metrics.Series
+	// Sharing is the sharing-pattern profile — per-block taxonomy and
+	// true/false-sharing attribution aggregated over named heap regions
+	// — non-nil only when Config.ShareProfile was set.
+	Sharing *shareprof.Report
 
 	// Heap exposes the final shared image (gathered from the
 	// authoritative copies) for verification and inspection.
@@ -340,14 +354,29 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 	if cfg.Sequential {
 		preclaim(env)
 	}
-	if tr != nil {
+	// The sharing-pattern profiler is pure bookkeeping fed from the access
+	// and protocol paths; like the tracer it is wired after seeding and
+	// preclaim so only parallel-phase activity is profiled. Sequential
+	// baselines have nothing to profile.
+	var prof *shareprof.Profiler
+	if cfg.ShareProfile && !cfg.Sequential {
+		prof = shareprof.New(cfg.Nodes, heapSize, cfg.BlockSize)
+		env.Prof = prof
+	}
+	if tr != nil || prof != nil {
 		// Wire the tag-transition observer only now, so the untimed heap
-		// seeding and baseline preclaim above do not spam the trace.
+		// seeding and baseline preclaim above do not spam the trace (or
+		// the profiler's invalidation ledger).
 		for i, sp := range env.Spaces {
 			i := i
 			sp.OnTag = func(b int, old, new mem.Access) {
-				tr.InstantMsg(i, trace.CatMem, "tag", old.String()+"->"+new.String(),
-					trace.A("block", int64(b)))
+				if tr != nil {
+					tr.InstantMsg(i, trace.CatMem, "tag", old.String()+"->"+new.String(),
+						trace.A("block", int64(b)))
+				}
+				if prof != nil {
+					prof.OnTag(i, b, old, new)
+				}
 			}
 		}
 	}
@@ -377,6 +406,12 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 				}
 				return rtx, drp
 			},
+			Sharing: func() (int64, int64) {
+				if prof == nil {
+					return 0, 0
+				}
+				return prof.SharingFaults()
+			},
 		})
 		engine.SetSampler(cfg.SampleEvery, sampler.Tick)
 	}
@@ -401,6 +436,7 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 			tracer:   tr,
 			writers:  writers,
 			phases:   phases,
+			prof:     prof,
 		}
 		if inj.Straggling() {
 			n.faults = inj // only stragglers dilate Compute; wire faults stay in the network
@@ -485,6 +521,9 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 	if sampler != nil {
 		sampler.Finish(engine.Now())
 		res.Samples = sampler.Series()
+	}
+	if prof != nil {
+		res.Sharing = prof.Report(heap.alloc.Regions())
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		res.PerNode = append(res.PerNode, *env.Stats[i])

@@ -95,7 +95,15 @@ func (c *Ctx) access(addr, size int, write bool) []byte {
 	// every clean pass clears it.
 	if n.vOK && sp.Ver() == n.vVer && first >= n.vFirst && last <= n.vLast &&
 		(n.vWrite || !write) {
+		if pr := n.prof; pr != nil {
+			pr.Access(n.id, addr, size, write)
+		}
 		return sp.Bytes(addr, size)
+	}
+	if n.prof != nil {
+		// Remember the span so any fault below can be attributed to the
+		// exact bytes that missed (Node.fault reads it back).
+		n.profAddr, n.profSize = addr, size
 	}
 	for pass := 0; ; pass++ {
 		clean := true
@@ -109,6 +117,12 @@ func (c *Ctx) access(addr, size int, write bool) []byte {
 			n.holdBoost = 0
 			n.vFirst, n.vLast, n.vWrite = first, last, write
 			n.vVer, n.vOK = sp.Ver(), true
+			if pr := n.prof; pr != nil {
+				// Record only completed passes: a write publishes its
+				// sectors as stale everywhere else exactly once, after
+				// the access is actually permitted.
+				pr.Access(n.id, addr, size, write)
+			}
 			return sp.Bytes(addr, size)
 		}
 		if pass > 0 {

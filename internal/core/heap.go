@@ -17,6 +17,15 @@ type Heap struct {
 // shared address.
 func (h *Heap) Alloc(n, align int) int { return h.alloc.Alloc(n, align) }
 
+// Label names the heap region starting at the current allocation point
+// (until the next Label call). The sharing-pattern profiler reports
+// per-region statistics under these names; unlabeled allocations land in
+// an "(unlabeled)" bucket. Free when no profiler is attached.
+func (h *Heap) Label(name string) { h.alloc.Label(name) }
+
+// Regions returns the named heap regions laid out so far.
+func (h *Heap) Regions() []mem.Region { return h.alloc.Regions() }
+
 // AllocF64s reserves count float64s (8-byte aligned).
 func (h *Heap) AllocF64s(count int) int { return h.alloc.Alloc(count*8, 8) }
 

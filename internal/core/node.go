@@ -6,6 +6,7 @@ import (
 	"dsmsim/internal/metrics"
 	"dsmsim/internal/network"
 	"dsmsim/internal/proto"
+	"dsmsim/internal/shareprof"
 	"dsmsim/internal/sim"
 	"dsmsim/internal/stats"
 	"dsmsim/internal/synch"
@@ -28,6 +29,14 @@ type Node struct {
 	protocol proto.Protocol
 	sync     *synch.Sync
 	tracer   *trace.Tracer // nil when tracing is off
+
+	// prof is the sharing-pattern profiler, nil when profiling is off;
+	// every hook on the access hot path hides behind that nil check so
+	// the off configuration stays zero-alloc and branch-cheap. profAddr
+	// and profSize remember the access span currently being validated,
+	// so a fault can be attributed to the exact bytes that missed.
+	prof               *shareprof.Profiler
+	profAddr, profSize int
 
 	// phases receives a per-node cut at every barrier return (and one
 	// final cut when the body finishes), building Result.Phases.
@@ -98,6 +107,11 @@ func (n *Node) Steal(cost sim.Time) {
 
 // fault resolves an access violation; proc context.
 func (n *Node) fault(block int, write bool) {
+	if pr := n.prof; pr != nil {
+		// Attribute before the protocol resolves the fault: resolution
+		// installs a fresh copy and would erase the staleness evidence.
+		pr.Fault(n.id, block, n.profAddr, n.profSize, write)
+	}
 	if write {
 		n.stats.WriteFaults++
 		n.writers[block] |= 1 << uint(n.id)

@@ -60,6 +60,13 @@ type Options struct {
 	// SampleCSV, if non-nil, receives each run's sampler time-series as CSV
 	// rows in canonical sweep order. Requires SampleEvery.
 	SampleCSV io.Writer
+	// ShareProfile attaches the sharing-pattern profiler to every matrix
+	// run (strictly observational; tables and CSV records are unchanged).
+	// The sharing experiment profiles its own runs regardless.
+	ShareProfile bool
+	// ProfCSV, if non-nil, receives each run's sharing profile as CSV rows
+	// in canonical sweep order. Requires ShareProfile.
+	ProfCSV io.Writer
 	// Metrics, if non-nil, receives live sweep progress for the HTTP
 	// exporter and switches progress lines to the enriched format.
 	Metrics *metrics.Registry
@@ -95,6 +102,9 @@ func New(opts Options) *Runner {
 		SampleCSV:   opts.SampleCSV,
 		Metrics:     opts.Metrics,
 		Faults:      opts.Faults,
+
+		ShareProfile: opts.ShareProfile,
+		ProfCSV:      opts.ProfCSV,
 	})
 	return &Runner{opts: opts, eng: eng}
 }

@@ -7,8 +7,19 @@ import "fmt"
 // SPLASH-2 programs' shared-heap mallocs. There is no free: runs are
 // bounded and layouts are static, matching the applications in the paper.
 type Allocator struct {
-	next int
-	size int
+	next  int
+	size  int
+	marks []Region // Label marks; Size is materialized by Regions
+}
+
+// Region is a named span of the shared heap: everything allocated
+// between one Label call and the next. The sharing-pattern profiler
+// aggregates its per-block ledger over these regions, so reports name
+// the application's data structures instead of raw addresses.
+type Region struct {
+	Name  string
+	Start int
+	Size  int
 }
 
 // NewAllocator returns an allocator over a heap of the given size.
@@ -35,6 +46,37 @@ func (a *Allocator) Alloc(n, align int) int {
 		panic(fmt.Sprintf("mem: shared heap exhausted: want %d at %d, heap %d", n, addr, a.size))
 	}
 	return addr
+}
+
+// Label starts a named region at the current allocation point: every
+// byte allocated until the next Label call belongs to it. Labels are
+// optional — unlabeled spans fall into the profiler's "(unlabeled)"
+// bucket — and cost nothing when no profiler consumes them.
+func (a *Allocator) Label(name string) {
+	if n := len(a.marks); n > 0 && a.marks[n-1].Start == a.next {
+		// Nothing was allocated under the previous label: replace it.
+		a.marks[n-1].Name = name
+		return
+	}
+	a.marks = append(a.marks, Region{Name: name, Start: a.next})
+}
+
+// Regions returns the named regions in address order, each extending to
+// the next label (the last to the current allocation point). Zero-size
+// regions are omitted.
+func (a *Allocator) Regions() []Region {
+	var out []Region
+	for i, m := range a.marks {
+		end := a.next
+		if i+1 < len(a.marks) {
+			end = a.marks[i+1].Start
+		}
+		if end > m.Start {
+			m.Size = end - m.Start
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 // Used returns the number of bytes allocated so far (including padding).

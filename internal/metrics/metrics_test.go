@@ -156,7 +156,8 @@ func TestRegistryPrometheusAndProgress(t *testing.T) {
 	r.AddTotal(4)
 	r.PointStarted("lu/sc/64/polling/4p")
 	r.PointDone(PointResult{Key: "lu/sc/64/polling/4p", Wall: 50 * time.Millisecond,
-		Virtual: sim.Time(2 * sim.Second), ReadFaults: 10, WriteFaults: 5, NetBytes: 1 << 20})
+		Virtual: sim.Time(2 * sim.Second), ReadFaults: 10, WriteFaults: 5, NetBytes: 1 << 20,
+		Profiled: true, TrueSharing: 7, FalseSharing: 3, FalseFraction: 0.3})
 	r.PointStarted("lu/seq")
 	r.PointDone(PointResult{Key: "lu/seq", Wall: time.Millisecond, Virtual: sim.Second, Memoized: true})
 
@@ -171,6 +172,9 @@ func TestRegistryPrometheusAndProgress(t *testing.T) {
 		"dsmsim_sweep_eta_seconds",
 		`dsmsim_point_wall_seconds{point="lu/sc/64/polling/4p"} 0.050`,
 		`dsmsim_point_read_faults{point="lu/sc/64/polling/4p"} 10`,
+		`dsmsim_point_true_sharing_faults{point="lu/sc/64/polling/4p"} 7`,
+		`dsmsim_point_false_sharing_faults{point="lu/sc/64/polling/4p"} 3`,
+		`dsmsim_point_false_sharing_fraction{point="lu/sc/64/polling/4p"} 0.300`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("Prometheus text missing %q:\n%s", want, text)

@@ -43,6 +43,14 @@ type PointResult struct {
 	WriteFaults int64
 	NetMsgs     int64
 	NetBytes    int64
+
+	// Sharing-pattern profile of the run, filled only when the sweep runs
+	// with the profiler attached (Options.ShareProfile): attributed
+	// sharing-fault totals and the false fraction of sharing misses.
+	Profiled      bool
+	TrueSharing   int64
+	FalseSharing  int64
+	FalseFraction float64
 }
 
 // NewRegistry creates a registry; the sweep's ETA clock starts now.
@@ -178,6 +186,21 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		func(p *PointResult) string { return fmt.Sprintf("%d", p.WriteFaults) })
 	writePer("dsmsim_point_net_bytes", "Network bytes sent during the run.", "gauge",
 		func(p *PointResult) string { return fmt.Sprintf("%d", p.NetBytes) })
+	// Sharing-profile gauges appear only when at least one point ran with
+	// the profiler attached, keeping unprofiled sweeps' exports unchanged.
+	profiled := pts[:0:0]
+	for i := range pts {
+		if pts[i].Profiled {
+			profiled = append(profiled, pts[i])
+		}
+	}
+	pts = profiled
+	writePer("dsmsim_point_true_sharing_faults", "Faults attributed to true sharing.", "gauge",
+		func(p *PointResult) string { return fmt.Sprintf("%d", p.TrueSharing) })
+	writePer("dsmsim_point_false_sharing_faults", "Faults attributed to false sharing.", "gauge",
+		func(p *PointResult) string { return fmt.Sprintf("%d", p.FalseSharing) })
+	writePer("dsmsim_point_false_sharing_fraction", "False fraction of sharing misses.", "gauge",
+		func(p *PointResult) string { return fmt.Sprintf("%.3f", p.FalseFraction) })
 }
 
 // expvar integration: /debug/vars carries the same progress document under

@@ -32,6 +32,11 @@ type Probes struct {
 	// Retrans returns cumulative link-layer reliability traffic
 	// (retransmitted frames, wire drops); nil on fault-free runs.
 	Retrans func() (retransmits, drops int64)
+	// Sharing returns the sharing-pattern profiler's cumulative true-
+	// and false-sharing fault totals; nil (or zero) when profiling is
+	// off, so the columns render as 0 and unprofiled series keep the
+	// same schema.
+	Sharing func() (trueFaults, falseFaults int64)
 }
 
 // Sample is one interval of the time-series: deltas of every counter and
@@ -47,6 +52,12 @@ type Sample struct {
 	// deltas; zero except under a wire-active fault plan.
 	Retransmits int64
 	WireDrops   int64
+
+	// TrueSharing and FalseSharing are the interval's attributed
+	// sharing-fault deltas; zero unless the sharing-pattern profiler is
+	// attached (Config.ShareProfile).
+	TrueSharing  int64
+	FalseSharing int64
 }
 
 // Sampler accumulates Samples at fixed virtual-time boundaries. Tick is
@@ -62,6 +73,8 @@ type Sampler struct {
 	prevByt int64
 	prevRtx int64
 	prevDrp int64
+	prevTru int64
+	prevFls int64
 	series  Series
 }
 
@@ -107,6 +120,11 @@ func (s *Sampler) cut(at sim.Time) {
 		sm.Retransmits, sm.WireDrops = r-s.prevRtx, d-s.prevDrp
 		s.prevRtx, s.prevDrp = r, d
 	}
+	if s.probes.Sharing != nil {
+		t, f := s.probes.Sharing()
+		sm.TrueSharing, sm.FalseSharing = t-s.prevTru, f-s.prevFls
+		s.prevTru, s.prevFls = t, f
+	}
 	s.prev = cur
 	s.series.Samples = append(s.series.Samples, sm)
 }
@@ -128,7 +146,7 @@ const SeriesHeader = "t_ns,read_faults,write_faults,invalidations,diffs_created,
 	"write_notices,lock_acquires,barrier_entries,net_msgs,net_bytes," +
 	"compute_ns,read_stall_ns,write_stall_ns,lock_stall_ns,barrier_stall_ns," +
 	"flush_ns,stolen_ns,lock_queue,fault_rate_hz,stall_frac,diff_bytes_per_s," +
-	"retransmits,wire_drops"
+	"retransmits,wire_drops,true_sharing,false_sharing"
 
 // WriteCSV writes the header and one row per sample.
 func (s *Series) WriteCSV(w io.Writer) error {
@@ -177,6 +195,10 @@ func (s *Series) AppendRows(b []byte, prefix string) []byte {
 		b = strconv.AppendInt(b, sm.Retransmits, 10)
 		b = append(b, ',')
 		b = strconv.AppendInt(b, sm.WireDrops, 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, sm.TrueSharing, 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, sm.FalseSharing, 10)
 		b = append(b, '\n')
 	}
 	return b
@@ -218,6 +240,9 @@ func (s *Series) WriteCounterJSON(w io.Writer) error {
 		cw.Counter("retransmissions/s", sm.At,
 			trace.CounterVal{Key: "retx", Val: rate(float64(sm.Retransmits), secs)},
 			trace.CounterVal{Key: "drops", Val: rate(float64(sm.WireDrops), secs)})
+		cw.Counter("sharing faults/s", sm.At,
+			trace.CounterVal{Key: "true", Val: rate(float64(sm.TrueSharing), secs)},
+			trace.CounterVal{Key: "false", Val: rate(float64(sm.FalseSharing), secs)})
 	}
 	return cw.Flush()
 }

@@ -498,6 +498,9 @@ func (p *Protocol) handleFetchData(m *network.Msg) {
 	b := m.Block
 	sp := p.env.Spaces[node]
 	copy(sp.BlockData(b), m.Data)
+	if o := p.env.Prof; o != nil {
+		o.Filled(node, b)
+	}
 	if m.Flag {
 		sp.SetTag(b, mem.ReadWrite)
 		p.pending[node].becameHome = true
@@ -541,6 +544,9 @@ func (p *Protocol) handleDiff(m *network.Msg) {
 		return
 	}
 	dm.diff.Apply(p.env.Spaces[here].BlockData(b))
+	if o := p.env.Prof; o != nil {
+		o.DiffApplied(here, b, dm.diff)
+	}
 	p.env.Stats[here].DiffsApplied++
 	if tr := p.env.Tracer; tr != nil {
 		tr.Instant(here, trace.CatProto, "diff-apply",

@@ -43,6 +43,25 @@ type Env struct {
 	// Protocols guard every emit (and its argument construction) behind
 	// a nil check so disabled tracing costs one branch.
 	Tracer *trace.Tracer
+
+	// Prof is the sharing-pattern profiler's protocol-path observer, nil
+	// when profiling is off. Protocols report the events only they can
+	// see — full-block installs and diff applications — behind a nil
+	// check, like Tracer; the core feeds the access/fault/tag side.
+	Prof SharingObserver
+}
+
+// SharingObserver is implemented by the sharing-pattern profiler
+// (internal/shareprof); defined here so protocols depend only on the
+// interface. All methods run in engine context and must be pure
+// bookkeeping.
+type SharingObserver interface {
+	// Filled reports that a complete, current copy of block was
+	// installed at node (data grants, write-backs, migrations).
+	Filled(node, block int)
+	// DiffApplied reports that d was applied to node's copy of block
+	// (HLRC's home update): exactly the diffed bytes become current.
+	DiffApplied(node, block int, d mem.Diff)
 }
 
 // Nodes returns the node count.

@@ -360,6 +360,9 @@ func (p *Protocol) handleData(m *network.Msg, exclusive bool) {
 	sp := p.env.Spaces[node]
 	if m.Data != nil {
 		copy(sp.BlockData(m.Block), m.Data)
+		if o := p.env.Prof; o != nil {
+			o.Filled(node, m.Block)
+		}
 	}
 	home := int32(m.A)
 	p.homeCache[node][m.Block] = home
@@ -454,6 +457,9 @@ func (p *Protocol) handleWBData(m *network.Msg) {
 	}
 	sp := p.env.Spaces[home]
 	copy(sp.BlockData(b), m.Data)
+	if o := p.env.Prof; o != nil {
+		o.Filled(home, b) // the write-back makes the home copy current
+	}
 	old := int(p.owner[b])
 	p.owner[b] = -1
 	if t.write {

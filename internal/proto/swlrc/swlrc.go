@@ -336,6 +336,9 @@ func (p *Protocol) handleReadData(m *network.Msg) {
 	b := m.Block
 	sp := p.env.Spaces[node]
 	copy(sp.BlockData(b), m.Data)
+	if o := p.env.Prof; o != nil {
+		o.Filled(node, b)
+	}
 	sp.SetTag(b, mem.ReadOnly)
 	p.localVer[node][b] = int32(m.A)
 	p.lastKnown[node][b] = int32(m.B)
@@ -400,6 +403,9 @@ func (p *Protocol) handleOwnData(m *network.Msg) {
 	sp := p.env.Spaces[node]
 	if m.Data != nil {
 		copy(sp.BlockData(b), m.Data)
+		if o := p.env.Prof; o != nil {
+			o.Filled(node, b)
+		}
 	}
 	if p.pending[node].write {
 		sp.SetTag(b, mem.ReadWrite)

@@ -1,0 +1,144 @@
+package shareprof
+
+// Class is a block's sharing-pattern classification, the taxonomy the
+// paper uses to explain its per-application results (§5): private data,
+// read-only data, single-producer data read by others, migratory data
+// passed between nodes under locks, and genuinely write-shared data —
+// the multiple-writer pattern HLRC's diffs absorb.
+type Class uint8
+
+const (
+	// Untouched blocks were never accessed during the parallel phase.
+	Untouched Class = iota
+	// Private blocks were only ever accessed by one node.
+	Private
+	// ReadOnly blocks were read by several nodes and written by none.
+	ReadOnly
+	// ProducerConsumer blocks have one writer and at least one distinct
+	// reader (the writer may change once, when a pure reader set watches
+	// a single producer hand over).
+	ProducerConsumer
+	// Migratory blocks move between nodes that each read the previous
+	// writer's data before writing it themselves — the lock-protected
+	// read-modify-write pattern.
+	Migratory
+	// WriteShared blocks were written by multiple nodes without the
+	// migratory read-before-write handoff: concurrent writers, the
+	// pattern that profits most from multiple-writer protocols.
+	WriteShared
+	// NumClasses bounds the enum for per-class count arrays.
+	NumClasses
+)
+
+// String returns the class's report label.
+func (c Class) String() string {
+	switch c {
+	case Untouched:
+		return "untouched"
+	case Private:
+		return "private"
+	case ReadOnly:
+		return "read-only"
+	case ProducerConsumer:
+		return "prod-cons"
+	case Migratory:
+		return "migratory"
+	case WriteShared:
+		return "write-shared"
+	}
+	return "unknown"
+}
+
+// classifier is the per-block online state machine. It consumes the
+// sequence of completed accesses (node, read/write) and settles on the
+// strongest pattern observed; WriteShared is absorbing.
+//
+// State meaning by class:
+//
+//	Private           owner = the only node seen; written = any write yet
+//	ProducerConsumer  owner = the single writer; readers = readers since
+//	                  the writer's last write
+//	Migratory         owner = the last writer; readers = readers since
+//	                  that write (a reader may take over the write role)
+type classifier struct {
+	class   Class
+	owner   int8
+	written bool
+	readers uint64
+}
+
+// observe feeds one completed access into the state machine.
+func (s *classifier) observe(node int, write bool) {
+	switch s.class {
+	case Untouched:
+		s.class = Private
+		s.owner = int8(node)
+		s.written = write
+
+	case Private:
+		if int(s.owner) == node {
+			s.written = s.written || write
+			return
+		}
+		switch {
+		case !write && !s.written:
+			s.class = ReadOnly
+		case !write && s.written:
+			// The owner produced, a second node consumes.
+			s.class = ProducerConsumer
+			s.readers = 1 << uint(node)
+		case write && !s.written:
+			// The first node only read; the newcomer is the single writer.
+			s.class = ProducerConsumer
+			s.readers = 1 << uint(s.owner)
+			s.owner = int8(node)
+		default:
+			// Two nodes write with no read-handoff between them.
+			s.class = WriteShared
+		}
+
+	case ReadOnly:
+		if write {
+			s.class = ProducerConsumer
+			s.owner = int8(node)
+			s.readers = 0
+		}
+
+	case ProducerConsumer:
+		if !write {
+			s.readers |= 1 << uint(node)
+			return
+		}
+		if int(s.owner) == node {
+			s.readers = 0
+			return
+		}
+		if s.readers>>uint(node)&1 != 0 {
+			// A consumer that read the producer's data now writes it:
+			// the read-modify-write handoff.
+			s.class = Migratory
+			s.owner = int8(node)
+			s.readers = 0
+		} else {
+			s.class = WriteShared
+		}
+
+	case Migratory:
+		if !write {
+			s.readers |= 1 << uint(node)
+			return
+		}
+		if int(s.owner) == node || s.readers>>uint(node)&1 != 0 {
+			s.owner = int8(node)
+			s.readers = 0
+		} else {
+			s.class = WriteShared
+		}
+
+	case WriteShared:
+		// Absorbing.
+	}
+}
+
+// result returns the block's final classification.
+func (s *classifier) result() Class { return s.class }

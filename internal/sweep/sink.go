@@ -8,6 +8,7 @@ import (
 
 	"dsmsim/internal/core"
 	"dsmsim/internal/metrics"
+	"dsmsim/internal/shareprof"
 	"dsmsim/internal/stats"
 )
 
@@ -22,6 +23,7 @@ type Sink struct {
 	progress   io.Writer
 	csv        *csvSink
 	samples    *sampleSink
+	profs      *profSink
 	histograms bool
 
 	// enriched switches progress lines to the metrics format: a
@@ -37,10 +39,11 @@ type Sink struct {
 	closed bool
 }
 
-// NewSink builds a sink. progress, csv and samples may be nil; histograms
-// adds a latency-distribution line after each run record; enriched selects
-// the counter-prefixed progress format (the live-metrics mode).
-func NewSink(progress, csv io.Writer, histograms bool, samples io.Writer, enriched bool) *Sink {
+// NewSink builds a sink. progress, csv, samples and profs may be nil;
+// histograms adds a latency-distribution line after each run record;
+// enriched selects the counter-prefixed progress format (the live-metrics
+// mode).
+func NewSink(progress, csv io.Writer, histograms bool, samples, profs io.Writer, enriched bool) *Sink {
 	s := &Sink{progress: progress, histograms: histograms, enriched: enriched,
 		ch: make(chan func(), 64), done: make(chan struct{})}
 	if csv != nil {
@@ -48,6 +51,9 @@ func NewSink(progress, csv io.Writer, histograms bool, samples io.Writer, enrich
 	}
 	if samples != nil {
 		s.samples = &sampleSink{w: samples}
+	}
+	if profs != nil {
+		s.profs = &profSink{w: profs}
 	}
 	go func() {
 		defer close(s.done)
@@ -92,6 +98,9 @@ func (s *Sink) Emit(k Key, res *core.Result) {
 		}
 		if s.samples != nil && !k.Sequential && res.Samples != nil {
 			s.samples.Write(k, res)
+		}
+		if s.profs != nil && !k.Sequential && res.Sharing != nil {
+			s.profs.Write(k, res)
 		}
 	})
 }
@@ -215,6 +224,33 @@ func (c *sampleSink) Write(k Key, res *core.Result) {
 	}
 	prefix := fmt.Sprintf("%s,%s,%d,%s,%d,", res.App, res.Protocol, res.BlockSize, res.Notify, res.Nodes)
 	c.w.Write(res.Samples.AppendRows(nil, prefix))
+}
+
+// profSink writes each run's sharing profile as CSV rows (one per region
+// plus a total) prefixed with the run-key columns. Same header discipline
+// as csvSink, same ordered delivery through the Sink goroutine, so the
+// file is byte-identical at any parallelism.
+type profSink struct {
+	mu     sync.Mutex
+	w      io.Writer
+	header bool
+}
+
+// profHeader prefixes the profiler schema with the run-key columns.
+const profHeader = "app,protocol,block,notify,nodes," + shareprof.CSVHeader
+
+// Write appends one run's sharing profile.
+func (c *profSink) Write(k Key, res *core.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.header {
+		c.header = true
+		if !hasExistingData(c.w) {
+			fmt.Fprintln(c.w, profHeader)
+		}
+	}
+	prefix := fmt.Sprintf("%s,%s,%d,%s,%d,", res.App, res.Protocol, res.BlockSize, res.Notify, res.Nodes)
+	c.w.Write(res.Sharing.AppendRows(nil, prefix))
 }
 
 // hasExistingData reports whether w is a seekable file that already holds

@@ -137,6 +137,16 @@ type Options struct {
 	// like every other sink output, byte-identical at any parallelism.
 	// Requires SampleEvery.
 	SampleCSV io.Writer
+	// ShareProfile attaches the sharing-pattern profiler to every
+	// non-sequential run: Result.Sharing carries the per-region taxonomy
+	// and true/false-sharing attribution. Observational — every other
+	// output stays byte-identical.
+	ShareProfile bool
+	// ProfCSV, if non-nil, receives each run's sharing profile as CSV
+	// rows (one per region plus a total) prefixed with the run-key
+	// columns, in canonical sweep order — byte-identical at any
+	// parallelism. Requires ShareProfile.
+	ProfCSV io.Writer
 	// Metrics, if non-nil, receives live progress (point started/done,
 	// wall-clock runtimes) for the HTTP exporter, and switches the
 	// progress lines to the enriched format with a completion counter.
@@ -170,7 +180,7 @@ func New(opts Options) *Engine {
 		opts: opts,
 		memo: NewMemo(),
 		sink: NewSink(opts.Progress, opts.CSV, opts.Histograms,
-			opts.SampleCSV, opts.Metrics != nil),
+			opts.SampleCSV, opts.ProfCSV, opts.Metrics != nil),
 	}
 }
 
@@ -203,6 +213,12 @@ func (e *Engine) runKey(ctx context.Context, k Key) (*core.Result, error, bool) 
 			pr.WriteFaults = res.Total.WriteFaults
 			pr.NetMsgs = res.NetMsgs
 			pr.NetBytes = res.NetBytes
+			if sh := res.Sharing; sh != nil {
+				pr.Profiled = true
+				pr.TrueSharing = sh.Total.TrueFaults
+				pr.FalseSharing = sh.Total.FalseFaults
+				pr.FalseFraction = sh.FalseSharingFraction()
+			}
 		}
 		reg.PointDone(pr)
 	}
@@ -332,6 +348,7 @@ func (e *Engine) compute(ctx context.Context, k Key) (*core.Result, error) {
 		cfg.Protocol = k.Protocol
 		cfg.Notify = k.Notify
 		cfg.Faults = e.opts.Faults
+		cfg.ShareProfile = e.opts.ShareProfile
 	}
 	m, err := core.NewMachine(cfg)
 	if err != nil {

@@ -9,10 +9,11 @@ import "io"
 // them and are ignored by the other.
 type options struct {
 	// Shared between Start and Sweep.
-	verify      *bool
-	faults      *FaultPlan
-	limit       Time
-	sampleEvery Time
+	verify       *bool
+	faults       *FaultPlan
+	limit        Time
+	sampleEvery  Time
+	shareProfile bool
 	// Single-run only: per-run event trace writers. Ignored by Sweep,
 	// where parallel runs would interleave on one writer.
 	trace     io.Writer
@@ -23,6 +24,7 @@ type options struct {
 	csv        io.Writer
 	histograms bool
 	sampleCSV  io.Writer
+	profCSV    io.Writer
 	metrics    *Metrics
 }
 
@@ -80,6 +82,22 @@ func WithLimit(t Time) Option { return func(c *options) { c.limit = t } }
 func WithSampleEvery(every Time) Option {
 	return func(c *options) { c.sampleEvery = every }
 }
+
+// WithShareProfile attaches the sharing-pattern profiler to the run
+// (Start) or to every non-sequential run of the sweep: each touched block
+// is classified into the paper's sharing taxonomy (private, read-only,
+// producer-consumer, migratory, write-shared) and every fault and
+// invalidation attributed as cold, true sharing, false sharing or
+// upgrade, aggregated over the application's named heap regions into
+// Result.Sharing. Profiling is strictly observational: virtual time and
+// every other Result field are byte-identical to an unprofiled run.
+func WithShareProfile() Option { return func(c *options) { c.shareProfile = true } }
+
+// WithProfCSV streams every run's sharing profile to w as CSV rows (one
+// per region plus a total) prefixed with the run-key columns, in
+// canonical sweep order — byte-identical at any parallelism. Sweep only;
+// requires WithShareProfile.
+func WithProfCSV(w io.Writer) Option { return func(c *options) { c.profCSV = w } }
 
 // WithTrace streams the run's deterministic line-format event log to w:
 // every fault, synchronization operation, message send/service — and,

@@ -34,6 +34,9 @@ func Start(ctx context.Context, cfg Config, app App, opts ...Option) (*Result, e
 	if c.traceJSON != nil {
 		cfg.TraceJSON = c.traceJSON
 	}
+	if c.shareProfile {
+		cfg.ShareProfile = true
+	}
 	m, err := NewMachine(cfg)
 	if err != nil {
 		return nil, err

@@ -121,6 +121,9 @@ func Sweep(ctx context.Context, spec SweepSpec, opts ...Option) (*SweepResult, e
 		SampleCSV:   c.sampleCSV,
 		Metrics:     c.metrics,
 		Faults:      c.faults,
+
+		ShareProfile: c.shareProfile,
+		ProfCSV:      c.profCSV,
 	})
 	points := sweep.Dedupe(sweep.Spec{
 		Apps:          spec.Apps,
