@@ -10,6 +10,7 @@
 package dsmsim_test
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -202,6 +203,29 @@ func BenchmarkSingleRun(b *testing.B) {
 					}
 				}
 			})
+		}
+	}
+	// Scaling points past the old 64-node ceiling: FFT and LU at page
+	// granularity on 256 and 1024 nodes. These track the cost of the
+	// sparse directory tables and compact copysets at large node counts —
+	// the regime where dense per-node metadata used to dominate.
+	for _, nodes := range []int{256, 1024} {
+		for _, appName := range []string{"fft", "lu"} {
+			for _, protoName := range dsmsim.Protocols {
+				b.Run(fmt.Sprintf("scale/%s/%s/%dn", appName, protoName, nodes), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						app, err := dsmsim.NewApp(appName, size)
+						if err != nil {
+							b.Fatal(err)
+						}
+						cfg := dsmsim.Config{Nodes: nodes, BlockSize: 4096, Protocol: protoName}
+						if _, err := dsmsim.Start(context.Background(), cfg, app); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
 		}
 	}
 }

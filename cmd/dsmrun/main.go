@@ -240,12 +240,8 @@ func runOne(ctx context.Context, spec dsmsim.SweepSpec, plan *dsmsim.FaultPlan, 
 	}
 
 	// Sequential baseline for the speedup.
-	seqM, err := dsmsim.NewMachine(dsmsim.Config{Sequential: true, BlockSize: 4096})
-	if err != nil {
-		fatal(err)
-	}
 	seqApp, _ := dsmsim.NewApp(spec.Apps[0], spec.Size)
-	seq, err := seqM.RunContext(ctx, seqApp)
+	seq, err := dsmsim.Start(ctx, dsmsim.Config{Sequential: true, BlockSize: 4096}, seqApp)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,15 +1,16 @@
 package dsmsim_test
 
 import (
+	"context"
 	"testing"
 
 	"dsmsim"
 )
 
-func TestPublicRunApp(t *testing.T) {
-	res, err := dsmsim.RunApp(dsmsim.Config{
+func TestPublicStartApp(t *testing.T) {
+	res, err := dsmsim.StartApp(context.Background(), dsmsim.Config{
 		Nodes: 4, BlockSize: 1024, Protocol: dsmsim.HLRC,
-	}, "lu", dsmsim.Small)
+	}, "lu", dsmsim.Small, dsmsim.WithVerify())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,9 +44,9 @@ func TestPublicConstants(t *testing.T) {
 // TestPublicDeterminism: the promise the package documentation makes.
 func TestPublicDeterminism(t *testing.T) {
 	run := func() *dsmsim.Result {
-		res, err := dsmsim.RunApp(dsmsim.Config{
+		res, err := dsmsim.StartApp(context.Background(), dsmsim.Config{
 			Nodes: 4, BlockSize: 256, Protocol: dsmsim.SWLRC,
-		}, "ocean-rowwise", dsmsim.Small)
+		}, "ocean-rowwise", dsmsim.Small, dsmsim.WithVerify())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -58,7 +59,7 @@ func TestPublicDeterminism(t *testing.T) {
 }
 
 func TestBadConfigRejected(t *testing.T) {
-	if _, err := dsmsim.RunApp(dsmsim.Config{Nodes: 4, BlockSize: 100, Protocol: dsmsim.SC}, "lu", dsmsim.Small); err == nil {
+	if _, err := dsmsim.StartApp(context.Background(), dsmsim.Config{Nodes: 4, BlockSize: 100, Protocol: dsmsim.SC}, "lu", dsmsim.Small); err == nil {
 		t.Fatal("non-power-of-two block size accepted")
 	}
 }

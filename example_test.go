@@ -1,17 +1,18 @@
 package dsmsim_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"dsmsim"
 )
 
-// ExampleRunApp runs the paper's LU benchmark on four simulated nodes
+// ExampleStartApp runs the paper's LU benchmark on four simulated nodes
 // under home-based lazy release consistency at page granularity.
-func ExampleRunApp() {
+func ExampleStartApp() {
 	cfg := dsmsim.Config{Nodes: 4, BlockSize: 4096, Protocol: dsmsim.HLRC}
-	res, err := dsmsim.RunApp(cfg, "lu", dsmsim.Small)
+	res, err := dsmsim.StartApp(context.Background(), cfg, "lu", dsmsim.Small, dsmsim.WithVerify())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -22,13 +23,13 @@ func ExampleRunApp() {
 	// lu under hlrc-4096 on 4 nodes: write faults = 32
 }
 
-// ExampleRun runs a custom workload: every node increments a shared
+// ExampleStart runs a custom workload: every node increments a shared
 // counter under a lock; the run is deterministic, so the output is exact.
-func ExampleRun() {
+func ExampleStart() {
 	app := &counterApp{}
-	res, err := dsmsim.Run(dsmsim.Config{
+	res, err := dsmsim.Start(context.Background(), dsmsim.Config{
 		Nodes: 8, BlockSize: 256, Protocol: dsmsim.SC,
-	}, app)
+	}, app, dsmsim.WithVerify())
 	if err != nil {
 		log.Fatal(err)
 	}

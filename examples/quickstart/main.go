@@ -8,6 +8,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -102,7 +103,7 @@ func main() {
 		defer w.Flush()
 		cfg.TraceJSON = w
 	}
-	res, err := dsmsim.Run(cfg, &histogram{})
+	res, err := dsmsim.Start(context.Background(), cfg, &histogram{}, dsmsim.WithVerify())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -100,7 +101,7 @@ func main() {
 	for _, proto := range dsmsim.Protocols {
 		for _, block := range []int{64, 4096} {
 			cfg := dsmsim.Config{Nodes: 8, BlockSize: block, Protocol: proto}
-			res, err := dsmsim.Run(cfg, &stencil{})
+			res, err := dsmsim.Start(context.Background(), cfg, &stencil{}, dsmsim.WithVerify())
 			if err != nil {
 				log.Fatal(err)
 			}

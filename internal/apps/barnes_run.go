@@ -8,8 +8,18 @@ import (
 // Run implements core.App for all three Barnes versions.
 func (a *Barnes) Run(c *core.Ctx) {
 	p, me := c.NP(), c.ID()
+	// The heap lays out barMaxProcs cell pools of a.poolSize cells each
+	// (Setup cannot see the node count). Up to barMaxProcs processors each
+	// own one full pool — the historical layout, kept bit-exact. Larger
+	// clusters repartition the same laid-out pool space evenly: each
+	// processor inserts ~n/p particles, so the shrunken slices stay
+	// generous.
+	poolSize := a.poolSize
 	if p > barMaxProcs {
-		panic("barnes: cluster larger than the laid-out cell pools")
+		poolSize = barMaxProcs * a.poolSize / p
+		if poolSize == 0 {
+			panic("barnes: cluster too large for the laid-out cell pools")
+		}
 	}
 	rc := c.Protocol() != core.SC
 	t := &treeCtx{c: c, a: a, rc: rc}
@@ -17,8 +27,8 @@ func (a *Barnes) Run(c *core.Ctx) {
 	for step := 0; step < a.steps; step++ {
 		// Phase 1: reset the tree (proc 0 clears the root and, for the
 		// spatial version, rebuilds the two-level skeleton).
-		t.next = skelCells + me*a.poolSize
-		t.poolEnd = t.next + a.poolSize
+		t.next = skelCells + me*poolSize
+		t.poolEnd = t.next + poolSize
 		if me == 0 {
 			a.resetTree(c)
 		}

@@ -45,9 +45,15 @@ var Protocols = []string{SC, SWLRC, HLRC}
 // Granularities lists the paper's coherence block sizes.
 var Granularities = []int{64, 256, 1024, 4096}
 
+// MaxNodes is the largest supported cluster size. Directory metadata is
+// sparse (sharded per-block tables, copysets that spill past 64 nodes),
+// so the bound is a sanity limit on simulation cost, not a structural
+// one.
+const MaxNodes = 1024
+
 // Config selects one point of the paper's evaluation space.
 type Config struct {
-	// Nodes is the cluster size (the paper uses 16).
+	// Nodes is the cluster size, in [1, MaxNodes] (the paper uses 16).
 	Nodes int
 	// BlockSize is the coherence granularity in bytes (power of two).
 	BlockSize int
@@ -112,8 +118,8 @@ type Config struct {
 // Typed validation errors returned (wrapped) by Config.Validate and
 // NewMachine; test with errors.Is.
 var (
-	// ErrBadNodes reports a node count outside [1, 64].
-	ErrBadNodes = errors.New("core: invalid node count")
+	// ErrBadNodes reports a node count outside [1, MaxNodes].
+	ErrBadNodes = errors.New("core: invalid node count (want 1..1024)")
 	// ErrBadBlockSize reports a block size that is not a positive power of two.
 	ErrBadBlockSize = errors.New("core: block size is not a power of two")
 	// ErrNoProtocol reports a non-sequential config with no protocol named.
@@ -129,7 +135,7 @@ func (c *Config) Validate() error {
 	if c.Sequential && c.Nodes == 0 {
 		c.Nodes = 1
 	}
-	if c.Nodes <= 0 || c.Nodes > 64 {
+	if c.Nodes <= 0 || c.Nodes > MaxNodes {
 		return fmt.Errorf("%w: %d", ErrBadNodes, c.Nodes)
 	}
 	if c.BlockSize <= 0 || c.BlockSize&(c.BlockSize-1) != 0 {
@@ -345,8 +351,9 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 
 	// writers tracks, per block, the set of nodes that write-faulted on it
 	// during this run (Table 2's writer classification). Run-local so that
-	// concurrent runs on one Machine never share state.
-	writers := make([]uint64, heapSize/cfg.BlockSize)
+	// concurrent runs on one Machine never share state. Copysets stay
+	// inline-word cheap at ≤64 nodes and spill to paged bitmaps above.
+	writers := make([]proto.Copyset, heapSize/cfg.BlockSize)
 	if !cfg.StaticHomes {
 		env.Homes.BeginFirstTouch()
 	}
@@ -539,12 +546,13 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 		res.AcksSent += s.AcksSent
 		res.RetransmitLatency.Merge(&s.RetransmitLatency)
 	}
-	for _, w := range writers {
-		if w == 0 {
-			continue
-		}
-		res.BlocksWritten++
-		if w&(w-1) != 0 {
+	for i := range writers {
+		switch writers[i].Count() {
+		case 0:
+		case 1:
+			res.BlocksWritten++
+		default:
+			res.BlocksWritten++
 			res.MultiWriterBlocks++
 		}
 	}

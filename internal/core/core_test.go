@@ -451,7 +451,7 @@ func TestConfigValidation(t *testing.T) {
 		{Nodes: 4, BlockSize: 96, Protocol: SC},
 		{Nodes: 4, BlockSize: 64, Protocol: "mesi"},
 		{Nodes: 4, BlockSize: 64},
-		{Nodes: 65, BlockSize: 64, Protocol: SC},
+		{Nodes: MaxNodes + 1, BlockSize: 64, Protocol: SC},
 	}
 	for i, cfg := range bad {
 		if _, err := NewMachine(cfg); err == nil {

@@ -84,6 +84,11 @@ func (c *Ctx) Compute(d sim.Time) {
 func (c *Ctx) access(addr, size int, write bool) []byte {
 	n := c.n
 	sp := n.space
+	if size == 0 {
+		// Empty spans arise when a node's partition of the data is empty
+		// (more nodes than rows); they touch no block and cost nothing.
+		return nil
+	}
 	first, last := sp.BlocksIn(addr, size)
 	if n.machine.cfg.SoftwareAccessCheck > 0 {
 		n.checkDebt += int64(last - first + 1)

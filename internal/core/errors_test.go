@@ -18,7 +18,7 @@ func TestTypedValidationErrors(t *testing.T) {
 	}{
 		{"zero nodes", Config{Nodes: 0, BlockSize: 64, Protocol: SC}, ErrBadNodes},
 		{"negative nodes", Config{Nodes: -3, BlockSize: 64, Protocol: SC}, ErrBadNodes},
-		{"too many nodes", Config{Nodes: 65, BlockSize: 64, Protocol: SC}, ErrBadNodes},
+		{"too many nodes", Config{Nodes: MaxNodes + 1, BlockSize: 64, Protocol: SC}, ErrBadNodes},
 		{"zero block", Config{Nodes: 4, BlockSize: 0, Protocol: SC}, ErrBadBlockSize},
 		{"non-power-of-two block", Config{Nodes: 4, BlockSize: 96, Protocol: SC}, ErrBadBlockSize},
 		{"negative block", Config{Nodes: 4, BlockSize: -64, Protocol: SC}, ErrBadBlockSize},
@@ -60,6 +60,8 @@ func TestValidConfigsStillAccepted(t *testing.T) {
 	for _, cfg := range []Config{
 		{Nodes: 1, BlockSize: 64, Protocol: SC},
 		{Nodes: 64, BlockSize: 4096, Protocol: HLRC},
+		{Nodes: 65, BlockSize: 4096, Protocol: SC}, // first count past the old bitmask ceiling
+		{Nodes: MaxNodes, BlockSize: 4096, Protocol: HLRC},
 		{Sequential: true, BlockSize: 64}, // nodes and protocol defaulted
 		{Nodes: 4, BlockSize: 64, Protocol: SWLRC,
 			Faults: faults.NewPlan(faults.Drop(0.01), faults.Seed(7))},

@@ -45,9 +45,9 @@ type Node struct {
 	// becomes stats.Idle.
 	finishAt sim.Time
 
-	// writers is the run-local per-block writer bitmap shared by all nodes
+	// writers is the run-local per-block writer set shared by all nodes
 	// of one run (Table 2's classification); Machine itself stays stateless.
-	writers []uint64
+	writers []proto.Copyset
 
 	dilation float64
 
@@ -114,7 +114,7 @@ func (n *Node) fault(block int, write bool) {
 	}
 	if write {
 		n.stats.WriteFaults++
-		n.writers[block] |= 1 << uint(n.id)
+		n.writers[block].Add(n.id)
 	} else {
 		n.stats.ReadFaults++
 	}

@@ -123,13 +123,9 @@ func (r *Runner) ScalingTable() error {
 			if err != nil {
 				return err
 			}
-			m, err := core.NewMachine(core.Config{
+			res, err := r.runConfig(core.Config{
 				Nodes: n, BlockSize: 4096, Protocol: core.HLRC, Limit: r.opts.Limit,
-			})
-			if err != nil {
-				return err
-			}
-			res, err := r.runMachine(m, entry)
+			}, entry)
 			if err != nil {
 				return err
 			}
@@ -292,14 +288,10 @@ func (r *Runner) SoftwareTable() error {
 		}
 		r.printf("%-22s", label)
 		for _, g := range []int{64, 4096} {
-			m, err := core.NewMachine(core.Config{
+			res, err := r.runConfig(core.Config{
 				Nodes: r.opts.Nodes, BlockSize: g, Protocol: core.SC,
 				SoftwareAccessCheck: check, Limit: r.opts.Limit,
-			})
-			if err != nil {
-				return err
-			}
-			res, err := r.runMachine(m, entry)
+			}, entry)
 			if err != nil {
 				return err
 			}
@@ -330,14 +322,10 @@ func (r *Runner) SharingTable() error {
 		r.printf("%-18s", app)
 		var hot string
 		for _, g := range core.Granularities {
-			m, err := core.NewMachine(core.Config{
+			res, err := r.runConfig(core.Config{
 				Nodes: r.opts.Nodes, BlockSize: g, Protocol: core.HLRC,
 				Limit: r.opts.Limit, ShareProfile: true,
-			})
-			if err != nil {
-				return err
-			}
-			res, err := r.runMachine(m, entry)
+			}, entry)
 			if err != nil {
 				return err
 			}
@@ -383,11 +371,7 @@ func (r *Runner) DegradationTable() error {
 			if rate > 0 {
 				cfg.Faults = faults.NewPlan(faults.Drop(rate), faults.Seed(1))
 			}
-			m, err := core.NewMachine(cfg)
-			if err != nil {
-				return err
-			}
-			res, err := r.runMachine(m, entry)
+			res, err := r.runConfig(cfg, entry)
 			if err != nil {
 				return err
 			}

@@ -18,6 +18,7 @@ import (
 	"io"
 	"sort"
 
+	"dsmsim"
 	"dsmsim/internal/apps"
 	"dsmsim/internal/core"
 	"dsmsim/internal/faults"
@@ -154,15 +155,16 @@ func (r *Runner) Speedup(app, proto string, block int, notify network.Notify) (f
 	return float64(seq) / float64(res.Time), nil
 }
 
-// runMachine executes an out-of-matrix configuration (custom node counts,
-// software access checks) under the runner's verify policy. These runs are
-// not memoized.
-func (r *Runner) runMachine(m *core.Machine, entry apps.Entry) (*core.Result, error) {
+// runConfig executes an out-of-matrix configuration (custom node counts,
+// software access checks) under the runner's verify policy, through the
+// public Start entrypoint. These runs are not memoized.
+func (r *Runner) runConfig(cfg core.Config, entry apps.Entry) (*core.Result, error) {
 	app := entry.New(r.opts.Size)
+	var opts []dsmsim.Option
 	if r.opts.Verify || r.opts.Size == apps.Small {
-		return m.RunVerified(app)
+		opts = append(opts, dsmsim.WithVerify())
 	}
-	return m.Run(app)
+	return dsmsim.Start(context.Background(), cfg, app, opts...)
 }
 
 // progress emits one custom progress line through the serializing sink.

@@ -594,10 +594,9 @@ func (p *Protocol) Collect(b int) []byte {
 	return p.env.Spaces[homes.Home(b)].BlockData(b)
 }
 
-// MemFootprint implements proto.MemReporter: fixed metadata (the global
-// home map plus the per-node sequence/interval bookkeeping estimate) and
-// the peak twin storage.
+// MemFootprint implements proto.MemReporter: fixed metadata (the sparse
+// home map — claim bitmap plus migrated-block overlay) and the peak twin
+// storage.
 func (p *Protocol) MemFootprint() (int64, int64) {
-	static := int64(p.env.Homes.NumBlocks()) * 4 // home map
-	return static, p.twinBytesPeak
+	return p.env.Homes.MemBytes(), p.twinBytesPeak
 }

@@ -1,8 +1,6 @@
 package sc
 
 import (
-	"sort"
-
 	"dsmsim/internal/mem"
 	"dsmsim/internal/network"
 	"dsmsim/internal/proto"
@@ -24,17 +22,14 @@ import (
 func NewDelayed(env *proto.Env) *Protocol {
 	p := New(env)
 	p.delayed = true
-	p.pendingInval = make([]map[int]bool, env.Nodes())
-	for i := range p.pendingInval {
-		p.pendingInval[i] = make(map[int]bool)
-	}
+	p.pendingInval = make([]proto.Copyset, env.Nodes())
 	return p
 }
 
 // handleInvalDelayed acks at once and buffers the invalidation.
 func (p *Protocol) handleInvalDelayed(m *network.Msg) {
 	node := m.Dst
-	p.pendingInval[node][m.Block] = true
+	p.pendingInval[node].Add(m.Block)
 	if tr := p.env.Tracer; tr != nil {
 		tr.Instant(node, trace.CatProto, "inval-defer", trace.A("block", int64(m.Block)))
 	}
@@ -45,18 +40,13 @@ func (p *Protocol) handleInvalDelayed(m *network.Msg) {
 // OnAcquireComplete implements proto.Protocol: apply the invalidations
 // buffered since the last synchronization point.
 func (p *Protocol) OnAcquireComplete(node int) {
-	if !p.delayed || len(p.pendingInval[node]) == 0 {
+	if !p.delayed || p.pendingInval[node].Empty() {
 		return
 	}
 	sp := p.env.Spaces[node]
-	// Map iteration order is randomized; apply in ascending block order so
-	// the trace of tag transitions stays deterministic.
-	blocks := make([]int, 0, len(p.pendingInval[node]))
-	for b := range p.pendingInval[node] {
-		blocks = append(blocks, b)
-	}
-	sort.Ints(blocks)
-	for _, b := range blocks {
+	// Copyset iteration is ascending block order, so the trace of tag
+	// transitions stays deterministic without an explicit sort.
+	p.pendingInval[node].ForEach(func(b int) {
 		// A block we re-acquired (our own fault completed) since the
 		// invalidation arrived is current again; see complete().
 		if sp.Tag(b) != mem.NoAccess {
@@ -66,6 +56,6 @@ func (p *Protocol) OnAcquireComplete(node int) {
 				tr.Instant(node, trace.CatProto, "inval", trace.A("block", int64(b)))
 			}
 		}
-	}
-	clear(p.pendingInval[node])
+	})
+	p.pendingInval[node].Clear()
 }

@@ -8,6 +8,7 @@ package sc
 
 import (
 	"fmt"
+	"unsafe"
 
 	"dsmsim/internal/mem"
 	"dsmsim/internal/network"
@@ -57,43 +58,38 @@ type Protocol struct {
 
 	// Directory, indexed by block. owner == -1 means the home copy is
 	// valid and sharers lists the remote read-only copies; otherwise the
-	// single read-write copy is at owner.
-	owner   []int16
-	sharers []uint64
+	// single read-write copy is at owner. Entries materialise per shard
+	// on first touch, so directory memory tracks the touched span of the
+	// heap, not heap size (or node count — nodes that learned a migrated
+	// home are recorded sparsely in proto.Homes).
+	dir proto.Table[dirEntry]
 
 	txns map[int]*txn
 
-	homeCache [][]int32      // per node: cached home per block
-	pending   []pendingFault // per node: the single outstanding fault
+	pending []pendingFault // per node: the single outstanding fault
 
 	// Delayed-consistency mode (see delayed.go): invalidations are acked
 	// immediately and buffered per node until its next acquire.
 	delayed      bool
-	pendingInval []map[int]bool
+	pendingInval []proto.Copyset // per node: blocks with a deferred invalidation
+}
+
+// dirEntry is the per-block directory state at the home.
+type dirEntry struct {
+	owner   int16 // node holding the exclusive RW copy, -1 if none
+	sharers proto.Copyset
 }
 
 // New creates the SC protocol over env.
 func New(env *proto.Env) *Protocol {
 	nb := env.Homes.NumBlocks()
 	n := env.Nodes()
-	p := &Protocol{
+	return &Protocol{
 		env:     env,
-		owner:   make([]int16, nb),
-		sharers: make([]uint64, nb),
+		dir:     proto.NewTable(nb, func(e *dirEntry) { e.owner = -1 }),
 		txns:    make(map[int]*txn),
 		pending: make([]pendingFault, n),
 	}
-	for b := range p.owner {
-		p.owner[b] = -1
-	}
-	for i := 0; i < n; i++ {
-		cache := make([]int32, nb)
-		for b := range cache {
-			cache[b] = int32(env.Homes.Static(b))
-		}
-		p.homeCache = append(p.homeCache, cache)
-	}
-	return p
 }
 
 // Name implements proto.Protocol.
@@ -120,13 +116,14 @@ func (p *Protocol) Fault(node, block int, write bool) {
 	if write {
 		kind = kWriteReq
 	}
+	home := p.env.Homes.CachedHome(node, block)
 	if tr := p.env.Tracer; tr != nil {
 		tr.Instant(node, trace.CatProto, "fetch",
 			trace.A("block", int64(block)), trace.A("write", trace.Bool(write)),
-			trace.A("home", int64(p.homeCache[node][block])))
+			trace.A("home", int64(home)))
 	}
 	p.env.Send(node, &network.Msg{
-		Dst: int(p.homeCache[node][block]), Kind: kind, Block: block,
+		Dst: home, Kind: kind, Block: block,
 		A: int64(node), Bytes: 8,
 	})
 	reason := "sc read fault block"
@@ -191,7 +188,7 @@ func (p *Protocol) handleReq(here int, m *network.Msg) {
 		} else {
 			p.env.Stats[requester].ReadFaults--
 		}
-		p.owner[b] = int16(requester)
+		p.dir.At(b).owner = int16(requester)
 		if requester == here {
 			p.installHome(here, b)
 			return
@@ -236,7 +233,7 @@ func (p *Protocol) startTxn(home, b int, m *network.Msg) {
 	requester := int(m.A)
 	write := m.Kind == kWriteReq
 	sp := p.env.Spaces[home]
-	owner := int(p.owner[b])
+	owner := int(p.dir.At(b).owner)
 
 	if owner >= 0 && owner != home {
 		// Remote exclusive copy: write it back (and invalidate for a
@@ -251,7 +248,7 @@ func (p *Protocol) startTxn(home, b int, m *network.Msg) {
 	}
 	if owner == home {
 		// Home itself holds the RW copy: downgrade locally, no messages.
-		p.owner[b] = -1
+		p.dir.At(b).owner = -1
 		if write {
 			sp.SetTag(b, mem.NoAccess)
 		} else {
@@ -273,11 +270,11 @@ func (p *Protocol) grantRead(home, b, requester int) {
 		if sp.Tag(b) == mem.NoAccess {
 			sp.SetTag(b, mem.ReadOnly)
 		}
-		p.complete(home, b, int32(home), nil, false)
+		p.complete(home, b, false)
 		p.drain(b)
 		return
 	}
-	p.sharers[b] |= 1 << uint(requester)
+	p.dir.At(b).sharers.Add(requester)
 	if sp.Tag(b) == mem.ReadWrite {
 		sp.SetTag(b, mem.ReadOnly)
 	}
@@ -294,19 +291,24 @@ func (p *Protocol) grantRead(home, b, requester int) {
 // finishWrite invalidates the remaining sharers and then grants RW.
 // Precondition: no remote exclusive copy (owner is -1).
 func (p *Protocol) finishWrite(home, b, requester int, t *txn) {
-	mask := p.sharers[b] &^ (1 << uint(requester))
-	if mask != 0 {
+	e := p.dir.At(b)
+	others := e.sharers.Count()
+	if e.sharers.Contains(requester) {
+		others--
+	}
+	if others > 0 {
 		if t == nil {
 			t = &txn{write: true, requester: requester}
 			p.txns[b] = t
 		}
 		t.acksLeft = 0
-		for s := 0; s < p.env.Nodes(); s++ {
-			if mask&(1<<uint(s)) != 0 {
-				t.acksLeft++
-				p.env.Send(home, &network.Msg{Dst: s, Kind: kInval, Block: b, Bytes: 8})
+		e.sharers.ForEach(func(s int) {
+			if s == requester {
+				return
 			}
-		}
+			t.acksLeft++
+			p.env.Send(home, &network.Msg{Dst: s, Kind: kInval, Block: b, Bytes: 8})
+		})
 		return
 	}
 	p.grantWrite(home, b, requester)
@@ -315,12 +317,13 @@ func (p *Protocol) finishWrite(home, b, requester int, t *txn) {
 // grantWrite completes a write transaction: all other copies are gone.
 func (p *Protocol) grantWrite(home, b, requester int) {
 	sp := p.env.Spaces[home]
-	wasSharer := p.sharers[b]&(1<<uint(requester)) != 0
-	p.sharers[b] = 0
-	p.owner[b] = int16(requester)
+	e := p.dir.At(b)
+	wasSharer := e.sharers.Contains(requester)
+	e.sharers.Clear()
+	e.owner = int16(requester)
 	if requester == home {
 		sp.SetTag(b, mem.ReadWrite)
-		p.complete(home, b, int32(home), nil, true)
+		p.complete(home, b, true)
 		p.drain(b)
 		return
 	}
@@ -364,16 +367,15 @@ func (p *Protocol) handleData(m *network.Msg, exclusive bool) {
 			o.Filled(node, m.Block)
 		}
 	}
-	home := int32(m.A)
-	p.homeCache[node][m.Block] = home
-	p.complete(node, m.Block, home, m.Data, exclusive)
+	p.complete(node, m.Block, exclusive)
 	if t := p.txns[m.Block]; t != nil && t.install {
 		p.drain(m.Block) // installation finished: serve waiting requests
 	}
 }
 
-// complete finishes node's outstanding fault on block b.
-func (p *Protocol) complete(node, b int, home int32, data []byte, exclusive bool) {
+// complete finishes node's outstanding fault on block b. The node has
+// just heard from b's true home, so it learns the home mapping.
+func (p *Protocol) complete(node, b int, exclusive bool) {
 	sp := p.env.Spaces[node]
 	if exclusive {
 		sp.SetTag(b, mem.ReadWrite)
@@ -385,9 +387,9 @@ func (p *Protocol) complete(node, b int, home int32, data []byte, exclusive bool
 		panic(fmt.Sprintf("sc: node %d completed block %d but pending fault is %d", node, b, pf.block))
 	}
 	if p.delayed {
-		delete(p.pendingInval[node], b)
+		p.pendingInval[node].Remove(b)
 	}
-	p.homeCache[node][b] = home
+	p.env.Homes.Learn(node, b)
 	p.env.Procs[node].Unblock()
 }
 
@@ -423,7 +425,7 @@ func (p *Protocol) handleInvalAck(m *network.Msg) {
 	if t == nil {
 		panic(fmt.Sprintf("sc: stray inval ack for block %d", b))
 	}
-	p.sharers[b] &^= 1 << uint(m.Src)
+	p.dir.At(b).sharers.Remove(m.Src)
 	t.acksLeft--
 	if t.acksLeft == 0 {
 		p.grantWrite(home, b, t.requester)
@@ -460,8 +462,9 @@ func (p *Protocol) handleWBData(m *network.Msg) {
 	if o := p.env.Prof; o != nil {
 		o.Filled(home, b) // the write-back makes the home copy current
 	}
-	old := int(p.owner[b])
-	p.owner[b] = -1
+	e := p.dir.At(b)
+	old := int(e.owner)
+	e.owner = -1
 	if t.write {
 		// Old owner invalidated itself; proceed to invalidate sharers.
 		t.acksLeft = 0
@@ -469,7 +472,7 @@ func (p *Protocol) handleWBData(m *network.Msg) {
 		return
 	}
 	// Read request: old owner kept a read-only copy.
-	p.sharers[b] |= 1 << uint(old)
+	e.sharers.Add(old)
 	sp.SetTag(b, mem.ReadOnly)
 	p.grantRead(home, b, t.requester)
 }
@@ -478,7 +481,11 @@ func (p *Protocol) handleWBData(m *network.Msg) {
 // to the home image so Collect sees final data. Engine context, zero cost.
 func (p *Protocol) Finalize() {
 	for b := 0; b < p.env.Homes.NumBlocks(); b++ {
-		o := int(p.owner[b])
+		e := p.dir.Peek(b)
+		if e == nil {
+			continue // untouched block: no exclusive copy anywhere
+		}
+		o := int(e.owner)
 		if !p.env.Homes.Claimed(b) {
 			continue
 		}
@@ -498,12 +505,22 @@ func (p *Protocol) Collect(b int) []byte {
 	return p.env.Spaces[homes.Home(b)].BlockData(b)
 }
 
-// MemFootprint implements proto.MemReporter: the directory (owner +
-// sharer set per block) plus every node's home cache; SC allocates nothing
-// dynamically.
+// MemFootprint implements proto.MemReporter: the sharded directory
+// (owner + sharer copyset per touched block — shards materialise on
+// first touch, so untouched heap costs nothing), any sharer-set spill
+// pages, the sparse home map with its migrated-block overlay, and the
+// delayed-consistency buffers when enabled. SC allocates nothing
+// per-release.
 func (p *Protocol) MemFootprint() (int64, int64) {
-	nb := int64(len(p.owner))
-	static := nb*2 + nb*8 // owner int16 + sharers uint64
-	static += int64(len(p.homeCache)) * nb * 4
+	static := p.dir.MemBytes(int64(unsafe.Sizeof(dirEntry{})))
+	for b := 0; b < p.env.Homes.NumBlocks(); b++ {
+		if e := p.dir.Peek(b); e != nil {
+			static += e.sharers.MemBytes()
+		}
+	}
+	static += p.env.Homes.MemBytes()
+	for i := range p.pendingInval {
+		static += 8 + p.pendingInval[i].MemBytes()
+	}
 	return static, 0
 }

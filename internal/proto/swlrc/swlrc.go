@@ -10,7 +10,7 @@ package swlrc
 
 import (
 	"fmt"
-	"sort"
+	"unsafe"
 
 	"dsmsim/internal/mem"
 	"dsmsim/internal/network"
@@ -40,22 +40,34 @@ type pendingFault struct {
 	becameHome bool
 }
 
-// Protocol is the SW-LRC implementation.
+// Protocol is the SW-LRC implementation. Both the global directory and
+// the per-node causality tables are sparse sharded tables: state
+// materialises per 256-block shard on first touch, so memory scales
+// with each node's touched working set instead of nodes × heap blocks.
 type Protocol struct {
 	env *proto.Env
 
-	owner   []int16 // current single-writer owner, -1 before claim
-	version []int32 // authoritative block version, held by the owner
+	dir   proto.Table[swDir]    // per block: single-writer owner + version
+	nodes []proto.Table[swNode] // per node: local copy / causality state
 
-	localVer  [][]int32 // per node: version of the local copy
-	lastKnown [][]int32 // per node: owner hint from notices, -1 none
-	required  [][]int32 // per node: minimum version causality demands
-
-	written []map[int]bool // per node: blocks written this interval
+	written []proto.Copyset // per node: blocks written this interval
 	pending []pendingFault
 
 	installing map[int][]*network.Msg
 	installSet map[int]bool
+}
+
+// swDir is the global per-block directory entry.
+type swDir struct {
+	owner   int16 // current single-writer owner, -1 before claim
+	version int32 // authoritative block version, held by the owner
+}
+
+// swNode is one node's per-block view.
+type swNode struct {
+	localVer  int32 // version of the local copy
+	lastKnown int32 // owner hint from notices, -1 none
+	required  int32 // minimum version causality demands
 }
 
 // New creates the SW-LRC protocol over env.
@@ -64,28 +76,22 @@ func New(env *proto.Env) *Protocol {
 	n := env.Nodes()
 	p := &Protocol{
 		env:        env,
-		owner:      make([]int16, nb),
-		version:    make([]int32, nb),
+		dir:        proto.NewTable(nb, func(e *swDir) { e.owner = -1 }),
+		nodes:      make([]proto.Table[swNode], n),
+		written:    make([]proto.Copyset, n),
 		pending:    make([]pendingFault, n),
 		installing: make(map[int][]*network.Msg),
 		installSet: make(map[int]bool),
 	}
-	for b := range p.owner {
-		p.owner[b] = -1
-	}
 	for i := 0; i < n; i++ {
-		lv := make([]int32, nb)
-		lk := make([]int32, nb)
-		for b := range lk {
-			lk[b] = -1
-		}
-		p.localVer = append(p.localVer, lv)
-		p.lastKnown = append(p.lastKnown, lk)
-		p.required = append(p.required, make([]int32, nb))
-		p.written = append(p.written, make(map[int]bool))
+		p.nodes[i] = proto.NewTable(nb, func(e *swNode) { e.lastKnown = -1 })
 	}
 	return p
 }
+
+// at returns node's view of block b, materialising its shard on first
+// touch.
+func (p *Protocol) at(node, b int) *swNode { return p.nodes[node].At(b) }
 
 // Name implements proto.Protocol.
 func (p *Protocol) Name() string { return "swlrc" }
@@ -101,10 +107,10 @@ func (p *Protocol) OnAcquireComplete(node int) {}
 func (p *Protocol) Fault(node, block int, write bool) {
 	sp := p.env.Spaces[node]
 
-	if write && int(p.owner[block]) == node {
+	if write && int(p.dir.At(block).owner) == node {
 		// The owner's first write of a new interval: purely local.
 		sp.SetTag(block, mem.ReadWrite)
-		p.written[node][block] = true
+		p.written[node].Add(block)
 		return
 	}
 
@@ -117,13 +123,13 @@ func (p *Protocol) Fault(node, block int, write bool) {
 		kind = kOwn
 		have := int64(-1)
 		if sp.Tag(block) != mem.NoAccess {
-			have = int64(p.localVer[node][block])
+			have = int64(p.at(node, block).localVer)
 		}
 		aux = have
 		target = p.ownTarget(node, block)
 	default:
 		kind = kRead
-		aux = int64(p.required[node][block])
+		aux = int64(p.at(node, block).required)
 		target = p.readTarget(node, block)
 	}
 	if tr := p.env.Tracer; tr != nil {
@@ -141,17 +147,17 @@ func (p *Protocol) Fault(node, block int, write bool) {
 	p.env.Procs[node].BlockID(reason, block)
 
 	if write {
-		p.written[node][block] = true
+		p.written[node].Add(block)
 	}
 }
 
 // ownTarget picks where to send an ownership request: the directory (static
 // home) when unclaimed, otherwise the known owner or the directory.
 func (p *Protocol) ownTarget(node, block int) int {
-	if p.owner[block] < 0 {
+	if p.dir.At(block).owner < 0 {
 		return p.env.Homes.Static(block)
 	}
-	if lk := p.lastKnown[node][block]; lk >= 0 {
+	if lk := p.at(node, block).lastKnown; lk >= 0 {
 		return int(lk)
 	}
 	return p.env.Homes.Static(block)
@@ -160,7 +166,7 @@ func (p *Protocol) ownTarget(node, block int) int {
 // readTarget picks where to send a read request: the notice-supplied owner
 // hint gives the one-hop path (§2.2); otherwise the directory.
 func (p *Protocol) readTarget(node, block int) int {
-	if lk := p.lastKnown[node][block]; lk >= 0 {
+	if lk := p.at(node, block).lastKnown; lk >= 0 {
 		return int(lk)
 	}
 	return p.env.Homes.Static(block)
@@ -173,19 +179,17 @@ func (p *Protocol) readTarget(node, block int) int {
 // travelled with the data to the new owner.
 func (p *Protocol) PreRelease(node int) []proto.WriteNotice {
 	var notices []proto.WriteNotice
-	blocks := make([]int, 0, len(p.written[node]))
-	for b := range p.written[node] {
-		blocks = append(blocks, b)
-	}
-	sort.Ints(blocks) // map order is random; the simulator must not be
-	for _, b := range blocks {
-		if int(p.owner[b]) == node {
-			p.version[b]++
-			p.localVer[node][b] = p.version[b]
+	// Copyset iteration is ascending block order; the simulator must not
+	// be order-sensitive, so no explicit sort is needed.
+	p.written[node].ForEach(func(b int) {
+		d := p.dir.At(b)
+		if int(d.owner) == node {
+			d.version++
+			p.at(node, b).localVer = d.version
 		}
-		notices = append(notices, proto.WriteNotice{Block: int32(b), Version: p.version[b]})
-	}
-	clear(p.written[node])
+		notices = append(notices, proto.WriteNotice{Block: int32(b), Version: d.version})
+	})
+	p.written[node].Clear()
 	return notices
 }
 
@@ -199,14 +203,15 @@ func (p *Protocol) ApplyNotices(node int, ivs []proto.Interval) {
 		}
 		for _, wn := range iv.Notices {
 			b := int(wn.Block)
-			p.lastKnown[node][b] = iv.Node
-			if wn.Version > p.required[node][b] {
-				p.required[node][b] = wn.Version
+			v := p.at(node, b)
+			v.lastKnown = iv.Node
+			if wn.Version > v.required {
+				v.required = wn.Version
 			}
-			if int(p.owner[b]) == node {
+			if int(p.dir.At(b).owner) == node {
 				continue // the current owner is never stale
 			}
-			if sp.Tag(b) != mem.NoAccess && p.localVer[node][b] < wn.Version {
+			if sp.Tag(b) != mem.NoAccess && v.localVer < wn.Version {
 				sp.SetTag(b, mem.NoAccess)
 				p.env.Stats[node].Invalidations++
 				if tr := p.env.Tracer; tr != nil {
@@ -256,13 +261,14 @@ func (p *Protocol) claim(here int, m *network.Msg, requester int) {
 	} else {
 		p.env.Stats[requester].ReadFaults--
 	}
-	p.owner[b] = int16(requester)
-	p.version[b] = 1
+	d := p.dir.At(b)
+	d.owner = int16(requester)
+	d.version = 1
 	sp := p.env.Spaces[here]
 	if requester == here {
 		// Self-claim: the seeded bytes are already in place.
 		sp.SetTag(b, mem.NoAccess)
-		p.localVer[here][b] = 1
+		p.at(here, b).localVer = 1
 		if p.pending[here].write {
 			sp.SetTag(b, mem.ReadWrite)
 		} else {
@@ -292,7 +298,8 @@ func (p *Protocol) handleRead(m *network.Msg) {
 		p.installing[b] = append(p.installing[b], m)
 		return
 	}
-	if p.owner[b] < 0 {
+	d := p.dir.At(b)
+	if d.owner < 0 {
 		if here != p.env.Homes.Static(b) {
 			panic(fmt.Sprintf("swlrc: unclaimed block %d read at non-static node %d", b, here))
 		}
@@ -300,10 +307,10 @@ func (p *Protocol) handleRead(m *network.Msg) {
 		return
 	}
 	sp := p.env.Spaces[here]
-	isOwner := int(p.owner[b]) == here
-	ver := p.localVer[here][b]
+	isOwner := int(d.owner) == here
+	ver := p.at(here, b).localVer
 	if isOwner {
-		ver = p.version[b]
+		ver = d.version
 	}
 	if (isOwner || sp.Tag(b) != mem.NoAccess) && ver >= minVer {
 		// Downgrade-on-serve: once a reader holds a copy, a later write
@@ -326,9 +333,9 @@ func (p *Protocol) handleRead(m *network.Msg) {
 	p.env.Stats[here].Forwards++
 	if tr := p.env.Tracer; tr != nil {
 		tr.Instant(here, trace.CatProto, "forward",
-			trace.A("block", int64(b)), trace.A("owner", int64(p.owner[b])))
+			trace.A("block", int64(b)), trace.A("owner", int64(d.owner)))
 	}
-	p.env.Send(here, &network.Msg{Dst: int(p.owner[b]), Kind: kRead, Block: b, A: m.A, B: m.B, Bytes: m.Bytes})
+	p.env.Send(here, &network.Msg{Dst: int(d.owner), Kind: kRead, Block: b, A: m.A, B: m.B, Bytes: m.Bytes})
 }
 
 func (p *Protocol) handleReadData(m *network.Msg) {
@@ -340,8 +347,9 @@ func (p *Protocol) handleReadData(m *network.Msg) {
 		o.Filled(node, b)
 	}
 	sp.SetTag(b, mem.ReadOnly)
-	p.localVer[node][b] = int32(m.A)
-	p.lastKnown[node][b] = int32(m.B)
+	v := p.at(node, b)
+	v.localVer = int32(m.A)
+	v.lastKnown = int32(m.B)
 	if p.pending[node].block != b {
 		panic(fmt.Sprintf("swlrc: node %d got read data for block %d, pending %d", node, b, p.pending[node].block))
 	}
@@ -357,33 +365,34 @@ func (p *Protocol) handleOwn(m *network.Msg) {
 		p.installing[b] = append(p.installing[b], m)
 		return
 	}
-	if p.owner[b] < 0 {
+	d := p.dir.At(b)
+	if d.owner < 0 {
 		if here != p.env.Homes.Static(b) {
 			panic(fmt.Sprintf("swlrc: unclaimed block %d own-req at non-static node %d", b, here))
 		}
 		p.claim(here, m, requester)
 		return
 	}
-	if int(p.owner[b]) != here {
+	if int(d.owner) != here {
 		p.env.Stats[here].Forwards++
 		if tr := p.env.Tracer; tr != nil {
 			tr.Instant(here, trace.CatProto, "forward",
-				trace.A("block", int64(b)), trace.A("owner", int64(p.owner[b])))
+				trace.A("block", int64(b)), trace.A("owner", int64(d.owner)))
 		}
-		p.env.Send(here, &network.Msg{Dst: int(p.owner[b]), Kind: kOwn, Block: b, A: m.A, B: m.B, Bytes: m.Bytes})
+		p.env.Send(here, &network.Msg{Dst: int(d.owner), Kind: kOwn, Block: b, A: m.A, B: m.B, Bytes: m.Bytes})
 		return
 	}
 	// Migrate ownership: bump the version, keep a read-only copy.
 	sp := p.env.Spaces[here]
-	preVer := p.version[b]
-	p.version[b]++
-	p.localVer[here][b] = preVer // our copy predates the new owner's writes
+	preVer := d.version
+	d.version++
+	p.at(here, b).localVer = preVer // our copy predates the new owner's writes
 	if sp.Tag(b) == mem.ReadWrite {
 		sp.SetTag(b, mem.ReadOnly)
 	}
 	// written[here] keeps b if we wrote it this interval: our release must
 	// still notice those writes even though ownership moved on.
-	p.owner[b] = int16(requester)
+	d.owner = int16(requester)
 	p.installSet[b] = true
 	// Always ship the data: block versions advance only at interval
 	// closes, so version equality does NOT imply the requester's copy is
@@ -392,7 +401,7 @@ func (p *Protocol) handleOwn(m *network.Msg) {
 	copy(data, sp.BlockData(b))
 	p.env.Send(here, &network.Msg{
 		Dst: requester, Kind: kOwnData, Block: b,
-		Data: data, DataPooled: true, A: int64(p.version[b]),
+		Data: data, DataPooled: true, A: int64(d.version),
 		Bytes: len(data) + 12,
 	})
 }
@@ -414,8 +423,9 @@ func (p *Protocol) handleOwnData(m *network.Msg) {
 		// its first write still faults and is recorded for notices.
 		sp.SetTag(b, mem.ReadOnly)
 	}
-	p.localVer[node][b] = int32(m.A)
-	p.lastKnown[node][b] = int32(node)
+	v := p.at(node, b)
+	v.localVer = int32(m.A)
+	v.lastKnown = int32(node)
 	if p.pending[node].block != b {
 		panic(fmt.Sprintf("swlrc: node %d got ownership of block %d, pending %d", node, b, p.pending[node].block))
 	}
@@ -438,19 +448,22 @@ func (p *Protocol) Finalize() {}
 
 // Collect implements proto.Protocol.
 func (p *Protocol) Collect(b int) []byte {
-	if p.owner[b] < 0 {
-		return p.env.Spaces[p.env.Homes.Static(b)].BlockData(b)
+	if d := p.dir.Peek(b); d != nil && d.owner >= 0 {
+		return p.env.Spaces[int(d.owner)].BlockData(b)
 	}
-	return p.env.Spaces[int(p.owner[b])].BlockData(b)
+	return p.env.Spaces[p.env.Homes.Static(b)].BlockData(b)
 }
 
-// MemFootprint implements proto.MemReporter: the owner/version tables plus
-// the per-node version, owner-hint and causal-floor tables; nothing is
-// allocated dynamically.
+// MemFootprint implements proto.MemReporter: the sharded owner/version
+// directory plus each node's sharded version / owner-hint / causal-floor
+// table — all materialised per touched 256-block shard — and the sparse
+// home map; nothing is allocated dynamically per release.
 func (p *Protocol) MemFootprint() (int64, int64) {
-	nb := int64(len(p.owner))
-	nodes := int64(p.env.Nodes())
-	static := nb * (2 + 4)       // owner + version
-	static += nodes * nb * 3 * 4 // localVer + lastKnown + required
+	static := p.dir.MemBytes(int64(unsafe.Sizeof(swDir{})))
+	for i := range p.nodes {
+		static += p.nodes[i].MemBytes(int64(unsafe.Sizeof(swNode{})))
+		static += 8 + p.written[i].MemBytes()
+	}
+	static += p.env.Homes.MemBytes()
 	return static, 0
 }

@@ -1,5 +1,7 @@
 package shareprof
 
+import "dsmsim/internal/proto"
+
 // Class is a block's sharing-pattern classification, the taxonomy the
 // paper uses to explain its per-application results (§5): private data,
 // read-only data, single-producer data read by others, migratory data
@@ -62,9 +64,9 @@ func (c Class) String() string {
 //	                  that write (a reader may take over the write role)
 type classifier struct {
 	class   Class
-	owner   int8
+	owner   int16
 	written bool
-	readers uint64
+	readers proto.Copyset
 }
 
 // observe feeds one completed access into the state machine.
@@ -72,7 +74,7 @@ func (s *classifier) observe(node int, write bool) {
 	switch s.class {
 	case Untouched:
 		s.class = Private
-		s.owner = int8(node)
+		s.owner = int16(node)
 		s.written = write
 
 	case Private:
@@ -86,12 +88,12 @@ func (s *classifier) observe(node int, write bool) {
 		case !write && s.written:
 			// The owner produced, a second node consumes.
 			s.class = ProducerConsumer
-			s.readers = 1 << uint(node)
+			s.readers.Add(node)
 		case write && !s.written:
 			// The first node only read; the newcomer is the single writer.
 			s.class = ProducerConsumer
-			s.readers = 1 << uint(s.owner)
-			s.owner = int8(node)
+			s.readers.Add(int(s.owner))
+			s.owner = int16(node)
 		default:
 			// Two nodes write with no read-handoff between them.
 			s.class = WriteShared
@@ -100,37 +102,37 @@ func (s *classifier) observe(node int, write bool) {
 	case ReadOnly:
 		if write {
 			s.class = ProducerConsumer
-			s.owner = int8(node)
-			s.readers = 0
+			s.owner = int16(node)
+			s.readers.Clear()
 		}
 
 	case ProducerConsumer:
 		if !write {
-			s.readers |= 1 << uint(node)
+			s.readers.Add(node)
 			return
 		}
 		if int(s.owner) == node {
-			s.readers = 0
+			s.readers.Clear()
 			return
 		}
-		if s.readers>>uint(node)&1 != 0 {
+		if s.readers.Contains(node) {
 			// A consumer that read the producer's data now writes it:
 			// the read-modify-write handoff.
 			s.class = Migratory
-			s.owner = int8(node)
-			s.readers = 0
+			s.owner = int16(node)
+			s.readers.Clear()
 		} else {
 			s.class = WriteShared
 		}
 
 	case Migratory:
 		if !write {
-			s.readers |= 1 << uint(node)
+			s.readers.Add(node)
 			return
 		}
-		if int(s.owner) == node || s.readers>>uint(node)&1 != 0 {
-			s.owner = int8(node)
-			s.readers = 0
+		if int(s.owner) == node || s.readers.Contains(node) {
+			s.owner = int16(node)
+			s.readers.Clear()
 		} else {
 			s.class = WriteShared
 		}

@@ -115,7 +115,7 @@ func (p *Profiler) aggregate(regions []mem.Region) *Report {
 
 	ri := 0
 	for b := 0; b < p.blocks; b++ {
-		if p.touched[b] == 0 {
+		if p.touched[b].Empty() {
 			continue
 		}
 		addr := b << p.blockShift

@@ -46,6 +46,7 @@ import (
 	"math/bits"
 
 	"dsmsim/internal/mem"
+	"dsmsim/internal/proto"
 )
 
 // Profiler accumulates one run's sharing profile. All methods run in the
@@ -67,7 +68,7 @@ type Profiler struct {
 
 	// Per block: the set of nodes that ever accessed it, its taxonomy
 	// classifier, and its counters.
-	touched []uint64
+	touched []proto.Copyset
 	cls     []classifier
 	c       []blockCounters
 
@@ -84,9 +85,11 @@ type blockCounters struct {
 }
 
 // New creates a profiler for a heap of heapSize bytes at the given
-// coherence granularity with the given node count (≤ 64, like the core).
+// coherence granularity with the given node count (≤ 1024, like the
+// core; node sets use copysets, so counts past 64 cost only when a
+// block's sharer population actually crosses the inline word).
 func New(nodes, heapSize, blockSize int) *Profiler {
-	if nodes <= 0 || nodes > 64 {
+	if nodes <= 0 || nodes > 1024 {
 		panic("shareprof: node count out of range")
 	}
 	if blockSize <= 0 || blockSize&(blockSize-1) != 0 {
@@ -110,7 +113,7 @@ func New(nodes, heapSize, blockSize int) *Profiler {
 		stale:      make([]uint64, blocks*nodes),
 		touch:      make([]uint64, blocks*nodes),
 		pending:    make([]int32, blocks*nodes),
-		touched:    make([]uint64, blocks),
+		touched:    make([]proto.Copyset, blocks),
 		cls:        make([]classifier, blocks),
 		c:          make([]blockCounters, blocks),
 	}
@@ -143,7 +146,6 @@ func (p *Profiler) Access(node, addr, size int, write bool) {
 	}
 	first := addr >> p.blockShift
 	last := (addr + size - 1) >> p.blockShift
-	bit := uint64(1) << uint(node)
 	for b := first; b <= last; b++ {
 		start := b << p.blockShift
 		lo, hi := addr-start, addr+size-start
@@ -154,7 +156,7 @@ func (p *Profiler) Access(node, addr, size int, write bool) {
 			hi = p.blockSize
 		}
 		m := p.maskFor(lo, hi)
-		p.touched[b] |= bit
+		p.touched[b].Add(node)
 		p.cls[b].observe(node, write)
 		base := b * p.nodes
 		p.touch[base+node] |= m
@@ -199,7 +201,7 @@ func (p *Profiler) Fault(node, block, addr, size int, write bool) {
 	i := block*p.nodes + node
 	verdict := vFalse
 	switch st := p.stale[i]; {
-	case p.touched[block]>>uint(node)&1 == 0:
+	case !p.touched[block].Contains(node):
 		verdict = vCold
 		c.cold++
 	case st == 0:

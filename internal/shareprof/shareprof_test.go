@@ -288,7 +288,7 @@ func TestTopRanking(t *testing.T) {
 func TestNewRejectsBadArgs(t *testing.T) {
 	for _, fn := range []func(){
 		func() { New(0, 128, 64) },
-		func() { New(65, 128, 64) },
+		func() { New(1025, 128, 64) },
 		func() { New(2, 128, 48) },
 		func() { New(2, 128, 0) },
 	} {

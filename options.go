@@ -34,12 +34,6 @@ type options struct {
 // silently ignored by the other.
 type Option func(*options)
 
-// SweepOption is the former name of Option, kept so existing callers
-// compile unchanged.
-//
-// Deprecated: use Option.
-type SweepOption = Option
-
 // collect folds opts into one options struct.
 func collect(opts []Option) options {
 	var c options
