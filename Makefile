@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test test-short bench bench-json examples paper verify-paper trace-demo sweep-demo metrics-demo faults-demo prof-demo scale-demo clean
+.PHONY: all test test-short bench bench-json bench-sweep examples paper verify-paper trace-demo sweep-demo metrics-demo faults-demo prof-demo scale-demo fork-demo clean
 
 all: test
 
@@ -28,12 +28,25 @@ bench:
 # BENCHTIME trades precision for speed (CI smoke-tests with 1x).
 BENCHTIME ?= 1x
 bench-json:
-	{ $(GO) test -run '^$$' -bench 'SingleRun|Fig1$$' -benchmem \
+	{ $(GO) test -run '^$$' -bench 'SingleRun|Fig1$$|BenchmarkSweep/' -benchmem \
 		-benchtime=$(BENCHTIME) . ; \
 	  $(GO) test -run '^$$' -bench 'EngineDispatch|ProcSleep' -benchmem \
 		-benchtime=100000x ./internal/sim ; } | tee bench_raw.txt
 	$(GO) run ./cmd/benchjson -in bench_raw.txt \
 		-baseline bench_baseline.json -out BENCH_hotpath.json
+
+# Checkpoint/fork sweep benchmark record: the same 12-variant fault-grid
+# sweep flat and forked (byte-identical output; only wall clock differs),
+# emitted as BENCH_sweep.json. The checked-in bench_sweep_baseline.json
+# records the flat path's numbers, so vs_baseline.ns_speedup for
+# BenchmarkSweep/forked IS the fork speedup (target: >= 2x).
+SWEEPTIME ?= 3x
+bench-sweep:
+	$(GO) test -run '^$$' -bench 'BenchmarkSweep/' -benchmem \
+		-benchtime=$(SWEEPTIME) . | tee bench_sweep_raw.txt
+	$(GO) run ./cmd/benchjson -in bench_sweep_raw.txt \
+		-baseline bench_sweep_baseline.json -out BENCH_sweep.json \
+		-note "Checkpoint/fork sweep planner (make bench-sweep): the same 12-variant fault-grid sweep flat vs forked, byte-identical output. The baseline records the flat path, so vs_baseline ns_speedup for BenchmarkSweep/forked is the fork wall-clock speedup (target >= 2x); BenchmarkSweep/flat is a ~1.0 sanity check."
 
 # Run all three examples.
 examples:
@@ -108,6 +121,25 @@ scale-demo:
 	$(GO) run ./cmd/dsmrun -app lu -protocol hlrc -block 4096 -nodes 1024
 	@echo "verified runs at 256 and 1024 nodes completed"
 
+# Demonstrate checkpoint/fork warmup sharing: the same fault-grid sweep
+# (three variants per configuration, plans gated on barrier 6) run flat
+# and forked. The forked run simulates each group's warmup prefix once,
+# forks it per variant, prints its speedup summary line — and its CSV must
+# be byte-identical to the flat run's.
+fork-demo:
+	rm -f fork_flat.csv fork_forked.csv
+	$(GO) run ./cmd/dsmrun -app ocean-rowwise,fft -protocol sc,hlrc \
+		-block 1024,4096 -nodes 4 -size small \
+		-fault-grid 'none;lossy:drop=0.03,seed=5;jittery:jitter=30us,dup=0.01,seed=11' \
+		-fork-warmup 6 -csv fork_flat.csv > /dev/null
+	$(GO) run ./cmd/dsmrun -app ocean-rowwise,fft -protocol sc,hlrc \
+		-block 1024,4096 -nodes 4 -size small \
+		-fault-grid 'none;lossy:drop=0.03,seed=5;jittery:jitter=30us,dup=0.01,seed=11' \
+		-fork-warmup 6 -fork -csv fork_forked.csv | tail -1
+	cmp fork_flat.csv fork_forked.csv
+	@echo "forked sweep CSV is byte-identical to flat"
+
 clean:
 	rm -f results.csv trace.json sweep_p1.txt sweep_pN.txt sweep_p1.csv sweep_pN.csv \
-		metrics_demo.csv metrics_demo.json prof_p1.csv prof_p8.csv
+		metrics_demo.csv metrics_demo.json prof_p1.csv prof_p8.csv \
+		fork_flat.csv fork_forked.csv bench_sweep_raw.txt

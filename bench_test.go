@@ -318,3 +318,50 @@ func BenchmarkBarrierEpisode(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkSweep measures the checkpoint/fork sweep planner on a
+// fault-grid sweep whose twelve variants share one warmup prefix (gated
+// plans arm at barrier 14 of Ocean's 16 — a fault-sensitivity study of
+// the final iteration across eleven seeds): "flat" simulates every run's
+// warmup from scratch, "forked" simulates the prefix once and forks the
+// checkpoint per variant. Output is byte-identical between the two modes
+// (TestSweepForkByteIdentical); only wall clock differs — BENCH_sweep.json
+// records the ratio. Verification is off so the ratio measures simulation
+// work, not the (identical) result checking.
+func BenchmarkSweep(b *testing.B) {
+	grid := []dsmsim.FaultVariant{{Name: "none"}}
+	for i := 1; i <= 11; i++ {
+		grid = append(grid, dsmsim.FaultVariant{
+			Name: fmt.Sprintf("s%d", i),
+			Plan: dsmsim.NewFaultPlan(dsmsim.Drop(0.02), dsmsim.FaultSeed(uint64(i)),
+				dsmsim.StartAtBarrier(14)),
+		})
+	}
+	spec := dsmsim.SweepSpec{
+		Apps: []string{"ocean-rowwise"}, Protocols: []string{dsmsim.HLRC},
+		Granularities: []int{4096}, Nodes: *benchNodes, SkipBaselines: true,
+	}
+	for _, mode := range []struct {
+		name string
+		fork bool
+	}{{"flat", false}, {"forked", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Serial workers: the ratio then reflects simulation work
+				// saved, not scheduling luck.
+				opts := []dsmsim.Option{dsmsim.WithFaultGrid(grid...),
+					dsmsim.WithParallelism(1), dsmsim.WithVerify(false)}
+				if mode.fork {
+					opts = append(opts, dsmsim.WithFork())
+				}
+				res, err := dsmsim.Sweep(context.Background(), spec, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode.fork && res.Fork.ForkedRuns != len(grid) {
+					b.Fatalf("forked runs = %d, want %d", res.Fork.ForkedRuns, len(grid))
+				}
+			}
+		})
+	}
+}

@@ -88,6 +88,7 @@ func main() {
 		baselinePath = flag.String("baseline", "bench_baseline.json", "checked-in baseline metrics")
 		inPath       = flag.String("in", "", "raw `go test -bench` output (default stdin)")
 		outPath      = flag.String("out", "BENCH_hotpath.json", "report destination")
+		note         = flag.String("note", "", "override the report's note field (default describes the hot-path record)")
 	)
 	flag.Parse()
 
@@ -123,6 +124,9 @@ func main() {
 		Baseline:   base,
 		Current:    current,
 		VsBaseline: map[string]Ratios{},
+	}
+	if *note != "" {
+		rep.Note = *note
 	}
 	for name, cur := range current {
 		b, ok := base.Benchmarks[name]

@@ -23,12 +23,16 @@ import (
 	"os/signal"
 	"time"
 
+	"strconv"
+	"strings"
+
 	"dsmsim/internal/apps"
 	"dsmsim/internal/faults"
 	"dsmsim/internal/harness"
 	"dsmsim/internal/metrics"
 	"dsmsim/internal/profiling"
 	"dsmsim/internal/sim"
+	"dsmsim/internal/sweep"
 )
 
 func main() {
@@ -53,9 +57,12 @@ func main() {
 		metricsAddr  = flag.String("metrics-addr", "", "serve live sweep metrics over HTTP on this address")
 		metricsAfter = flag.Duration("metrics-linger", 0, "keep serving -metrics-addr this long after the run (for scrapers)")
 
-		faultSpec = flag.String("faults", "", "apply a deterministic fault plan to every matrix run: drop=P,dup=P,jitter=DUR,partition=A-B@FROM:TO,seed=N")
-		faultSeed = flag.Uint64("fault-seed", 0, "override the fault plan's PRNG seed (0 keeps the plan's seed)")
+		faultSpec = flag.String("faults", "", "apply a deterministic fault plan to every matrix run: drop=P,dup=P,jitter=DUR,partition=A-B@FROM:TO,seed=N,start=K")
+		faultSeed = flag.String("fault-seed", "", "fault plan PRNG seed(s), comma-separated; two or more expand the matrix into a per-seed fault grid (tables render the first seed)")
 		straggler = flag.String("straggler", "", "straggler node(s): NODExFACTOR[@FROM:TO], comma-separated")
+
+		fork       = flag.Bool("fork", false, "share warmup prefixes across the per-seed fault grid (needs -fault-seed with >= 2 seeds and a gated plan); output stays byte-identical")
+		forkWarmup = flag.Int("fork-warmup", 0, "gate the fault plan(s) on barrier K (adds start=K)")
 	)
 	flag.Parse()
 	defer profiling.Start(*cpuProf, *memProf)()
@@ -92,22 +99,33 @@ func main() {
 		defer f.Close()
 		opts.CSV = f
 	}
-	if *faultSpec != "" || *faultSeed != 0 || *straggler != "" {
-		plan, err := faults.Parse(*faultSpec)
-		if err != nil {
-			fatal(err)
+	seeds := seedList(*faultSeed)
+	if len(seeds) > 1 {
+		// Two or more seeds expand the matrix into a fault grid: one run
+		// per seed of the same plan, forkable across the shared warmup.
+		if *faultSpec == "" {
+			fatal(fmt.Errorf("-fault-seed with multiple seeds needs -faults"))
 		}
-		if *straggler != "" {
-			rules, err := faults.ParseStragglers(*straggler)
-			if err != nil {
-				fatal(err)
-			}
-			plan.Add(rules...)
+		for _, seed := range seeds {
+			plan := buildPlan(*faultSpec, *straggler, seed, *forkWarmup)
+			opts.FaultGrid = append(opts.FaultGrid,
+				sweep.FaultVariant{Name: fmt.Sprintf("s%d", seed), Plan: plan})
 		}
-		if *faultSeed != 0 {
-			plan.Add(faults.Seed(*faultSeed))
+	} else if *faultSpec != "" || len(seeds) == 1 || *straggler != "" {
+		var seed uint64
+		if len(seeds) == 1 {
+			seed = seeds[0]
 		}
-		opts.Faults = plan
+		opts.Faults = buildPlan(*faultSpec, *straggler, seed, *forkWarmup)
+	}
+	if *fork {
+		if len(opts.FaultGrid) < 2 {
+			fatal(fmt.Errorf("-fork needs -fault-seed with at least two seeds to build a fault grid"))
+		}
+		if opts.FaultGrid[0].Plan.StartBarrier() <= 0 {
+			fatal(fmt.Errorf("-fork needs a gated plan: set -fork-warmup K or a start=K clause in -faults"))
+		}
+		opts.Fork = true
 	}
 	opts.SampleEvery = sim.Time(*sampleEvery)
 	if *sampleCSV != "" {
@@ -156,6 +174,7 @@ func main() {
 	// cancels the in-flight simulations between virtual-time steps.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	start := time.Now()
 	if err := r.Prefetch(ctx, harness.PointsFor(opts, selected)); err != nil {
 		fatal(err)
 	}
@@ -166,6 +185,9 @@ func main() {
 			fatal(fmt.Errorf("%s: %v", e.Name, err))
 		}
 	}
+	if opts.Fork {
+		printForkSummary(r.ForkStats(), time.Since(start))
+	}
 
 	// Hold the metrics endpoint open for interval-based scrapers that would
 	// otherwise miss a short run entirely. Ctrl-C ends the linger early.
@@ -175,6 +197,62 @@ func main() {
 		case <-ctx.Done():
 		}
 	}
+}
+
+// seedList parses the comma-separated -fault-seed value.
+func seedList(s string) []uint64 {
+	if s == "" {
+		return nil
+	}
+	var out []uint64
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(p, 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -fault-seed %q: %v", p, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// buildPlan assembles one fault plan from the flag pieces. seed == 0 keeps
+// the plan's own seed; warmup > 0 gates the plan on barrier K.
+func buildPlan(spec, straggler string, seed uint64, warmup int) *faults.Plan {
+	plan, err := faults.Parse(spec)
+	if err != nil {
+		fatal(err)
+	}
+	if straggler != "" {
+		rules, err := faults.ParseStragglers(straggler)
+		if err != nil {
+			fatal(err)
+		}
+		plan.Add(rules...)
+	}
+	if seed != 0 {
+		plan.Add(faults.Seed(seed))
+	}
+	if warmup > 0 {
+		plan.Add(faults.StartAtBarrier(warmup))
+	}
+	return plan
+}
+
+// printForkSummary reports what prefix sharing bought the run: estimated
+// flat wall time is the measured one plus the warmup re-simulation the
+// forks avoided.
+func printForkSummary(fs sweep.ForkStats, wall time.Duration) {
+	if fs.ForkedRuns == 0 {
+		fmt.Printf("\nfork: no runs forked (grid not forkable: ungated plans, non-barrier apps, or <2 forkable variants)\n")
+		return
+	}
+	flat := wall + fs.SavedWall
+	fmt.Printf("\nfork: %d warmup prefixes served %d forked runs; wall %v vs ~%v flat (est. %.2fx speedup)\n",
+		fs.Prefixes, fs.ForkedRuns, wall.Round(time.Millisecond), flat.Round(time.Millisecond),
+		float64(flat)/float64(wall))
 }
 
 func fatal(err error) {

@@ -25,6 +25,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"dsmsim"
 	"dsmsim/internal/profiling"
@@ -56,9 +57,13 @@ func main() {
 		sampleJSON  = flag.String("sample-json", "", "write Chrome-trace counter tracks to this file (single runs only; needs -sample-every)")
 		metricsAddr = flag.String("metrics-addr", "", "serve live sweep metrics over HTTP on this address (sweeps only)")
 
-		faultSpec = flag.String("faults", "", "deterministic fault plan: drop=P,dup=P,jitter=DUR,partition=A-B@FROM:TO,linkdrop=A-B:P,rto=DUR,seed=N")
+		faultSpec = flag.String("faults", "", "deterministic fault plan: drop=P,dup=P,jitter=DUR,partition=A-B@FROM:TO,linkdrop=A-B:P,rto=DUR,seed=N,start=K")
 		faultSeed = flag.Uint64("fault-seed", 0, "override the fault plan's PRNG seed (0 keeps the plan's seed)")
 		straggler = flag.String("straggler", "", "straggler node(s): NODExFACTOR[@FROM:TO], comma-separated (e.g. '3x2.5' or '0x4@10ms:20ms')")
+
+		faultGrid  = flag.String("fault-grid", "", "semicolon-separated fault variants NAME[:SPEC] (SPEC as in -faults; empty = healthy); every configuration runs once per variant")
+		fork       = flag.Bool("fork", false, "share warmup prefixes across -fault-grid variants: simulate each group's pre-fault prefix once and fork it per variant (output stays byte-identical)")
+		forkWarmup = flag.Int("fork-warmup", 0, "gate every fault plan on barrier K (adds start=K to -faults and each -fault-grid variant)")
 	)
 	flag.Parse()
 	defer profiling.Start(*cpuProf, *memProf)()
@@ -78,6 +83,13 @@ func main() {
 	}
 	points := len(spec.Apps) * len(spec.Protocols) * len(spec.Granularities) * len(spec.Notify)
 	plan := faultPlan(*faultSpec, *faultSeed, *straggler)
+	if *forkWarmup > 0 && plan != nil {
+		plan.Add(dsmsim.StartAtBarrier(*forkWarmup))
+	}
+	grid := parseGrid(*faultGrid, *forkWarmup)
+	if *fork && len(grid) == 0 {
+		fatal(fmt.Errorf("-fork needs a -fault-grid to share warmup prefixes across"))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -85,7 +97,7 @@ func main() {
 	if *profCSV != "" {
 		*prof = true
 	}
-	if points == 1 {
+	if points == 1 && len(grid) == 0 {
 		if *metricsAddr != "" {
 			fatal(fmt.Errorf("-metrics-addr applies to sweeps only (1 configuration selected)"))
 		}
@@ -96,8 +108,37 @@ func main() {
 	if *static || *trace != "" || *traceJS != "" || *sampleJSON != "" {
 		fatal(fmt.Errorf("-static-homes/-trace/-trace-json/-sample-json apply to single runs only (%d configurations selected)", points))
 	}
-	runSweep(ctx, spec, plan, *verify, *parallel, *csvPath,
+	runSweep(ctx, spec, plan, grid, *fork, *verify, *parallel, *csvPath,
 		dsmsim.Time(*sampleEvery), *sampleCSV, *metricsAddr, *prof, *profCSV)
+}
+
+// parseGrid parses the -fault-grid syntax: semicolon-separated
+// NAME[:SPEC] variants, SPEC in the -faults clause language. warmup > 0
+// adds a start=K gate to every non-healthy variant.
+func parseGrid(s string, warmup int) []dsmsim.FaultVariant {
+	if s == "" {
+		return nil
+	}
+	var grid []dsmsim.FaultVariant
+	for _, part := range strings.Split(s, ";") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		name, spec, _ := strings.Cut(part, ":")
+		v := dsmsim.FaultVariant{Name: strings.TrimSpace(name)}
+		if spec != "" {
+			plan, err := dsmsim.ParseFaults(spec)
+			if err != nil {
+				fatal(fmt.Errorf("-fault-grid variant %q: %v", v.Name, err))
+			}
+			if warmup > 0 {
+				plan.Add(dsmsim.StartAtBarrier(warmup))
+			}
+			v.Plan = plan
+		}
+		grid = append(grid, v)
+	}
+	return grid
 }
 
 // faultPlan builds the fault plan from the -faults / -fault-seed /
@@ -125,12 +166,18 @@ func faultPlan(spec string, seed uint64, straggler string) *dsmsim.FaultPlan {
 
 // runSweep fans the cross product out over the worker pool and prints one
 // speedup row per configuration.
-func runSweep(ctx context.Context, spec dsmsim.SweepSpec, plan *dsmsim.FaultPlan, verify bool, parallel int, csvPath string,
+func runSweep(ctx context.Context, spec dsmsim.SweepSpec, plan *dsmsim.FaultPlan, grid []dsmsim.FaultVariant, fork, verify bool, parallel int, csvPath string,
 	sampleEvery dsmsim.Time, sampleCSV, metricsAddr string, prof bool, profCSV string) {
 	opts := []dsmsim.Option{
 		dsmsim.WithParallelism(parallel),
 		dsmsim.WithProgress(os.Stderr),
 		dsmsim.WithVerify(verify),
+	}
+	if len(grid) > 0 {
+		opts = append(opts, dsmsim.WithFaultGrid(grid...))
+	}
+	if fork {
+		opts = append(opts, dsmsim.WithFork())
 	}
 	if prof {
 		opts = append(opts, dsmsim.WithShareProfile())
@@ -178,19 +225,48 @@ func runSweep(ctx context.Context, spec dsmsim.SweepSpec, plan *dsmsim.FaultPlan
 		fmt.Fprintf(os.Stderr, "serving live metrics on http://%s/metrics\n", addr)
 		opts = append(opts, dsmsim.WithMetrics(reg))
 	}
+	start := time.Now()
 	res, err := dsmsim.Sweep(ctx, spec, opts...)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%-18s %-6s %6s %-9s %14s %8s\n", "app", "proto", "block", "notify", "time", "speedup")
+	wall := time.Since(start)
+	if len(grid) > 0 {
+		fmt.Printf("%-18s %-6s %6s %-9s %-10s %14s %8s\n", "app", "proto", "block", "notify", "fault", "time", "speedup")
+	} else {
+		fmt.Printf("%-18s %-6s %6s %-9s %14s %8s\n", "app", "proto", "block", "notify", "time", "speedup")
+	}
 	for _, run := range res.Runs {
 		if run.Point.Sequential {
 			continue
 		}
-		fmt.Printf("%-18s %-6s %5dB %-9s %14v %8.2f\n",
-			run.Point.App, run.Point.Protocol, run.Point.Block, run.Point.Notify,
-			run.Result.Time, res.Speedup(run))
+		if len(grid) > 0 {
+			fmt.Printf("%-18s %-6s %5dB %-9s %-10s %14v %8.2f\n",
+				run.Point.App, run.Point.Protocol, run.Point.Block, run.Point.Notify,
+				run.Point.Fault, run.Result.Time, res.Speedup(run))
+		} else {
+			fmt.Printf("%-18s %-6s %5dB %-9s %14v %8.2f\n",
+				run.Point.App, run.Point.Protocol, run.Point.Block, run.Point.Notify,
+				run.Result.Time, res.Speedup(run))
+		}
 	}
+	if fork {
+		printForkSummary(res.Fork, wall)
+	}
+}
+
+// printForkSummary reports what prefix sharing bought the sweep: the
+// estimated flat wall time is the measured one plus the warmup
+// re-simulation the forks avoided.
+func printForkSummary(fs dsmsim.ForkStats, wall time.Duration) {
+	if fs.ForkedRuns == 0 {
+		fmt.Printf("fork: no runs forked (grid not forkable: ungated plans, non-barrier apps, or <2 forkable variants)\n")
+		return
+	}
+	flat := wall + fs.SavedWall
+	fmt.Printf("fork: %d warmup prefixes served %d forked runs; wall %v vs ~%v flat (est. %.2fx speedup)\n",
+		fs.Prefixes, fs.ForkedRuns, wall.Round(time.Millisecond), flat.Round(time.Millisecond),
+		float64(flat)/float64(wall))
 }
 
 // runOne executes a single configuration with the full statistics dump.

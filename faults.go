@@ -73,6 +73,15 @@ func FaultSeed(s uint64) FaultRule { return faults.Seed(s) }
 // layer computes per message (useful to stress-test backoff).
 func RetransmitTimeout(d Time) FaultRule { return faults.RTO(d) }
 
+// StartAtBarrier gates the whole plan on the k-th global barrier
+// (k >= 1): every rule is dormant — the machine byte-identical to a
+// fault-free one — until all nodes have completed barrier k, and the
+// fault PRNG starts consuming randomness only from that instant. Gated
+// plans are what make checkpoint sharing possible: grid variants that
+// agree before their start barriers can fork one common warmup prefix
+// (see WithFork). Parse syntax: `start=K`.
+func StartAtBarrier(k int) FaultRule { return faults.StartAtBarrier(k) }
+
 // ParseFaults builds a plan from the CLI flag syntax shared by dsmrun and
 // dsmbench: comma-separated `drop=P`, `dup=P`, `jitter=DUR`, `rto=DUR`,
 // `seed=N`, `partition=A-B@FROM:TO`, `linkdrop=A-B:P` (durations are Go

@@ -1,0 +1,92 @@
+package dsmsim_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"dsmsim"
+)
+
+func forkGrid() []dsmsim.FaultVariant {
+	return []dsmsim.FaultVariant{
+		{Name: "none"},
+		{Name: "lossy", Plan: dsmsim.NewFaultPlan(dsmsim.Drop(0.03), dsmsim.FaultSeed(5),
+			dsmsim.StartAtBarrier(4))},
+		{Name: "jittery", Plan: dsmsim.NewFaultPlan(dsmsim.Jitter(30*dsmsim.Microsecond),
+			dsmsim.FaultSeed(11), dsmsim.StartAtBarrier(6))},
+	}
+}
+
+// TestSweepForkByteIdentical: the public fork option leaves every output
+// surface byte-identical to the flat grid sweep, serial and parallel.
+func TestSweepForkByteIdentical(t *testing.T) {
+	spec := dsmsim.SweepSpec{
+		Apps:          []string{"ocean-rowwise", "fft"},
+		Protocols:     []string{dsmsim.SC, dsmsim.HLRC},
+		Granularities: []int{1024, 4096},
+		Nodes:         4,
+		SkipBaselines: true,
+	}
+	run := func(workers int, fork bool) (string, string, *dsmsim.SweepResult) {
+		var csv, prog bytes.Buffer
+		opts := []dsmsim.Option{
+			dsmsim.WithParallelism(workers), dsmsim.WithCSV(&csv),
+			dsmsim.WithProgress(&prog), dsmsim.WithFaultGrid(forkGrid()...),
+		}
+		if fork {
+			opts = append(opts, dsmsim.WithFork())
+		}
+		res, err := dsmsim.Sweep(context.Background(), spec, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return csv.String(), prog.String(), res
+	}
+	cFlat, pFlat, rFlat := run(1, false)
+	for _, workers := range []int{1, 8} {
+		c, p, r := run(workers, true)
+		if c != cFlat {
+			t.Fatalf("workers=%d: forked CSV diverged from flat:\n-- flat --\n%s-- forked --\n%s", workers, cFlat, c)
+		}
+		if p != pFlat {
+			t.Fatalf("workers=%d: forked progress diverged from flat", workers)
+		}
+		for i := range rFlat.Runs {
+			a, b := rFlat.Runs[i], r.Runs[i]
+			if a.Point != b.Point || a.Result.Time != b.Result.Time ||
+				a.Result.NetMsgs != b.Result.NetMsgs || a.Result.Retransmits != b.Result.Retransmits {
+				t.Fatalf("workers=%d: run %d diverged between flat and forked", workers, i)
+			}
+		}
+	}
+	// The grid actually produced distinct fault behavior.
+	healthy := rFlat.GetFault("ocean-rowwise", dsmsim.SC, 1024, dsmsim.Polling, "none")
+	lossy := rFlat.GetFault("ocean-rowwise", dsmsim.SC, 1024, dsmsim.Polling, "lossy")
+	if healthy == nil || lossy == nil {
+		t.Fatal("GetFault failed to find grid runs")
+	}
+	if healthy.Retransmits != 0 || lossy.Retransmits == 0 {
+		t.Fatalf("retransmits: healthy=%d lossy=%d, want 0 and >0", healthy.Retransmits, lossy.Retransmits)
+	}
+	if !strings.Contains(cFlat, ",fault") || !strings.Contains(cFlat, ",jittery\n") {
+		t.Fatalf("grid CSV missing fault column/variants:\n%s", cFlat)
+	}
+}
+
+// TestSweepFaultGridValidation: bad grids are rejected up front.
+func TestSweepFaultGridValidation(t *testing.T) {
+	spec := dsmsim.SweepSpec{Apps: []string{"lu"}, Protocols: []string{dsmsim.SC},
+		Granularities: []int{4096}, Nodes: 4, SkipBaselines: true}
+	if _, err := dsmsim.Sweep(context.Background(), spec,
+		dsmsim.WithFaultGrid(dsmsim.FaultVariant{Name: ""})); err == nil ||
+		!strings.Contains(err.Error(), "empty name") {
+		t.Fatalf("empty variant name accepted: %v", err)
+	}
+	if _, err := dsmsim.Sweep(context.Background(), spec,
+		dsmsim.WithFaultGrid(dsmsim.FaultVariant{Name: "a"}, dsmsim.FaultVariant{Name: "a"})); err == nil ||
+		!strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate variant name accepted: %v", err)
+	}
+}

@@ -177,57 +177,68 @@ func bmodInterior(blk, l, u []float64, b int) {
 }
 
 // Run implements core.App.
-func (a *LU) Run(c *core.Ctx) {
+func (a *LU) Run(c *core.Ctx) { a.RunFrom(c, 0) }
+
+// RunFrom implements core.ResumableApp: three barriers per elimination
+// step, so epoch e resumes inside step e/3 at phase e%3.
+func (a *LU) RunFrom(c *core.Ctx, epoch int) {
 	nb, b, p, me := a.nb, a.bsz, c.NP(), c.ID()
 	bb := b * b
+	st := newStepper(c, epoch)
 	flops := func(f int) { c.Compute(sim.Time(f) * a.perFlop) }
 
 	for k := 0; k < nb; k++ {
 		kk := a.blockAddr[k*nb+k]
-		if a.owner(k, k, p) == me {
-			d := c.F64sW(kk, bb)
-			factorDiag(d, b)
-			flops(2 * b * b * b / 3)
-		}
-		c.Barrier()
-		// Perimeter blocks in column k and row k. The write span must be
-		// acquired LAST: any earlier fault (the diag read) yields virtual
-		// time, during which a false-sharing writer — possible once a
-		// coherence block straddles two owners' regions — can steal the
-		// write span's block, leaving a stale slice whose updates would be
-		// lost. Reads are safe in either order because the diag values are
-		// stable between barriers.
-		diag := c.F64sR(kk, bb)
-		for i := k + 1; i < nb; i++ {
-			if a.owner(i, k, p) == me {
-				diag = c.F64sR(kk, bb) // re-span after potential fault
-				blk := c.F64sW(a.blockAddr[i*nb+k], bb)
-				bdivLower(blk, diag, b)
-				flops(b * b * b)
+		st.step(func() {
+			if a.owner(k, k, p) == me {
+				d := c.F64sW(kk, bb)
+				factorDiag(d, b)
+				flops(2 * b * b * b / 3)
 			}
-			if a.owner(k, i, p) == me {
-				diag = c.F64sR(kk, bb)
-				blk := c.F64sW(a.blockAddr[k*nb+i], bb)
-				bmodRight(blk, diag, b)
-				flops(b * b * b)
-			}
-		}
-		c.Barrier()
-		// Interior updates.
-		for i := k + 1; i < nb; i++ {
-			for j := k + 1; j < nb; j++ {
-				if a.owner(i, j, p) != me {
-					continue
+		})
+		st.barrier()
+		st.step(func() {
+			// Perimeter blocks in column k and row k. The write span must be
+			// acquired LAST: any earlier fault (the diag read) yields virtual
+			// time, during which a false-sharing writer — possible once a
+			// coherence block straddles two owners' regions — can steal the
+			// write span's block, leaving a stale slice whose updates would be
+			// lost. Reads are safe in either order because the diag values are
+			// stable between barriers.
+			diag := c.F64sR(kk, bb)
+			for i := k + 1; i < nb; i++ {
+				if a.owner(i, k, p) == me {
+					diag = c.F64sR(kk, bb) // re-span after potential fault
+					blk := c.F64sW(a.blockAddr[i*nb+k], bb)
+					bdivLower(blk, diag, b)
+					flops(b * b * b)
 				}
-				blk := c.F64sW(a.blockAddr[i*nb+j], bb)
-				l := c.F64sR(a.blockAddr[i*nb+k], bb)
-				u := c.F64sR(a.blockAddr[k*nb+j], bb)
-				blk = c.F64sW(a.blockAddr[i*nb+j], bb) // re-span
-				bmodInterior(blk, l, u, b)
-				flops(2 * b * b * b)
+				if a.owner(k, i, p) == me {
+					diag = c.F64sR(kk, bb)
+					blk := c.F64sW(a.blockAddr[k*nb+i], bb)
+					bmodRight(blk, diag, b)
+					flops(b * b * b)
+				}
 			}
-		}
-		c.Barrier()
+		})
+		st.barrier()
+		st.step(func() {
+			// Interior updates.
+			for i := k + 1; i < nb; i++ {
+				for j := k + 1; j < nb; j++ {
+					if a.owner(i, j, p) != me {
+						continue
+					}
+					blk := c.F64sW(a.blockAddr[i*nb+j], bb)
+					l := c.F64sR(a.blockAddr[i*nb+k], bb)
+					u := c.F64sR(a.blockAddr[k*nb+j], bb)
+					blk = c.F64sW(a.blockAddr[i*nb+j], bb) // re-span
+					bmodInterior(blk, l, u, b)
+					flops(2 * b * b * b)
+				}
+			}
+		})
+		st.barrier()
 	}
 }
 

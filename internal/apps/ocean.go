@@ -201,13 +201,17 @@ func (a *Ocean) initVal(i, j int) float64 {
 
 // Run implements core.App: iters red-black sweeps with a barrier after each
 // color, each node updating its own partition.
-func (a *Ocean) Run(c *core.Ctx) {
+func (a *Ocean) Run(c *core.Ctx) { a.RunFrom(c, 0) }
+
+// RunFrom implements core.ResumableApp: one barrier per color sweep, so
+// epoch e resumes at iteration e/2, color e%2.
+func (a *Ocean) RunFrom(c *core.Ctx, epoch int) {
 	n, p, me := a.n, c.NP(), c.ID()
+	st := newStepper(c, epoch)
 
 	// The runtime partition is always row-contiguous over interior rows
 	// for rowwise; for original, partition the layout subblocks among the
 	// actual nodes.
-	type span struct{ r0, r1, c0, c1 int }
 	var mine []span
 	if a.rowwise {
 		lo, hi := partition(n-2, p, me)
@@ -227,66 +231,76 @@ func (a *Ocean) Run(c *core.Ctx) {
 
 	for it := 0; it < a.iters; it++ {
 		for color := 0; color < 2; color++ {
-			cells := 0
-			for _, s := range mine {
-				for i := s.r0; i < s.r1; i++ {
-					w := s.c1 - s.c0
-					// Row segments are contiguous under both layouts:
-					// the row above/below lives in the vertical
-					// neighbour's partition but spans the same column
-					// range. The west/east border elements are the
-					// fine-grained single-element reads of the
-					// Original version (§5.2).
-					up := c.F64sR(a.addr(i-1, s.c0), w)
-					down := c.F64sR(a.addr(i+1, s.c0), w)
-					west := c.ReadF64(a.addr(i, s.c0-1))
-					east := c.ReadF64(a.addr(i, s.c1))
-					// Read snapshot of the row for the left/right
-					// neighbours (the other colour: stable this sweep).
-					rowR := c.F64sR(a.addr(i, s.c0), w)
-					// Writes go block-chunk by block-chunk: neighbours
-					// read this row continuously, and a multi-block
-					// writable span would need every covered block
-					// simultaneously — real per-store programs never
-					// require that, and under 16-node read pressure it
-					// livelocks. Each chunk is the LAST Ctx call before
-					// its writes.
-					rowAddr := a.addr(i, s.c0)
-					bs := c.BlockSize()
-					for off := 0; off < w; {
-						chunkAddr := rowAddr + off*8
-						elems := (bs - chunkAddr%bs) / 8
-						if elems <= 0 {
-							elems = 1
-						}
-						if off+elems > w {
-							elems = w - off
-						}
-						chunk := c.F64sW(chunkAddr, elems)
-						j0 := s.c0 + off
-						if (i+j0)%2 != color {
-							j0++
-						}
-						for j := j0; j < s.c0+off+elems; j += 2 {
-							left := west
-							if j > s.c0 {
-								left = rowR[j-1-s.c0]
-							}
-							right := east
-							if j < s.c1-1 {
-								right = rowR[j+1-s.c0]
-							}
-							chunk[j-s.c0-off] = 0.25 * (up[j-s.c0] + down[j-s.c0] + left + right)
-							cells++
-						}
-						off += elems
-					}
-				}
-			}
-			c.Compute(sim.Time(cells*6) * a.perFlop)
-			c.Barrier()
+			color := color
+			st.step(func() { a.sweep(c, mine, color) })
+			st.barrier()
 		}
 	}
+}
+
+// span is one rectangle of grid cells a node owns at run time.
+type span struct{ r0, r1, c0, c1 int }
+
+// sweep performs one color's update over this node's spans, charging the
+// sweep's computation; the caller provides the trailing barrier.
+func (a *Ocean) sweep(c *core.Ctx, mine []span, color int) {
+	cells := 0
+	for _, s := range mine {
+		for i := s.r0; i < s.r1; i++ {
+			w := s.c1 - s.c0
+			// Row segments are contiguous under both layouts:
+			// the row above/below lives in the vertical
+			// neighbour's partition but spans the same column
+			// range. The west/east border elements are the
+			// fine-grained single-element reads of the
+			// Original version (§5.2).
+			up := c.F64sR(a.addr(i-1, s.c0), w)
+			down := c.F64sR(a.addr(i+1, s.c0), w)
+			west := c.ReadF64(a.addr(i, s.c0-1))
+			east := c.ReadF64(a.addr(i, s.c1))
+			// Read snapshot of the row for the left/right
+			// neighbours (the other colour: stable this sweep).
+			rowR := c.F64sR(a.addr(i, s.c0), w)
+			// Writes go block-chunk by block-chunk: neighbours
+			// read this row continuously, and a multi-block
+			// writable span would need every covered block
+			// simultaneously — real per-store programs never
+			// require that, and under 16-node read pressure it
+			// livelocks. Each chunk is the LAST Ctx call before
+			// its writes.
+			rowAddr := a.addr(i, s.c0)
+			bs := c.BlockSize()
+			for off := 0; off < w; {
+				chunkAddr := rowAddr + off*8
+				elems := (bs - chunkAddr%bs) / 8
+				if elems <= 0 {
+					elems = 1
+				}
+				if off+elems > w {
+					elems = w - off
+				}
+				chunk := c.F64sW(chunkAddr, elems)
+				j0 := s.c0 + off
+				if (i+j0)%2 != color {
+					j0++
+				}
+				for j := j0; j < s.c0+off+elems; j += 2 {
+					left := west
+					if j > s.c0 {
+						left = rowR[j-1-s.c0]
+					}
+					right := east
+					if j < s.c1-1 {
+						right = rowR[j+1-s.c0]
+					}
+					chunk[j-s.c0-off] = 0.25 * (up[j-s.c0] + down[j-s.c0] + left + right)
+					cells++
+				}
+				off += elems
+			}
+		}
+	}
+	c.Compute(sim.Time(cells*6) * a.perFlop)
 }
 
 // sequential runs the identical sweeps on a private row-major copy.

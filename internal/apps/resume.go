@@ -1,0 +1,35 @@
+package apps
+
+import "dsmsim/internal/core"
+
+// stepper replays a barrier-structured Run body from a checkpoint epoch.
+// The body is rewritten as an alternation of step (a barrier-delimited work
+// segment) and barrier calls; resuming at epoch e swallows the first e
+// barriers and skips every segment before them — their effects are already
+// present in the restored shared state — so execution re-enters the body
+// exactly where the forked node left off. With epoch 0 the stepper is a
+// transparent pass-through and the body behaves as a plain Run.
+type stepper struct {
+	c    *core.Ctx
+	skip int
+}
+
+func newStepper(c *core.Ctx, epoch int) *stepper { return &stepper{c: c, skip: epoch} }
+
+// step runs one barrier-delimited work segment, unless it is still being
+// skipped over on the way to the resume point.
+func (s *stepper) step(f func()) {
+	if s.skip == 0 {
+		f()
+	}
+}
+
+// barrier swallows barriers completed in the checkpointed prefix and passes
+// the rest through to the DSM barrier.
+func (s *stepper) barrier() {
+	if s.skip > 0 {
+		s.skip--
+		return
+	}
+	s.c.Barrier()
+}

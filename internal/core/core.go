@@ -273,22 +273,86 @@ func (m *Machine) Run(app App) (*Result, error) {
 // leaves the Machine untouched — it holds no per-run state — so the same
 // Machine can immediately start a fresh run.
 func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
+	r, err := m.buildRun(ctx, app, nil)
+	if err != nil {
+		return nil, err
+	}
+	return r.finish(r.engine.Run())
+}
+
+// run is one in-flight simulation: everything RunContext wires up before
+// the engine loop starts, kept together so checkpoint capture and restore
+// can reach every layer of it.
+type run struct {
+	m        *Machine
+	ctx      context.Context
+	cfg      Config
+	app      App
+	info     AppInfo
+	model    *timing.Model
+	heap     *Heap
+	master   []byte
+	heapSize int
+	engine   *sim.Engine
+	net      *network.Network
+	inj      *faults.Injector
+	tr       *trace.Tracer
+	env      *proto.Env
+	p        proto.Protocol
+	sy       *synch.Sync
+	writers  []proto.Copyset
+	prof     *shareprof.Profiler
+	phases   *metrics.PhaseAccountant
+	sampler  *metrics.Sampler
+	nodes    []*Node
+
+	// captureEpoch, when positive, cuts the run at that barrier epoch: the
+	// barrier hook captures a checkpoint into cp (or capErr) and stops the
+	// engine instead of releasing the barrier.
+	captureEpoch int
+	cp           *Checkpoint
+	capErr       error
+}
+
+// buildRun constructs the whole simulation for one run. With cp nil this is
+// a fresh run from time zero; with cp non-nil every layer is restored from
+// the checkpoint instead of initialized, the clock continues the original
+// (time, seq) stream, and each node is reborn parked inside the barrier the
+// cut suppressed — the caller replays the release with sy.ReleaseBarrier.
+func (m *Machine) buildRun(ctx context.Context, app App, cp *Checkpoint) (*run, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	cfg := m.cfg
-	info := app.Info()
-	model := cfg.Model
-	if model == nil {
-		model = timing.Default()
+	r := &run{m: m, ctx: ctx, cfg: m.cfg, app: app, info: app.Info()}
+	cfg := &r.cfg
+	if cp != nil {
+		if err := cp.compatible(cfg, r.info.Name); err != nil {
+			return nil, err
+		}
+		if _, ok := app.(ResumableApp); !ok {
+			return nil, fmt.Errorf("core: %s does not implement ResumableApp", r.info.Name)
+		}
+	}
+	r.model = cfg.Model
+	if r.model == nil {
+		r.model = timing.Default()
 	}
 
-	heapSize := roundUp(info.HeapBytes, max(cfg.BlockSize, 4096))
-	master := make([]byte, heapSize)
-	heap := &Heap{alloc: mem.NewAllocator(heapSize), master: master}
-	app.Setup(heap)
+	r.heapSize = roundUp(r.info.HeapBytes, max(cfg.BlockSize, 4096))
+	r.master = make([]byte, r.heapSize)
+	r.heap = &Heap{alloc: mem.NewAllocator(r.heapSize), master: r.master}
+	// Setup is the untimed sequential pre-parallel phase; it is a pure
+	// function of the app instance, so re-running it under a restore
+	// rebuilds the identical master image and heap layout the checkpointed
+	// run started from (the spaces themselves are then overwritten).
+	app.Setup(r.heap)
 
 	engine := sim.NewEngine()
+	r.engine = engine
+	if cp != nil {
+		// Before SetLimit/SetSampler: both read the clock's position.
+		engine.RestoreClock(cp.now, cp.seq)
+	}
 	if cfg.Limit > 0 {
 		engine.SetLimit(cfg.Limit)
 	}
@@ -298,78 +362,81 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 		// results bit-identical to context.Background().
 		engine.SetInterrupt(func() error { return ctx.Err() })
 	}
-	net := network.New(engine, model, cfg.Notify, cfg.Nodes)
+	net := network.New(engine, r.model, cfg.Notify, cfg.Nodes)
+	r.net = net
 	// Compile the fault plan into this run's injector: each run owns its
 	// PRNG, so identical configs replay bit-for-bit and concurrent runs on
 	// one Machine never share fault state. Sequential baselines measure the
 	// healthy machine and ignore the plan.
-	var inj *faults.Injector
 	if cfg.Faults != nil && !cfg.Sequential {
-		inj = cfg.Faults.Compile(cfg.Nodes)
-		net.SetFaults(inj) // no-op unless the plan has wire-active rules
+		r.inj = cfg.Faults.Compile(cfg.Nodes)
+		net.SetFaults(r.inj) // no-op unless the plan has wire-active rules
 	}
-	var tr *trace.Tracer // nil when tracing is off: every emit site costs one branch
 	if cfg.Trace != nil || cfg.TraceJSON != nil {
-		tr = trace.New(engine)
+		// tr stays nil when tracing is off: every emit site costs one branch.
+		r.tr = trace.New(engine)
 		if cfg.Trace != nil {
-			tr.SetLine(cfg.Trace)
+			r.tr.SetLine(cfg.Trace)
 		}
 		if cfg.TraceJSON != nil {
-			tr.SetJSON(cfg.TraceJSON)
+			r.tr.SetJSON(cfg.TraceJSON)
 		}
-		net.SetTracer(tr)
+		net.SetTracer(r.tr)
 	}
+	tr := r.tr
 
 	env := &proto.Env{
 		Engine: engine,
-		Model:  model,
+		Model:  r.model,
 		Net:    net,
-		Homes:  proto.NewHomes(cfg.Nodes, heapSize/cfg.BlockSize),
+		Homes:  proto.NewHomes(cfg.Nodes, r.heapSize/cfg.BlockSize),
 		Log:    proto.NewLog(cfg.Nodes),
-		Master: master,
+		Master: r.master,
 		Tracer: tr,
 	}
+	r.env = env
 	for i := 0; i < cfg.Nodes; i++ {
-		env.Spaces = append(env.Spaces, mem.NewSpace(heapSize, cfg.BlockSize))
+		env.Spaces = append(env.Spaces, mem.NewSpace(r.heapSize, cfg.BlockSize))
 		env.Stats = append(env.Stats, &stats.Node{})
 		env.VCs = append(env.VCs, proto.NewVC(cfg.Nodes))
 	}
 
-	var p proto.Protocol
 	switch cfg.Protocol {
 	case SC:
-		p = sc.New(env)
+		r.p = sc.New(env)
 	case DC:
-		p = sc.NewDelayed(env)
+		r.p = sc.NewDelayed(env)
 	case SWLRC:
-		p = swlrc.New(env)
+		r.p = swlrc.New(env)
 	case HLRC:
-		p = hlrc.New(env)
+		r.p = hlrc.New(env)
 	}
-	sy := synch.New(env)
-	sy.SetProtocol(p)
+	r.sy = synch.New(env)
+	r.sy.SetProtocol(r.p)
 
 	// writers tracks, per block, the set of nodes that write-faulted on it
 	// during this run (Table 2's writer classification). Run-local so that
 	// concurrent runs on one Machine never share state. Copysets stay
 	// inline-word cheap at ≤64 nodes and spill to paged bitmaps above.
-	writers := make([]proto.Copyset, heapSize/cfg.BlockSize)
-	if !cfg.StaticHomes {
-		env.Homes.BeginFirstTouch()
-	}
-	env.SeedHomes()
-	if cfg.Sequential {
-		preclaim(env)
+	r.writers = make([]proto.Copyset, r.heapSize/cfg.BlockSize)
+	if cp == nil {
+		if !cfg.StaticHomes {
+			env.Homes.BeginFirstTouch()
+		}
+		env.SeedHomes()
+		if cfg.Sequential {
+			preclaim(env)
+		}
 	}
 	// The sharing-pattern profiler is pure bookkeeping fed from the access
 	// and protocol paths; like the tracer it is wired after seeding and
 	// preclaim so only parallel-phase activity is profiled. Sequential
 	// baselines have nothing to profile.
-	var prof *shareprof.Profiler
 	if cfg.ShareProfile && !cfg.Sequential {
-		prof = shareprof.New(cfg.Nodes, heapSize, cfg.BlockSize)
-		env.Prof = prof
+		r.prof = shareprof.New(cfg.Nodes, r.heapSize, cfg.BlockSize)
+		env.Prof = r.prof
 	}
+	prof := r.prof
 	if tr != nil || prof != nil {
 		// Wire the tag-transition observer only now, so the untimed heap
 		// seeding and baseline preclaim above do not spam the trace (or
@@ -390,10 +457,9 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 
 	// The phase accountant is always on: Ctx.Barrier cuts each node's
 	// stats at its barrier returns, pure bookkeeping that cannot yield.
-	phases := metrics.NewPhaseAccountant(cfg.Nodes)
-	var sampler *metrics.Sampler
+	r.phases = metrics.NewPhaseAccountant(cfg.Nodes)
 	if cfg.SampleEvery > 0 {
-		sampler = metrics.NewSampler(cfg.SampleEvery, env.Stats, metrics.Probes{
+		r.sampler = metrics.NewSampler(cfg.SampleEvery, env.Stats, metrics.Probes{
 			Net: func() (int64, int64) {
 				var msgs, bytes int64
 				for i := 0; i < cfg.Nodes; i++ {
@@ -403,7 +469,7 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 				}
 				return msgs, bytes
 			},
-			LockQueue: sy.QueuedWaiters,
+			LockQueue: r.sy.QueuedWaiters,
 			Retrans: func() (int64, int64) {
 				var rtx, drp int64
 				for i := 0; i < cfg.Nodes; i++ {
@@ -420,11 +486,17 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 				return prof.SharingFaults()
 			},
 		})
-		engine.SetSampler(cfg.SampleEvery, sampler.Tick)
+		engine.SetSampler(cfg.SampleEvery, r.sampler.Tick)
 	}
 
-	nodes := make([]*Node, cfg.Nodes)
-	dilation := info.PollDilation
+	if cp != nil {
+		if err := r.restore(cp); err != nil {
+			return nil, err
+		}
+	}
+
+	r.nodes = make([]*Node, cfg.Nodes)
+	dilation := r.info.PollDilation
 	if cfg.Notify != network.Polling || cfg.Sequential {
 		dilation = 0
 	}
@@ -433,38 +505,61 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 			id:       i,
 			machine:  m,
 			engine:   engine,
-			model:    model,
+			model:    r.model,
 			space:    env.Spaces[i],
 			stats:    env.Stats[i],
 			ep:       net.Endpoint(i),
-			protocol: p,
-			sync:     sy,
+			protocol: r.p,
+			sync:     r.sy,
 			dilation: dilation,
 			tracer:   tr,
-			writers:  writers,
-			phases:   phases,
+			writers:  r.writers,
+			phases:   r.phases,
 			prof:     prof,
 		}
-		if inj.Straggling() {
-			n.faults = inj // only stragglers dilate Compute; wire faults stay in the network
+		if r.inj.Straggling() {
+			n.faults = r.inj // only stragglers dilate Compute; wire faults stay in the network
 		}
-		nodes[i] = n
-		n.ep.Bind(n, m.serviceCost(sy, p), m.handler(sy, p))
+		r.nodes[i] = n
+		n.ep.Bind(n, m.serviceCost(r.sy, r.p), m.handler(r.sy, r.p))
 	}
-	for i := 0; i < cfg.Nodes; i++ {
-		i := i
-		n := nodes[i]
-		n.proc = engine.NewProc(fmt.Sprintf("node%d", i), 0, func(pr *sim.Proc) {
-			app.Run(&Ctx{n: n})
-			n.finishAt = engine.Now()
-			// Service time stolen from computation extends the *next*
-			// Compute call; what was charged after the last one never
-			// lengthened anything, so give it back — the breakdown
-			// components must describe time that actually passed.
-			n.stats.Stolen -= n.stolen
-			n.stolen = 0
-		})
-		env.Procs = append(env.Procs, n.proc)
+	if cp == nil {
+		for i := 0; i < cfg.Nodes; i++ {
+			n := r.nodes[i]
+			n.proc = engine.NewProc(fmt.Sprintf("node%d", i), 0, func(pr *sim.Proc) {
+				app.Run(&Ctx{n: n})
+				n.finishAt = engine.Now()
+				// Service time stolen from computation extends the *next*
+				// Compute call; what was charged after the last one never
+				// lengthened anything, so give it back — the breakdown
+				// components must describe time that actually passed.
+				n.stats.Stolen -= n.stolen
+				n.stolen = 0
+			})
+			env.Procs = append(env.Procs, n.proc)
+		}
+	} else {
+		rapp := app.(ResumableApp)
+		for i := 0; i < cfg.Nodes; i++ {
+			n := r.nodes[i]
+			// The node is mid-barrier: its goroutine stack cannot be restored,
+			// so it is reborn parked in Block("barrier") with a continuation
+			// body that books the stall Ctx.Barrier would have booked and
+			// re-enters the application after its cp.epoch-th barrier.
+			n.inRuntime = true
+			n.stolen = cp.stolen[i]
+			n.barStart = cp.barStart[i]
+			n.barFlush0 = cp.barFlush0[i]
+			n.proc = engine.NewProcBlocked(fmt.Sprintf("node%d", i), "barrier", -1, func(pr *sim.Proc) {
+				n.inRuntime = false
+				n.barrierResumed()
+				rapp.RunFrom(&Ctx{n: n}, cp.epoch)
+				n.finishAt = engine.Now()
+				n.stats.Stolen -= n.stolen
+				n.stolen = 0
+			})
+			env.Procs = append(env.Procs, n.proc)
+		}
 	}
 	if tr != nil {
 		procIdx := make(map[*sim.Proc]int, cfg.Nodes)
@@ -491,51 +586,61 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 		}
 		engine.SetHooks(hooks)
 	}
+	if r.inj != nil && r.inj.StartBarrier() > 0 && !r.inj.Started() {
+		// The plan arms only when its start barrier completes; the hook
+		// attaches the wire rules and releases the straggler gate there.
+		r.sy.OnBarrierFull = r.barrierHook
+	}
+	return r, nil
+}
 
-	runErr := engine.Run()
-	tr.Flush() // nil-safe; flush even when the run aborted so the partial trace is inspectable
+// finish drains the completed simulation into a Result — the tail of every
+// Run variant once the engine loop returns.
+func (r *run) finish(runErr error) (*Result, error) {
+	cfg := &r.cfg
+	r.tr.Flush() // nil-safe; flush even when the run aborted so the partial trace is inspectable
 	if runErr != nil {
-		if ctxErr := ctx.Err(); ctxErr != nil {
+		if ctxErr := r.ctx.Err(); ctxErr != nil {
 			return nil, ctxErr
 		}
-		return nil, fmt.Errorf("core: %s/%s/%d: %w", info.Name, cfg.Protocol, cfg.BlockSize, runErr)
+		return nil, fmt.Errorf("core: %s/%s/%d: %w", r.info.Name, cfg.Protocol, cfg.BlockSize, runErr)
 	}
 
-	p.Finalize()
+	r.p.Finalize()
 	bs := cfg.BlockSize
-	for b := 0; b < heapSize/bs; b++ {
-		copy(master[b*bs:(b+1)*bs], p.Collect(b))
+	for b := 0; b < r.heapSize/bs; b++ {
+		copy(r.master[b*bs:(b+1)*bs], r.p.Collect(b))
 	}
 
 	res := &Result{
-		App:       info.Name,
+		App:       r.info.Name,
 		Protocol:  cfg.Protocol,
 		BlockSize: cfg.BlockSize,
 		Notify:    cfg.Notify,
 		Nodes:     cfg.Nodes,
-		Time:      engine.Now(),
-		Heap:      heap,
+		Time:      r.engine.Now(),
+		Heap:      r.heap,
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		// Close each node's final phase at the moment its body returned,
 		// and book the tail it then spent waiting for the run to end
 		// (trailing message drain, slower siblings) as Idle — with that,
 		// every node's components sum to res.Time exactly.
-		phases.Cut(i, nodes[i].finishAt, env.Stats[i])
-		env.Stats[i].Idle = res.Time - nodes[i].finishAt
+		r.phases.Cut(i, r.nodes[i].finishAt, r.env.Stats[i])
+		r.env.Stats[i].Idle = res.Time - r.nodes[i].finishAt
 	}
-	res.Phases = phases.Phases()
-	if sampler != nil {
-		sampler.Finish(engine.Now())
-		res.Samples = sampler.Series()
+	res.Phases = r.phases.Phases()
+	if r.sampler != nil {
+		r.sampler.Finish(r.engine.Now())
+		res.Samples = r.sampler.Series()
 	}
-	if prof != nil {
-		res.Sharing = prof.Report(heap.alloc.Regions())
+	if r.prof != nil {
+		res.Sharing = r.prof.Report(r.heap.alloc.Regions())
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		res.PerNode = append(res.PerNode, *env.Stats[i])
-		res.Total.Add(env.Stats[i])
-		s := net.Endpoint(i).Stats
+		res.PerNode = append(res.PerNode, *r.env.Stats[i])
+		res.Total.Add(r.env.Stats[i])
+		s := r.net.Endpoint(i).Stats
 		res.NetMsgs += s.MsgsSent
 		res.NetBytes += s.BytesSent
 		res.MsgLatency.Merge(&s.Latency)
@@ -546,8 +651,8 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 		res.AcksSent += s.AcksSent
 		res.RetransmitLatency.Merge(&s.RetransmitLatency)
 	}
-	for i := range writers {
-		switch writers[i].Count() {
+	for i := range r.writers {
+		switch r.writers[i].Count() {
 		case 0:
 		case 1:
 			res.BlocksWritten++
@@ -556,12 +661,12 @@ func (m *Machine) RunContext(ctx context.Context, app App) (*Result, error) {
 			res.MultiWriterBlocks++
 		}
 	}
-	if mr, ok := p.(proto.MemReporter); ok {
+	if mr, ok := r.p.(proto.MemReporter); ok {
 		res.ProtoStaticBytes, res.ProtoPeakBytes = mr.MemFootprint()
 	}
 	// Everything the caller gets back was copied out of the spaces above;
 	// recycle their slabs for the next run.
-	for _, sp := range env.Spaces {
+	for _, sp := range r.env.Spaces {
 		sp.Release()
 	}
 	return res, nil

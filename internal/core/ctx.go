@@ -224,17 +224,27 @@ func (c *Ctx) Unlock(id int) {
 func (c *Ctx) Barrier() {
 	n := c.n
 	n.settleChecks()
-	start := n.engine.Now()
-	flush0 := n.stats.FlushTime // see Unlock: the entry-side flush charges itself
+	// Entry time and already-booked flush time live on the Node (not in
+	// locals) so a checkpoint cut inside the barrier can capture them; the
+	// forked continuation then books the identical stall on resume.
+	n.barStart = n.engine.Now()
+	n.barFlush0 = n.stats.FlushTime // see Unlock: the entry-side flush charges itself
 	n.inRuntime = true
 	n.sync.Barrier(n.id)
 	n.inRuntime = false
-	elapsed := n.engine.Now() - start
-	n.stats.BarrierStall += elapsed - (n.stats.FlushTime - flush0)
-	n.stats.BarrierWait.ObserveTime(elapsed)
+	n.barrierResumed()
 	if tr := n.tracer; tr != nil {
-		tr.Span(n.id, trace.CatSynch, "barrier", start)
+		tr.Span(n.id, trace.CatSynch, "barrier", n.barStart)
 	}
+}
+
+// barrierResumed books the stall and cuts the phase when a barrier release
+// lands — the tail of Ctx.Barrier, shared with the checkpoint-restore
+// continuation (which resumes a node exactly here).
+func (n *Node) barrierResumed() {
+	elapsed := n.engine.Now() - n.barStart
+	n.stats.BarrierStall += elapsed - (n.stats.FlushTime - n.barFlush0)
+	n.stats.BarrierWait.ObserveTime(elapsed)
 	// A barrier return ends this node's current phase: cut the epoch with
 	// the just-booked stall included. Pure bookkeeping, cannot yield.
 	n.phases.Cut(n.id, n.engine.Now(), n.stats)

@@ -45,6 +45,14 @@ type Node struct {
 	// becomes stats.Idle.
 	finishAt sim.Time
 
+	// barStart and barFlush0 record, at every Ctx.Barrier entry, the entry
+	// time and the FlushTime already booked. Ctx.Barrier uses them to book
+	// the stall when the node resumes — and a checkpoint captures them so a
+	// forked run's continuation can book the identical stall for a barrier
+	// it entered in the original run.
+	barStart  sim.Time
+	barFlush0 sim.Time
+
 	// writers is the run-local per-block writer set shared by all nodes
 	// of one run (Table 2's classification); Machine itself stays stateless.
 	writers []proto.Copyset

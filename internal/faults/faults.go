@@ -31,6 +31,7 @@ const (
 	kindStraggler
 	kindSeed
 	kindRTO
+	kindStart
 )
 
 // Rule is one declarative fault clause, built with the constructors below
@@ -80,6 +81,14 @@ func Straggler(node int, factor float64, from, to sim.Time) Rule {
 // Seed sets the fault PRNG seed (default 1). Identical seeds give
 // bit-identical runs.
 func Seed(s uint64) Rule { return Rule{kind: kindSeed, seed: s} }
+
+// StartAtBarrier arms the whole plan only once global barrier k completes
+// (the k-th time every node has arrived at a barrier, counting from 1).
+// Until then the injector is inert and the wire is byte-identical to the
+// fault-free simulator; activation is part of the plan's semantics, so the
+// run's schedule is the same whether the fault-free prefix was simulated or
+// restored from a checkpoint. k = 0 (the default) means active from time 0.
+func StartAtBarrier(k int) Rule { return Rule{kind: kindStart, a: k} }
 
 // RTO overrides the base retransmission timeout. The default is derived per
 // message from the timing model (one-way time out, ack back, plus slack),
@@ -177,9 +186,29 @@ func (p *Plan) ValidateFor(nodes int) error {
 			if r.from < 0 || (r.to != 0 && r.to <= r.from) {
 				return fmt.Errorf("%w: straggler [%v, %v)", ErrBadWindow, r.from, r.to)
 			}
+		case kindStart:
+			if r.a < 0 {
+				return fmt.Errorf("%w: start barrier %d", ErrBadWindow, r.a)
+			}
 		}
 	}
 	return nil
+}
+
+// StartBarrier returns the plan's StartAtBarrier epoch (0 when the plan is
+// active from time 0). The sweep planner reads this to find the fault-free
+// prefix that grid points under different plans share.
+func (p *Plan) StartBarrier() int {
+	if p == nil {
+		return 0
+	}
+	k := 0
+	for _, r := range p.rules {
+		if r.kind == kindStart {
+			k = r.a
+		}
+	}
+	return k
 }
 
 // window is a compiled partition or straggler interval.
@@ -204,6 +233,12 @@ type Injector struct {
 	strag    []window
 	nodes    int
 	wire     bool
+
+	// startBarrier > 0 keeps the injector inert (started = false) until
+	// core reports completion of global barrier number startBarrier; the
+	// barrier hook then calls Activate. See StartAtBarrier.
+	startBarrier int
+	started      bool
 }
 
 // Compile instantiates the plan for a run on a cluster of the given size.
@@ -234,11 +269,51 @@ func (p *Plan) Compile(nodes int) *Injector {
 			in.parts = append(in.parts, window{a: r.a, b: r.b, from: r.from, to: r.to})
 		case kindStraggler:
 			in.strag = append(in.strag, window{a: r.a, factor: r.factor, from: r.from, to: r.to})
+		case kindStart:
+			in.startBarrier = r.a
 		}
 	}
 	in.wire = in.drop > 0 || in.dup > 0 || in.jitter > 0 ||
 		len(in.linkDrop) > 0 || len(in.parts) > 0
+	in.started = in.startBarrier == 0
 	return in
+}
+
+// StartBarrier returns the compiled StartAtBarrier epoch (0 = immediate).
+func (in *Injector) StartBarrier() int {
+	if in == nil {
+		return 0
+	}
+	return in.startBarrier
+}
+
+// Started reports whether the plan is armed: true from time 0 without a
+// StartAtBarrier rule, and after Activate with one.
+func (in *Injector) Started() bool { return in != nil && in.started }
+
+// Activate arms a StartAtBarrier plan. Core calls it when global barrier
+// number StartBarrier completes; until then Dilation reports healthy and
+// the network leaves the wire untouched.
+func (in *Injector) Activate() {
+	if in != nil {
+		in.started = true
+	}
+}
+
+// Cursor returns the PRNG state, the injector's only mutable word. A
+// checkpoint captures it so a forked run draws the identical fault stream.
+func (in *Injector) Cursor() uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.state
+}
+
+// SetCursor restores a PRNG state captured with Cursor.
+func (in *Injector) SetCursor(s uint64) {
+	if in != nil {
+		in.state = s
+	}
 }
 
 // WireActive reports whether any link-level fault can fire — the network
@@ -327,7 +402,7 @@ func (in *Injector) BaseRTO() sim.Time {
 // Dilation returns node's compute-dilation factor at now (1 when healthy).
 // Overlapping straggler windows multiply.
 func (in *Injector) Dilation(node int, now sim.Time) float64 {
-	if in == nil || len(in.strag) == 0 {
+	if in == nil || len(in.strag) == 0 || !in.started {
 		return 1
 	}
 	f := 1.0
@@ -349,6 +424,7 @@ func (in *Injector) Straggling() bool { return in != nil && len(in.strag) > 0 }
 //	jitter=DUR          uniform extra delay in [0, DUR]
 //	rto=DUR             base retransmission timeout override
 //	seed=N              PRNG seed
+//	start=K             arm the plan only after global barrier K completes
 //	partition=A-B@F:T   cut link A↔B during virtual window [F, T)
 //	linkdrop=A-B:P      drop probability override for the directed link A→B
 //
@@ -395,6 +471,12 @@ func Parse(spec string) (*Plan, error) {
 				return nil, fmt.Errorf("faults: bad seed %q: %v", val, err)
 			}
 			p.Add(Seed(s))
+		case "start":
+			k, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad start barrier %q: %v", val, err)
+			}
+			p.Add(StartAtBarrier(k))
 		case "partition":
 			pair, win, ok := strings.Cut(val, "@")
 			if !ok {

@@ -75,6 +75,15 @@ type Options struct {
 	// matrix run (the degradation experiment additionally sweeps its own
 	// loss rates regardless of this plan).
 	Faults *faults.Plan
+	// FaultGrid expands every matrix point into one run per named fault
+	// variant. Tables render the FIRST variant's runs; all variants reach
+	// the progress and CSV streams (tagged with the variant name). With a
+	// grid attached, Faults is ignored for matrix runs.
+	FaultGrid []sweep.FaultVariant
+	// Fork shares warmup prefixes across FaultGrid variants: each group's
+	// pre-fault prefix is simulated once and forked per variant. Output
+	// stays byte-identical to flat execution.
+	Fork bool
 }
 
 // Runner executes and caches simulation runs via the sweep engine.
@@ -103,6 +112,8 @@ func New(opts Options) *Runner {
 		SampleCSV:   opts.SampleCSV,
 		Metrics:     opts.Metrics,
 		Faults:      opts.Faults,
+		FaultGrid:   opts.FaultGrid,
+		Fork:        opts.Fork,
 
 		ShareProfile: opts.ShareProfile,
 		ProfCSV:      opts.ProfCSV,
@@ -111,9 +122,18 @@ func New(opts Options) *Runner {
 }
 
 // key builds the sweep key for one configuration at this runner's scale.
+// Under a fault grid, tables consume the first variant's runs.
 func (r *Runner) key(app, proto string, block int, notify network.Notify) sweep.Key {
-	return sweep.Key{App: app, Protocol: proto, Block: block, Notify: notify, Nodes: r.opts.Nodes}
+	k := sweep.Key{App: app, Protocol: proto, Block: block, Notify: notify, Nodes: r.opts.Nodes}
+	if len(r.opts.FaultGrid) > 0 {
+		k.Fault = r.opts.FaultGrid[0].Name
+	}
+	return k
 }
+
+// ForkStats reports the engine's prefix-sharing counters (zero unless
+// Options.Fork engaged).
+func (r *Runner) ForkStats() sweep.ForkStats { return r.eng.ForkStats() }
 
 // Sequential returns the uninstrumented one-node baseline time for app.
 func (r *Runner) Sequential(app string) (sim.Time, error) {
@@ -208,9 +228,14 @@ func (o Options) matrix(appNames, protos []string, grans []int, notifies []netwo
 	if nodes == 0 {
 		nodes = 16
 	}
+	var faultNames []string
+	for _, v := range o.FaultGrid {
+		faultNames = append(faultNames, v.Name)
+	}
 	s := sweep.Spec{
 		Apps: appNames, Protocols: protos, Granularities: grans,
 		Notifies: notifies, Nodes: nodes, Baselines: baselines,
+		Faults: faultNames,
 	}
 	return s.Points()
 }

@@ -175,3 +175,34 @@ func (s *Space) BlockData(b int) []byte {
 
 // Bytes returns the byte range [addr, addr+n) as a sub-slice.
 func (s *Space) Bytes(addr, n int) []byte { return s.data[addr : addr+n : addr+n] }
+
+// SpaceState is a deep snapshot of one node's space: the local heap copy,
+// every block's access tag, and the tag-version counter (restored so the
+// core's validated-span cache keys stay coherent across a fork).
+type SpaceState struct {
+	Data []byte
+	Tags []Access
+	Ver  uint32
+}
+
+// State captures a deep copy of the space contents and tags.
+func (s *Space) State() SpaceState {
+	return SpaceState{
+		Data: append([]byte(nil), s.data...),
+		Tags: append([]Access(nil), s.tags...),
+		Ver:  s.ver,
+	}
+}
+
+// Restore overwrites the space from a snapshot taken on an identically
+// sized space. Tags are written directly — no OnTag callbacks fire, since
+// restoring is not a coherence transition.
+func (s *Space) Restore(st SpaceState) {
+	if len(st.Data) != len(s.data) || len(st.Tags) != len(s.tags) {
+		panic(fmt.Sprintf("mem: Restore of mismatched space (%d/%d bytes, %d/%d blocks)",
+			len(st.Data), len(s.data), len(st.Tags), len(s.tags)))
+	}
+	copy(s.data, st.Data)
+	copy(s.tags, st.Tags)
+	s.ver = st.Ver
+}

@@ -76,6 +76,35 @@ func (a *PhaseAccountant) Cut(node int, at sim.Time, n *stats.Node) {
 	a.prevAt[node] = at
 }
 
+// PhaseState is a deep snapshot of a phase accountant mid-run. A forked
+// run restores it onto a fresh accountant so the per-epoch breakdown
+// continues exactly where the prefix's accounting left off.
+type PhaseState struct {
+	prevAt []sim.Time
+	prev   []stats.Snapshot
+	epoch  []int
+	phases []Phase
+}
+
+// CaptureState snapshots the accountant.
+func (a *PhaseAccountant) CaptureState() *PhaseState {
+	return &PhaseState{
+		prevAt: append([]sim.Time(nil), a.prevAt...),
+		prev:   append([]stats.Snapshot(nil), a.prev...),
+		epoch:  append([]int(nil), a.epoch...),
+		phases: append([]Phase(nil), a.phases...),
+	}
+}
+
+// RestoreState applies a snapshot to a fresh accountant with the same node
+// count (re-copied, so the snapshot stays pristine).
+func (a *PhaseAccountant) RestoreState(st *PhaseState) {
+	copy(a.prevAt, st.prevAt)
+	copy(a.prev, st.prev)
+	copy(a.epoch, st.epoch)
+	a.phases = append(a.phases[:0], st.phases...)
+}
+
 // Phases returns the completed epochs. A trailing empty phase (every node
 // finished exactly at its last barrier) is dropped.
 func (a *PhaseAccountant) Phases() []Phase {

@@ -132,6 +132,36 @@ func (s *Sampler) cut(at sim.Time) {
 // Series returns the accumulated time-series.
 func (s *Sampler) Series() *Series { return &s.series }
 
+// SamplerState is a deep snapshot of a sampler mid-run: the previous
+// boundary's cumulative snapshots (everything in stats.Snapshot is a
+// value) and the samples recorded so far. A forked run restores it onto a
+// fresh sampler so its series continues seamlessly — same boundaries, same
+// deltas — as if the prefix had been simulated in place.
+type SamplerState struct {
+	prev    stats.Snapshot
+	prevMsg, prevByt, prevRtx, prevDrp, prevTru, prevFls int64
+	samples []Sample
+}
+
+// CaptureState snapshots the sampler.
+func (s *Sampler) CaptureState() *SamplerState {
+	return &SamplerState{
+		prev: s.prev,
+		prevMsg: s.prevMsg, prevByt: s.prevByt, prevRtx: s.prevRtx,
+		prevDrp: s.prevDrp, prevTru: s.prevTru, prevFls: s.prevFls,
+		samples: append([]Sample(nil), s.series.Samples...),
+	}
+}
+
+// RestoreState applies a snapshot to a fresh sampler with the same
+// interval and node count (re-copied, so the snapshot stays pristine).
+func (s *Sampler) RestoreState(st *SamplerState) {
+	s.prev = st.prev
+	s.prevMsg, s.prevByt, s.prevRtx = st.prevMsg, st.prevByt, st.prevRtx
+	s.prevDrp, s.prevTru, s.prevFls = st.prevDrp, st.prevTru, st.prevFls
+	s.series.Samples = append(s.series.Samples[:0], st.samples...)
+}
+
 // Series is a completed sampler time-series, exportable as CSV or as
 // Chrome-trace counter tracks.
 type Series struct {

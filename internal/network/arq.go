@@ -36,10 +36,30 @@ const rtoBackoffCap = 16
 // (drops, duplicates, jitter or partitions) switch the network onto the ARQ
 // path; a nil injector or a straggler-only plan leaves every code path —
 // and therefore every byte of output — identical to the fault-free network.
-// Call before any traffic flows.
+// A StartAtBarrier plan is held pending instead: the wire stays on the
+// fast path until core reports the arming barrier and calls ActivateFaults,
+// so the prefix before it is byte-identical to a fault-free run (which is
+// what makes checkpoint/fork of that prefix sound). Call before any
+// traffic flows.
 func (n *Network) SetFaults(inj *faults.Injector) {
-	if inj.WireActive() {
-		n.faults = inj
+	if !inj.WireActive() {
+		return
+	}
+	if inj.StartBarrier() > 0 {
+		n.pendingFaults = inj
+		return
+	}
+	n.faults = inj
+}
+
+// ActivateFaults switches a pending StartAtBarrier injector onto the wire.
+// Core calls it (from engine context, between barrier arrival and release)
+// when the arming barrier completes; earlier calls with no pending injector
+// are no-ops. Every message sent from this instant on takes the ARQ path.
+func (n *Network) ActivateFaults() {
+	if n.pendingFaults != nil {
+		n.faults = n.pendingFaults
+		n.pendingFaults = nil
 	}
 }
 

@@ -192,8 +192,11 @@ type Network struct {
 
 	// faults, when non-nil, is a wire-active fault injector: cross-node
 	// sends take the ARQ path (see arq.go) instead of the reliable-fabric
-	// fast path. Nil for every fault-free run.
-	faults *faults.Injector
+	// fast path. Nil for every fault-free run. pendingFaults holds a
+	// StartAtBarrier injector until core activates it (ActivateFaults), so
+	// the Send fast path stays a single nil check.
+	faults        *faults.Injector
+	pendingFaults *faults.Injector
 }
 
 // SetTracer attaches the structured event tracer (nil disables). It
@@ -477,3 +480,51 @@ func svcDone(arg any) {
 
 // QueueLen reports the number of messages awaiting service (for tests).
 func (ep *Endpoint) QueueLen() int { return len(ep.queue) - ep.qhead }
+
+// EndpointState is the checkpointable state of one endpoint at a quiescent
+// cut: no message queued or in service, no ARQ state (the cut is taken in a
+// fault-free prefix). What remains is pure timing memory — when the NI
+// processor frees up, the open holdoff window, the FIFO arrival clamps —
+// plus the traffic counters (Histograms are value arrays, so the struct
+// copy is deep).
+type EndpointState struct {
+	BusyUntil    sim.Time
+	HoldoffUntil sim.Time
+	SvcAt        sim.Time
+	LastArrival  []sim.Time
+	Stats        Stats
+}
+
+// CaptureState snapshots the endpoint. It fails if the endpoint is not
+// quiescent — a queued or in-service message, or live ARQ link state —
+// since those hold pooled pointers no fork could share.
+func (ep *Endpoint) CaptureState() (EndpointState, error) {
+	if ep.QueueLen() != 0 || ep.svcPending {
+		return EndpointState{}, fmt.Errorf("network: endpoint %d not quiescent (%d queued, pending=%v)",
+			ep.id, ep.QueueLen(), ep.svcPending)
+	}
+	if ep.tx != nil || ep.rx != nil {
+		return EndpointState{}, fmt.Errorf("network: endpoint %d has live ARQ state", ep.id)
+	}
+	st := EndpointState{
+		BusyUntil:    ep.busyUntil,
+		HoldoffUntil: ep.holdoffUntil,
+		SvcAt:        ep.svcAt,
+		Stats:        ep.Stats,
+	}
+	if ep.lastArrival != nil {
+		st.LastArrival = append([]sim.Time(nil), ep.lastArrival...)
+	}
+	return st, nil
+}
+
+// RestoreState applies a captured snapshot to a freshly built endpoint.
+func (ep *Endpoint) RestoreState(st EndpointState) {
+	ep.busyUntil = st.BusyUntil
+	ep.holdoffUntil = st.HoldoffUntil
+	ep.svcAt = st.SvcAt
+	ep.Stats = st.Stats
+	if st.LastArrival != nil {
+		ep.lastArrival = append([]sim.Time(nil), st.LastArrival...)
+	}
+}

@@ -144,6 +144,22 @@ func forWord(w uint64, base int, fn func(v int)) {
 	}
 }
 
+// Clone returns a deep copy of the set: spill pages are duplicated, so
+// mutations of either copy never alias the other. Used by checkpointing.
+func (s *Copyset) Clone() Copyset {
+	c := Copyset{inline: s.inline}
+	if len(s.pages) > 0 {
+		c.pages = make([]*[pageWords]uint64, len(s.pages))
+		for i, pg := range s.pages {
+			if pg != nil {
+				dup := *pg
+				c.pages[i] = &dup
+			}
+		}
+	}
+	return c
+}
+
 // MemBytes reports the heap footprint of the set's spill structures
 // (the inline word is counted by the embedding struct).
 func (s *Copyset) MemBytes() int64 {

@@ -1,0 +1,142 @@
+package hlrc
+
+import (
+	"fmt"
+	"sort"
+
+	"dsmsim/internal/proto"
+)
+
+// state is the deep snapshot of the HLRC protocol at a quiescent cut:
+// every node's live twins (streaming writers keep a refreshed twin across
+// barriers), the per-block diff sequence counters, the home-write sets,
+// early-flush notices still owed, the twin-storage accounting and the
+// pending-fault records. A release in progress (outstanding diff acks) or
+// an in-flight install holds live messages and cannot be captured; at a
+// barrier cut neither exists. The pooled free lists are deliberately not
+// captured: a fork starts with empty pools, which is invisible — twins
+// are fully overwritten on creation and DiffInto output is content-
+// deterministic regardless of buffer reuse.
+type state struct {
+	twins         []map[int][]byte
+	written       []map[int]int32
+	seq           []map[int]int32
+	earlyNotices  [][]proto.WriteNotice
+	twinBytes     int64
+	twinBytesPeak int64
+	pending       []pendingFault
+}
+
+func cloneTwins(src map[int][]byte) map[int][]byte {
+	dst := make(map[int][]byte, len(src))
+	for b, t := range src {
+		dst[b] = append([]byte(nil), t...)
+	}
+	return dst
+}
+
+func cloneI32(src map[int]int32) map[int]int32 {
+	dst := make(map[int]int32, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+// CaptureState implements proto.Checkpointer.
+func (p *Protocol) CaptureState() (any, error) {
+	if len(p.installing) != 0 || len(p.installSet) != 0 {
+		return nil, fmt.Errorf("hlrc: %d installs in flight", len(p.installSet))
+	}
+	for node, n := range p.flushAcks {
+		if n != 0 || p.flushWaiting[node] {
+			return nil, fmt.Errorf("hlrc: node %d mid-flush (%d acks outstanding)", node, n)
+		}
+	}
+	n := len(p.twins)
+	st := &state{
+		twins:         make([]map[int][]byte, n),
+		written:       make([]map[int]int32, n),
+		seq:           make([]map[int]int32, n),
+		earlyNotices:  make([][]proto.WriteNotice, n),
+		twinBytes:     p.twinBytes,
+		twinBytesPeak: p.twinBytesPeak,
+		pending:       append([]pendingFault(nil), p.pending...),
+	}
+	for i := 0; i < n; i++ {
+		st.twins[i] = cloneTwins(p.twins[i])
+		st.written[i] = cloneI32(p.written[i])
+		st.seq[i] = cloneI32(p.seq[i])
+		st.earlyNotices[i] = append([]proto.WriteNotice(nil), p.earlyNotices[i]...)
+	}
+	return st, nil
+}
+
+// RestoreState implements proto.Checkpointer. The snapshot is re-cloned,
+// so one capture can seed any number of forks.
+func (p *Protocol) RestoreState(s any) error {
+	st, ok := s.(*state)
+	if !ok {
+		return fmt.Errorf("hlrc: RestoreState of %T", s)
+	}
+	if len(st.twins) != len(p.twins) {
+		return fmt.Errorf("hlrc: snapshot for %d nodes, protocol has %d", len(st.twins), len(p.twins))
+	}
+	for i := range p.twins {
+		p.twins[i] = cloneTwins(st.twins[i])
+		p.written[i] = cloneI32(st.written[i])
+		p.seq[i] = cloneI32(st.seq[i])
+		p.earlyNotices[i] = append([]proto.WriteNotice(nil), st.earlyNotices[i]...)
+	}
+	p.twinBytes = st.twinBytes
+	p.twinBytesPeak = st.twinBytesPeak
+	p.pending = append(p.pending[:0], st.pending...)
+	return nil
+}
+
+// AddToDigest implements proto.Digestable. Map walks are over sorted keys
+// so equal states digest equal.
+func (st *state) AddToDigest(d *proto.Digest) {
+	var keys []int
+	for i := range st.twins {
+		d.Int(i)
+		keys = keys[:0]
+		for b := range st.twins[i] {
+			keys = append(keys, b)
+		}
+		sort.Ints(keys)
+		for _, b := range keys {
+			d.Int(b)
+			d.Bytes(st.twins[i][b])
+		}
+		keys = keys[:0]
+		for b := range st.written[i] {
+			keys = append(keys, b)
+		}
+		sort.Ints(keys)
+		for _, b := range keys {
+			d.Int(b)
+			d.I64(int64(st.written[i][b]))
+		}
+		keys = keys[:0]
+		for b := range st.seq[i] {
+			keys = append(keys, b)
+		}
+		sort.Ints(keys)
+		for _, b := range keys {
+			d.Int(b)
+			d.I64(int64(st.seq[i][b]))
+		}
+		for _, wn := range st.earlyNotices[i] {
+			d.I64(int64(wn.Block))
+			d.I64(int64(wn.Seq))
+		}
+	}
+	d.I64(st.twinBytes)
+	d.I64(st.twinBytesPeak)
+	for _, pf := range st.pending {
+		d.Int(pf.block)
+		d.Bool(pf.write)
+		d.Bool(pf.becameHome)
+	}
+}

@@ -140,6 +140,22 @@ type Protocol interface {
 	Collect(b int) []byte
 }
 
+// Checkpointer is implemented by protocols whose complete mutable state
+// can be captured at a quiescent cut (every proc blocked in a barrier, no
+// message in flight) and restored onto a freshly constructed instance of
+// the same protocol under an identically shaped Env. CaptureState fails
+// if the protocol is mid-transaction — an in-flight fault, a pending
+// install — since such state references live messages no fork could
+// share; the sweep planner then falls back to flat execution.
+//
+// The returned snapshot is opaque to callers, deep (no mutable aliasing
+// with the live protocol) and reusable: RestoreState may be applied to
+// any number of forks.
+type Checkpointer interface {
+	CaptureState() (any, error)
+	RestoreState(state any) error
+}
+
 // MemReporter is implemented by protocols that can report their memory
 // footprint: the fixed per-block/per-node metadata and the peak dynamic
 // allocation (twins under HLRC). The paper's §7 lists memory utilization

@@ -70,3 +70,24 @@ func (l *Log) Reset() {
 		l.byNode[i] = nil
 	}
 }
+
+// Clone returns a copy safe for independent continuation: each per-node
+// interval slice gets fresh backing (a fork appending interval k+1 must
+// not write into an array the snapshot or a sibling fork also references).
+// The Interval values themselves are copied, but their Notices slices are
+// shared — intervals are immutable once published.
+func (l *Log) Clone() *Log {
+	c := &Log{byNode: make([][]Interval, len(l.byNode))}
+	for i, ivs := range l.byNode {
+		if len(ivs) > 0 {
+			c.byNode[i] = append([]Interval(nil), ivs...)
+		}
+	}
+	return c
+}
+
+// RestoreFrom overwrites this log in place from a snapshot produced by
+// Clone, re-cloning so the snapshot stays pristine for further forks.
+func (l *Log) RestoreFrom(src *Log) {
+	l.byNode = src.Clone().byNode
+}

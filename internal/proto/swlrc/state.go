@@ -1,0 +1,91 @@
+package swlrc
+
+import (
+	"fmt"
+
+	"dsmsim/internal/proto"
+)
+
+// state is the deep snapshot of the SW-LRC protocol at a quiescent cut:
+// the global owner/version directory, every node's causality table
+// (local version, owner hint, causal floor), the per-interval write sets
+// and the pending-fault records. In-flight installs hold retained
+// messages and cannot be captured; at a barrier cut both install maps
+// are empty.
+type state struct {
+	nb      int
+	dir     proto.Table[swDir]
+	nodes   []proto.Table[swNode]
+	written []proto.Copyset
+	pending []pendingFault
+}
+
+// CaptureState implements proto.Checkpointer.
+func (p *Protocol) CaptureState() (any, error) {
+	if len(p.installing) != 0 || len(p.installSet) != 0 {
+		return nil, fmt.Errorf("swlrc: %d installs in flight", len(p.installSet))
+	}
+	st := &state{
+		nb:      p.env.Homes.NumBlocks(),
+		dir:     p.dir.Clone(nil),
+		nodes:   make([]proto.Table[swNode], len(p.nodes)),
+		written: make([]proto.Copyset, len(p.written)),
+		pending: append([]pendingFault(nil), p.pending...),
+	}
+	for i := range p.nodes {
+		st.nodes[i] = p.nodes[i].Clone(nil)
+		st.written[i] = p.written[i].Clone()
+	}
+	return st, nil
+}
+
+// RestoreState implements proto.Checkpointer. The snapshot is re-cloned,
+// so one capture can seed any number of forks.
+func (p *Protocol) RestoreState(s any) error {
+	st, ok := s.(*state)
+	if !ok {
+		return fmt.Errorf("swlrc: RestoreState of %T", s)
+	}
+	if len(st.nodes) != len(p.nodes) {
+		return fmt.Errorf("swlrc: snapshot for %d nodes, protocol has %d", len(st.nodes), len(p.nodes))
+	}
+	p.dir = st.dir.Clone(nil)
+	for i := range p.nodes {
+		p.nodes[i] = st.nodes[i].Clone(nil)
+		p.written[i] = st.written[i].Clone()
+	}
+	p.pending = append(p.pending[:0], st.pending...)
+	return nil
+}
+
+// AddToDigest implements proto.Digestable.
+func (st *state) AddToDigest(d *proto.Digest) {
+	for b := 0; b < st.nb; b++ {
+		e := st.dir.Peek(b)
+		if e == nil || (e.owner < 0 && e.version == 0) {
+			continue
+		}
+		d.Int(b)
+		d.I64(int64(e.owner))
+		d.I64(int64(e.version))
+	}
+	for i := range st.nodes {
+		for b := 0; b < st.nb; b++ {
+			v := st.nodes[i].Peek(b)
+			if v == nil || (v.localVer == 0 && v.lastKnown < 0 && v.required == 0) {
+				continue
+			}
+			d.Int(i)
+			d.Int(b)
+			d.I64(int64(v.localVer))
+			d.I64(int64(v.lastKnown))
+			d.I64(int64(v.required))
+		}
+		st.written[i].AddToDigest(d)
+	}
+	for _, pf := range st.pending {
+		d.Int(pf.block)
+		d.Bool(pf.write)
+		d.Bool(pf.becameHome)
+	}
+}

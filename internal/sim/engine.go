@@ -157,6 +157,24 @@ func NewEngine() *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// Seq returns the last sequence number assigned to a scheduled event.
+// Together with Now it pins the engine's dispatch state for a checkpoint:
+// restoring both on a fresh engine makes every subsequently scheduled event
+// sort exactly as it would have in the original run.
+func (e *Engine) Seq() uint64 { return e.seq }
+
+// PendingEvents returns the number of events still queued. A checkpoint cut
+// is only valid when this is zero: all procs blocked, nothing in flight.
+func (e *Engine) PendingEvents() int { return len(e.events) }
+
+// RestoreClock sets the clock and event sequence counter on an engine that
+// has not yet run, so a forked run continues the original (time, seq)
+// ordering stream. Call before Run and before SetSampler.
+func (e *Engine) RestoreClock(now Time, seq uint64) {
+	e.now = now
+	e.seq = seq
+}
+
 // SetLimit aborts Run with an error if virtual time would exceed limit.
 // A limit of 0 (the default) means no limit.
 func (e *Engine) SetLimit(limit Time) { e.limit = limit }
@@ -187,7 +205,14 @@ func (e *Engine) SetSampler(every Time, fn func(boundary Time)) {
 	if every <= 0 {
 		panic("sim: SetSampler with non-positive interval")
 	}
-	e.sampler, e.sampleEvery, e.nextSample = fn, every, every
+	// On a restored clock (RestoreClock with now > 0) the boundaries at or
+	// before now already fired in the run being continued; the next one due
+	// is the first strict multiple of every past now.
+	next := every
+	if e.now > 0 {
+		next = every * (e.now/every + 1)
+	}
+	e.sampler, e.sampleEvery, e.nextSample = fn, every, next
 }
 
 // Schedule registers fn to run at virtual time at. If at is in the past it

@@ -64,6 +64,29 @@ func (e *Engine) NewProc(name string, start Time, body func(*Proc)) *Proc {
 	return p
 }
 
+// NewProcBlocked registers a proc that is born parked in Block(reason) with
+// the given reason id (-1 for none), as if it had run up to that Block call
+// already. No start event is scheduled: the proc's goroutine is spawned
+// lazily by the first Unblock-driven resume, at which point body runs from
+// the top — the caller arranges for body to be the continuation of the
+// blocked call. Used to restore proc state from a checkpoint, where the
+// original goroutine stacks cannot be captured.
+func (e *Engine) NewProcBlocked(name, reason string, id int, body func(*Proc)) *Proc {
+	p := &Proc{e: e, name: name, body: body, resume: make(chan struct{}), reasonID: id}
+	p.blocked = true
+	p.reason = reason
+	p.resumeFn = func() {
+		if !p.started {
+			e.startProc(p)
+			return
+		}
+		p.resume <- struct{}{}
+		<-e.yield
+	}
+	e.procs = append(e.procs, p)
+	return p
+}
+
 func (e *Engine) startProc(p *Proc) {
 	p.started = true
 	go func() {

@@ -11,9 +11,10 @@ import (
 // several workers (or several experiments) want the same configuration at
 // once, exactly one computes it and the rest wait for that computation.
 //
-// Only successful results are retained. A failed computation is handed to
-// every waiter that joined it, then forgotten, so a run aborted by
-// cancellation can be retried later.
+// Only successful results are retained. A failed computation is forgotten,
+// and waiters that had joined it retry with their own compute function — a
+// leader cancelled by its sweep's context cannot poison a follower from a
+// different sweep whose context is still live.
 type Memo struct {
 	mu sync.Mutex
 	m  map[Key]*memoEntry
@@ -34,25 +35,33 @@ func NewMemo() *Memo { return &Memo{m: map[Key]*memoEntry{}} }
 // computation) — emission of progress/CSV records keys off it so each run
 // is reported exactly once.
 func (m *Memo) Do(k Key, compute func() (*core.Result, error)) (res *core.Result, err error, fresh bool) {
-	m.mu.Lock()
-	if e, ok := m.m[k]; ok {
-		m.mu.Unlock()
-		<-e.done
-		return e.res, e.err, false
-	}
-	e := &memoEntry{done: make(chan struct{})}
-	m.m[k] = e
-	m.mu.Unlock()
-
-	e.res, e.err = compute()
-	if e.err != nil {
-		// Forget failures so a cancelled or aborted run can be retried.
+	for {
 		m.mu.Lock()
-		delete(m.m, k)
+		if e, ok := m.m[k]; ok {
+			m.mu.Unlock()
+			<-e.done
+			if e.err == nil {
+				return e.res, nil, false
+			}
+			// The leader failed (typically: its sweep was cancelled) and
+			// forgot its entry. Retry with our own compute — if this
+			// caller's context is also dead, its compute fails fast.
+			continue
+		}
+		e := &memoEntry{done: make(chan struct{})}
+		m.m[k] = e
 		m.mu.Unlock()
+
+		e.res, e.err = compute()
+		if e.err != nil {
+			// Forget failures so a cancelled or aborted run can be retried.
+			m.mu.Lock()
+			delete(m.m, k)
+			m.mu.Unlock()
+		}
+		close(e.done)
+		return e.res, e.err, true
 	}
-	close(e.done)
-	return e.res, e.err, true
 }
 
 // Len returns the number of cached results.

@@ -26,6 +26,11 @@ type Sink struct {
 	profs      *profSink
 	histograms bool
 
+	// faultCol adds the fault-variant column to every CSV schema and a
+	// variant tag to progress lines. On only for fault-grid sweeps, so
+	// grid-free output stays byte-identical to what it always was.
+	faultCol bool
+
 	// enriched switches progress lines to the metrics format: a
 	// completion counter prefix and per-run fault/traffic fields. The
 	// counter counts emissions, which happen in canonical sweep order, so
@@ -42,18 +47,18 @@ type Sink struct {
 // NewSink builds a sink. progress, csv, samples and profs may be nil;
 // histograms adds a latency-distribution line after each run record;
 // enriched selects the counter-prefixed progress format (the live-metrics
-// mode).
-func NewSink(progress, csv io.Writer, histograms bool, samples, profs io.Writer, enriched bool) *Sink {
+// mode); faultCol adds the fault-variant column (fault-grid sweeps).
+func NewSink(progress, csv io.Writer, histograms bool, samples, profs io.Writer, enriched, faultCol bool) *Sink {
 	s := &Sink{progress: progress, histograms: histograms, enriched: enriched,
-		ch: make(chan func(), 64), done: make(chan struct{})}
+		faultCol: faultCol, ch: make(chan func(), 64), done: make(chan struct{})}
 	if csv != nil {
-		s.csv = &csvSink{w: csv}
+		s.csv = &csvSink{w: csv, fault: faultCol}
 	}
 	if samples != nil {
-		s.samples = &sampleSink{w: samples}
+		s.samples = &sampleSink{w: samples, fault: faultCol}
 	}
 	if profs != nil {
-		s.profs = &profSink{w: profs}
+		s.profs = &profSink{w: profs, fault: faultCol}
 	}
 	go func() {
 		defer close(s.done)
@@ -78,13 +83,17 @@ func (s *Sink) Emit(k Key, res *core.Result) {
 			if k.Sequential {
 				fmt.Fprintf(s.progress, "%sseq  %-18s T=%v\n", prefix, k.App, res.Time)
 			} else {
+				tag := ""
+				if k.Fault != "" {
+					tag = " f=" + k.Fault
+				}
 				if s.enriched {
-					fmt.Fprintf(s.progress, "%srun  %-18s %-5s %4dB %-9s T=%v rf=%d wf=%d msgs=%d\n",
+					fmt.Fprintf(s.progress, "%srun  %-18s %-5s %4dB %-9s T=%v rf=%d wf=%d msgs=%d%s\n",
 						prefix, k.App, k.Protocol, k.Block, k.Notify, res.Time,
-						res.Total.ReadFaults, res.Total.WriteFaults, res.NetMsgs)
+						res.Total.ReadFaults, res.Total.WriteFaults, res.NetMsgs, tag)
 				} else {
-					fmt.Fprintf(s.progress, "run  %-18s %-5s %4dB %-9s T=%v\n",
-						k.App, k.Protocol, k.Block, k.Notify, res.Time)
+					fmt.Fprintf(s.progress, "run  %-18s %-5s %4dB %-9s T=%v%s\n",
+						k.App, k.Protocol, k.Block, k.Notify, res.Time, tag)
 				}
 				if s.histograms {
 					fault := FaultHist(res)
@@ -94,7 +103,7 @@ func (s *Sink) Emit(k Key, res *core.Result) {
 			}
 		}
 		if s.csv != nil && !k.Sequential {
-			s.csv.Write(res)
+			s.csv.Write(k, res)
 		}
 		if s.samples != nil && !k.Sequential && res.Samples != nil {
 			s.samples.Write(k, res)
@@ -172,22 +181,27 @@ type csvSink struct {
 	mu     sync.Mutex
 	w      io.Writer
 	header bool // header decision made
+	fault  bool // append the fault-variant column
 }
 
 // Write appends one record, emitting the header first if this sink has not
 // decided the header question yet.
-func (c *csvSink) Write(res *core.Result) {
+func (c *csvSink) Write(k Key, res *core.Result) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.header {
 		c.header = true
 		if !hasExistingData(c.w) {
-			fmt.Fprintln(c.w, csvHeader)
+			h := csvHeader
+			if c.fault {
+				h += ",fault"
+			}
+			fmt.Fprintln(c.w, h)
 		}
 	}
 	t := res.Total
 	fault := FaultHist(res)
-	fmt.Fprintf(c.w, "%s,%s,%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+	row := fmt.Sprintf("%s,%s,%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d",
 		res.App, res.Protocol, res.BlockSize, res.Notify, res.Nodes, int64(res.Time),
 		t.ReadFaults, t.WriteFaults, t.Invalidations, t.TwinsCreated, t.DiffsCreated,
 		t.WriteNoticesSent, t.LockAcquires, t.BarrierEntries, res.NetMsgs, res.NetBytes,
@@ -196,6 +210,10 @@ func (c *csvSink) Write(res *core.Result) {
 		t.LockWait.P50(), t.LockWait.P90(), t.LockWait.P99(),
 		res.Retransmits, res.WireDrops, res.Duplicates,
 		res.RetransmitLatency.P50(), res.RetransmitLatency.P99())
+	if c.fault {
+		row += "," + k.Fault
+	}
+	fmt.Fprintln(c.w, row)
 }
 
 // sampleSink writes each run's sampler time-series as CSV rows prefixed
@@ -207,10 +225,8 @@ type sampleSink struct {
 	mu     sync.Mutex
 	w      io.Writer
 	header bool
+	fault  bool
 }
-
-// sampleHeader prefixes the series schema with the run-key columns.
-const sampleHeader = "app,protocol,block,notify,nodes," + metrics.SeriesHeader
 
 // Write appends one run's series.
 func (c *sampleSink) Write(k Key, res *core.Result) {
@@ -219,11 +235,10 @@ func (c *sampleSink) Write(k Key, res *core.Result) {
 	if !c.header {
 		c.header = true
 		if !hasExistingData(c.w) {
-			fmt.Fprintln(c.w, sampleHeader)
+			fmt.Fprintln(c.w, keyHeader(c.fault)+metrics.SeriesHeader)
 		}
 	}
-	prefix := fmt.Sprintf("%s,%s,%d,%s,%d,", res.App, res.Protocol, res.BlockSize, res.Notify, res.Nodes)
-	c.w.Write(res.Samples.AppendRows(nil, prefix))
+	c.w.Write(res.Samples.AppendRows(nil, keyPrefix(k, res, c.fault)))
 }
 
 // profSink writes each run's sharing profile as CSV rows (one per region
@@ -234,10 +249,25 @@ type profSink struct {
 	mu     sync.Mutex
 	w      io.Writer
 	header bool
+	fault  bool
 }
 
-// profHeader prefixes the profiler schema with the run-key columns.
-const profHeader = "app,protocol,block,notify,nodes," + shareprof.CSVHeader
+// keyHeader is the run-key column prefix of the sample and profile
+// schemas, with the fault column appended on fault-grid sweeps.
+func keyHeader(fault bool) string {
+	if fault {
+		return "app,protocol,block,notify,nodes,fault,"
+	}
+	return "app,protocol,block,notify,nodes,"
+}
+
+// keyPrefix renders one run's key-column prefix.
+func keyPrefix(k Key, res *core.Result, fault bool) string {
+	if fault {
+		return fmt.Sprintf("%s,%s,%d,%s,%d,%s,", res.App, res.Protocol, res.BlockSize, res.Notify, res.Nodes, k.Fault)
+	}
+	return fmt.Sprintf("%s,%s,%d,%s,%d,", res.App, res.Protocol, res.BlockSize, res.Notify, res.Nodes)
+}
 
 // Write appends one run's sharing profile.
 func (c *profSink) Write(k Key, res *core.Result) {
@@ -246,11 +276,10 @@ func (c *profSink) Write(k Key, res *core.Result) {
 	if !c.header {
 		c.header = true
 		if !hasExistingData(c.w) {
-			fmt.Fprintln(c.w, profHeader)
+			fmt.Fprintln(c.w, keyHeader(c.fault)+shareprof.CSVHeader)
 		}
 	}
-	prefix := fmt.Sprintf("%s,%s,%d,%s,%d,", res.App, res.Protocol, res.BlockSize, res.Notify, res.Nodes)
-	c.w.Write(res.Sharing.AppendRows(nil, prefix))
+	c.w.Write(res.Sharing.AppendRows(nil, keyPrefix(k, res, c.fault)))
 }
 
 // hasExistingData reports whether w is a seekable file that already holds

@@ -47,6 +47,11 @@ type Key struct {
 	// Sequential marks the uninstrumented one-node baseline run used as
 	// the numerator of speedups.
 	Sequential bool
+	// Fault names the point's variant of the engine's fault grid
+	// (Options.FaultGrid); empty outside grid sweeps. Points differing
+	// only in Fault share their entire pre-fault warmup, which is what the
+	// fork planner exploits.
+	Fault string
 }
 
 // Seq returns the sequential-baseline key for app.
@@ -56,7 +61,11 @@ func (k Key) String() string {
 	if k.Sequential {
 		return fmt.Sprintf("%s/seq", k.App)
 	}
-	return fmt.Sprintf("%s/%s/%d/%s/%dp", k.App, k.Protocol, k.Block, k.Notify, k.Nodes)
+	s := fmt.Sprintf("%s/%s/%d/%s/%dp", k.App, k.Protocol, k.Block, k.Notify, k.Nodes)
+	if k.Fault != "" {
+		s += "/" + k.Fault
+	}
+	return s
 }
 
 // Spec describes a cross-product of runs: every listed application under
@@ -73,6 +82,10 @@ type Spec struct {
 	// Baselines additionally schedules each app's sequential baseline
 	// (before the app's matrix points, so speedups can be derived).
 	Baselines bool
+	// Faults lists fault-grid variant names (Options.FaultGrid): each
+	// matrix point expands into one run per variant, innermost, so a
+	// prefix group's points are adjacent in canonical order.
+	Faults []string
 }
 
 // Points expands the spec in canonical sweep order: for each app (baseline
@@ -88,7 +101,15 @@ func (s Spec) Points() []Key {
 		for _, p := range s.Protocols {
 			for _, g := range s.Granularities {
 				for _, n := range s.Notifies {
-					pts = append(pts, Key{App: app, Protocol: p, Block: g, Notify: n, Nodes: s.Nodes})
+					k := Key{App: app, Protocol: p, Block: g, Notify: n, Nodes: s.Nodes}
+					if len(s.Faults) == 0 {
+						pts = append(pts, k)
+						continue
+					}
+					for _, f := range s.Faults {
+						k.Fault = f
+						pts = append(pts, k)
+					}
 				}
 			}
 		}
@@ -157,6 +178,18 @@ type Options struct {
 	// seed, so runs stay independent and the sweep remains byte-identical
 	// at any parallelism.
 	Faults *faults.Plan
+	// FaultGrid holds the named fault variants grid points select with
+	// Key.Fault. When a point carries a Fault name, its variant's plan
+	// replaces Faults for that run. With a grid attached, the CSV, sample
+	// and profile sinks gain a fault column.
+	FaultGrid []FaultVariant
+	// Fork shares warmup prefixes across fault-grid points: each group of
+	// points differing only in Fault runs its pre-fault prefix once (to a
+	// checkpoint at the grid's earliest start barrier) and forks per
+	// variant. Output is byte-identical to flat execution; points the
+	// checkpointer cannot honor (non-resumable app, ungated plan, sharing
+	// profiler attached) silently fall back to flat runs.
+	Fork bool
 }
 
 // Engine runs sweeps. It owns the memo and the output sink, so one Engine
@@ -165,6 +198,7 @@ type Options struct {
 type Engine struct {
 	opts Options
 	memo *Memo
+	cps  *cpMemo
 	sink *Sink
 }
 
@@ -179,8 +213,10 @@ func New(opts Options) *Engine {
 	return &Engine{
 		opts: opts,
 		memo: NewMemo(),
+		cps:  &cpMemo{},
 		sink: NewSink(opts.Progress, opts.CSV, opts.Histograms,
-			opts.SampleCSV, opts.ProfCSV, opts.Metrics != nil),
+			opts.SampleCSV, opts.ProfCSV, opts.Metrics != nil,
+			len(opts.FaultGrid) > 0),
 	}
 }
 
@@ -332,9 +368,14 @@ feed:
 	return results, firstErr
 }
 
-// compute executes one run.
+// compute executes one run, through a shared-prefix fork when the point is
+// eligible and through the ordinary flat path otherwise.
 func (e *Engine) compute(ctx context.Context, k Key) (*core.Result, error) {
 	entry, err := apps.Get(k.App)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := e.planFor(k)
 	if err != nil {
 		return nil, err
 	}
@@ -347,15 +388,26 @@ func (e *Engine) compute(ctx context.Context, k Key) (*core.Result, error) {
 		cfg.BlockSize = k.Block
 		cfg.Protocol = k.Protocol
 		cfg.Notify = k.Notify
-		cfg.Faults = e.opts.Faults
+		cfg.Faults = plan
 		cfg.ShareProfile = e.opts.ShareProfile
+	}
+	app := entry.New(e.opts.Size)
+	verify := e.opts.Verify || e.opts.Size == apps.Small
+	if epoch := e.forkEpoch(); epoch > 0 && e.forkable(k, app, plan, epoch) {
+		res, err := e.computeForked(ctx, k, cfg, app, epoch, verify)
+		if err == nil || ctx.Err() != nil {
+			return res, err
+		}
+		// The fork path failed for a reason other than cancellation (the
+		// app finished before the cut, events in flight at the barrier,
+		// ...): rerun flat. The flat path is the correctness baseline, so
+		// a genuine simulation error reproduces there.
 	}
 	m, err := core.NewMachine(cfg)
 	if err != nil {
 		return nil, err
 	}
-	app := entry.New(e.opts.Size)
-	if e.opts.Verify || e.opts.Size == apps.Small {
+	if verify {
 		return m.RunVerifiedContext(ctx, app)
 	}
 	return m.RunContext(ctx, app)

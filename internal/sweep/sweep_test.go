@@ -263,7 +263,7 @@ func TestCSVSinkHeaderOnceConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c.Write(res)
+			c.Write(Key{}, res)
 		}()
 	}
 	wg.Wait()
@@ -295,7 +295,7 @@ func TestCSVSinkAppendAware(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	(&csvSink{w: f}).Write(res)
+	(&csvSink{w: f}).Write(Key{}, res)
 	f.Close()
 
 	// Second invocation, same append-mode pattern: no second header.
@@ -303,7 +303,7 @@ func TestCSVSinkAppendAware(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	(&csvSink{w: f}).Write(res)
+	(&csvSink{w: f}).Write(Key{}, res)
 	f.Close()
 
 	data, err := os.ReadFile(path)
@@ -320,7 +320,7 @@ func TestCSVSinkAppendAware(t *testing.T) {
 
 func TestSinkSerializesLogf(t *testing.T) {
 	var buf bytes.Buffer
-	s := NewSink(&buf, nil, false, nil, nil, false)
+	s := NewSink(&buf, nil, false, nil, nil, false, false)
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		i := i
@@ -347,7 +347,7 @@ func TestSinkSerializesLogf(t *testing.T) {
 
 func TestSinkEmitAfterClose(t *testing.T) {
 	var buf bytes.Buffer
-	s := NewSink(&buf, nil, false, nil, nil, false)
+	s := NewSink(&buf, nil, false, nil, nil, false, false)
 	s.Close()
 	s.Logf("late") // must not panic; degrades to synchronous
 	if !bytes.Contains(buf.Bytes(), []byte("late")) {

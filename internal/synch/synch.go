@@ -11,6 +11,7 @@ package synch
 
 import (
 	"fmt"
+	"sort"
 
 	"dsmsim/internal/network"
 	"dsmsim/internal/proto"
@@ -71,6 +72,19 @@ type Sync struct {
 	// Barrier state (master is node 0).
 	barCount int
 	barVCs   []proto.VC
+
+	// epoch counts completed global barriers (1-based: it becomes 1 when
+	// every node has arrived at the first barrier).
+	epoch int
+
+	// OnBarrierFull, when set, fires in engine context the instant the
+	// last node arrives at a barrier — after the epoch counter advances,
+	// before any release message is sent. This is the simulator's one
+	// quiescent cut point: every proc is blocked in the barrier and the
+	// event queue is empty. Core uses it to arm StartAtBarrier fault plans
+	// and to capture checkpoints. Returning true suppresses the release
+	// (the run is being cut here); the caller then stops the engine.
+	OnBarrierFull func(epoch int) bool
 }
 
 // New creates the manager. The protocol must be set with SetProtocol before
@@ -313,7 +327,25 @@ func (s *Sync) handleBarArrive(m *network.Msg) {
 	if s.barCount < s.env.Nodes() {
 		return
 	}
-	// All arrived: merge and release everyone.
+	s.epoch++
+	if s.OnBarrierFull != nil && s.OnBarrierFull(s.epoch) {
+		return // cut here: the caller stops the engine, no release goes out
+	}
+	s.releaseBarrier()
+}
+
+// Epoch returns the number of completed global barriers.
+func (s *Sync) Epoch() int { return s.epoch }
+
+// ReleaseBarrier sends the pending barrier releases. It is exported for
+// checkpoint restore: a forked run restores the all-arrived barrier state
+// and replays the release exactly where the original run would have sent
+// it, consuming the same event sequence numbers.
+func (s *Sync) ReleaseBarrier() { s.releaseBarrier() }
+
+// releaseBarrier merges the arrival clocks and releases every node. Called
+// with barCount == Nodes and barVCs fully populated.
+func (s *Sync) releaseBarrier() {
 	n := s.env.Nodes()
 	uses := s.proto.UsesIntervals()
 	var merged proto.VC
@@ -342,6 +374,88 @@ func (s *Sync) handleBarArrive(m *network.Msg) {
 	}
 	s.barCount = 0
 	s.barVCs = nil
+}
+
+// State is a deep snapshot of the synchronization layer at a barrier cut:
+// the lock table (held/holder/last-releaser plus queued waiters and their
+// clocks), the fully populated barrier-arrival state, and the epoch
+// counter. Opaque outside this package; reusable across any number of
+// forks.
+type State struct {
+	locks    map[int]*lockState
+	barCount int
+	barVCs   []proto.VC
+	epoch    int
+}
+
+func cloneLocks(src map[int]*lockState) map[int]*lockState {
+	dst := make(map[int]*lockState, len(src))
+	for id, st := range src {
+		cp := &lockState{held: st.held, holder: st.holder, lastReleaser: st.lastReleaser}
+		for _, w := range st.queue {
+			cp.queue = append(cp.queue, waiter{node: w.node, vc: w.vc.Clone()})
+		}
+		dst[id] = cp
+	}
+	return dst
+}
+
+// CaptureState snapshots the manager.
+func (s *Sync) CaptureState() *State {
+	st := &State{
+		locks:    cloneLocks(s.locks),
+		barCount: s.barCount,
+		epoch:    s.epoch,
+	}
+	if s.barVCs != nil {
+		st.barVCs = make([]proto.VC, len(s.barVCs))
+		for i, vc := range s.barVCs {
+			st.barVCs[i] = vc.Clone()
+		}
+	}
+	return st
+}
+
+// RestoreState applies a snapshot to a freshly built manager (re-cloned,
+// so the snapshot stays pristine). Follow with ReleaseBarrier to replay
+// the release the cut suppressed.
+func (s *Sync) RestoreState(st *State) {
+	s.locks = cloneLocks(st.locks)
+	s.barCount = st.barCount
+	s.epoch = st.epoch
+	s.barVCs = nil
+	if st.barVCs != nil {
+		s.barVCs = make([]proto.VC, len(st.barVCs))
+		for i, vc := range st.barVCs {
+			s.barVCs[i] = vc.Clone()
+		}
+	}
+}
+
+// AddToDigest folds the snapshot into d (sorted lock ids, so equal states
+// digest equal).
+func (st *State) AddToDigest(d *proto.Digest) {
+	ids := make([]int, 0, len(st.locks))
+	for id := range st.locks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		l := st.locks[id]
+		d.Int(id)
+		d.Bool(l.held)
+		d.Int(l.holder)
+		d.Int(l.lastReleaser)
+		for _, w := range l.queue {
+			d.Int(w.node)
+			w.vc.AddToDigest(d)
+		}
+	}
+	d.Int(st.barCount)
+	d.Int(st.epoch)
+	for _, vc := range st.barVCs {
+		vc.AddToDigest(d)
+	}
 }
 
 func (s *Sync) handleBarRelease(m *network.Msg) {

@@ -1,6 +1,14 @@
 package dsmsim
 
-import "io"
+import (
+	"io"
+
+	"dsmsim/internal/sweep"
+)
+
+// FaultVariant names one fault plan of a WithFaultGrid grid. A nil Plan is
+// the healthy-machine member of the grid.
+type FaultVariant = sweep.FaultVariant
 
 // options collects everything the functional options can configure. Start
 // and Sweep share one option vocabulary: the settings that describe a run
@@ -19,6 +27,8 @@ type options struct {
 	trace     io.Writer
 	traceJSON io.Writer
 	// Sweep only.
+	faultGrid  []FaultVariant
+	fork       bool
 	workers    int
 	progress   io.Writer
 	csv        io.Writer
@@ -64,6 +74,28 @@ func WithVerify(v ...bool) Option {
 // plan leaves the machine byte-identical to the fault-free one; the same
 // plan (same FaultSeed) reproduces a run bit-for-bit.
 func WithFaults(p *FaultPlan) Option { return func(c *options) { c.faults = p } }
+
+// WithFaultGrid expands every matrix point of the sweep into one run per
+// named fault variant (fault-sensitivity studies: the same configuration
+// under "none", "lossy", "jittery", ... plans). Variant names must be
+// unique and non-empty; a nil plan is the healthy-machine member. With a
+// grid attached, the CSV, sample and profile schemas gain a trailing
+// fault column, progress lines a f=<name> tag, and WithFaults is ignored
+// for grid points. Sweep only.
+func WithFaultGrid(variants ...FaultVariant) Option {
+	return func(c *options) { c.faultGrid = variants }
+}
+
+// WithFork shares warmup prefixes across WithFaultGrid points: each group
+// of runs differing only in the fault variant executes its pre-fault
+// prefix once — to a checkpoint at the grid's earliest start barrier
+// (plans gated with start=K are dormant before their K-th barrier) — and
+// forks the checkpoint per variant. All output stays byte-identical to
+// flat execution at any parallelism; points the checkpoint machinery
+// cannot honor (non-barrier-structured app, ungated plan, sharing
+// profiler attached) silently run flat. Sweep only; requires
+// WithFaultGrid with at least two forkable variants to have any effect.
+func WithFork() Option { return func(c *options) { c.fork = true } }
 
 // WithLimit bounds each run's virtual time (0 keeps the generous
 // default).

@@ -41,10 +41,19 @@ type SweepRun struct {
 	Result *Result
 }
 
+// ForkStats summarizes what WithFork bought a sweep: distinct warmup
+// prefixes simulated, runs forked from them, and an estimate of the
+// warmup re-simulation wall time avoided.
+type ForkStats = sweep.ForkStats
+
 // SweepResult is the outcome of a sweep, in canonical sweep order
 // (per app: baseline first, then protocols × granularities × notify modes).
 type SweepResult struct {
 	Runs []SweepRun
+
+	// Fork holds the prefix-sharing counters when WithFork was in effect
+	// (zero otherwise — including when forking was on but never engaged).
+	Fork ForkStats
 
 	baselines map[string]Time
 }
@@ -63,11 +72,25 @@ func (r *SweepResult) Speedup(run SweepRun) float64 {
 }
 
 // Get returns the result for one configuration, or nil if the sweep did
-// not include it.
+// not include it. Under a fault grid it returns the first variant's run;
+// use GetFault to select a specific variant.
 func (r *SweepResult) Get(app, protocol string, block int, notify Notify) *Result {
 	for _, run := range r.Runs {
 		p := run.Point
 		if !p.Sequential && p.App == app && p.Protocol == protocol && p.Block == block && p.Notify == notify {
+			return run.Result
+		}
+	}
+	return nil
+}
+
+// GetFault returns the result for one configuration under one fault-grid
+// variant, or nil if the sweep did not include it.
+func (r *SweepResult) GetFault(app, protocol string, block int, notify Notify, fault string) *Result {
+	for _, run := range r.Runs {
+		p := run.Point
+		if !p.Sequential && p.App == app && p.Protocol == protocol && p.Block == block &&
+			p.Notify == notify && p.Fault == fault {
 			return run.Result
 		}
 	}
@@ -109,6 +132,20 @@ func Sweep(ctx context.Context, spec SweepSpec, opts ...Option) (*SweepResult, e
 	if c.verify != nil {
 		verify = *c.verify
 	}
+	var faultNames []string
+	if len(c.faultGrid) > 0 {
+		seen := map[string]bool{}
+		for _, v := range c.faultGrid {
+			if v.Name == "" {
+				return nil, fmt.Errorf("dsmsim: sweep: fault-grid variant with empty name")
+			}
+			if seen[v.Name] {
+				return nil, fmt.Errorf("dsmsim: sweep: duplicate fault-grid variant %q", v.Name)
+			}
+			seen[v.Name] = true
+			faultNames = append(faultNames, v.Name)
+		}
+	}
 	eng := sweep.New(sweep.Options{
 		Size:        spec.Size,
 		Workers:     c.workers,
@@ -121,6 +158,8 @@ func Sweep(ctx context.Context, spec SweepSpec, opts ...Option) (*SweepResult, e
 		SampleCSV:   c.sampleCSV,
 		Metrics:     c.metrics,
 		Faults:      c.faults,
+		FaultGrid:   c.faultGrid,
+		Fork:        c.fork,
 
 		ShareProfile: c.shareProfile,
 		ProfCSV:      c.profCSV,
@@ -132,12 +171,13 @@ func Sweep(ctx context.Context, spec SweepSpec, opts ...Option) (*SweepResult, e
 		Notifies:      spec.Notify,
 		Nodes:         spec.Nodes,
 		Baselines:     !spec.SkipBaselines,
+		Faults:        faultNames,
 	}.Points())
 	results, err := eng.Run(ctx, points)
 	if err != nil {
 		return nil, fmt.Errorf("dsmsim: sweep: %w", err)
 	}
-	out := &SweepResult{baselines: map[string]Time{}}
+	out := &SweepResult{Fork: eng.ForkStats(), baselines: map[string]Time{}}
 	for i, p := range points {
 		out.Runs = append(out.Runs, SweepRun{Point: p, Result: results[i]})
 		if p.Sequential && results[i] != nil {
