@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test test-short bench bench-json bench-sweep examples paper verify-paper trace-demo sweep-demo metrics-demo faults-demo prof-demo scale-demo fork-demo clean
+.PHONY: all test test-short bench bench-json bench-sweep examples paper verify-paper trace-demo sweep-demo metrics-demo faults-demo prof-demo crit-demo scale-demo fork-demo clean
 
 all: test
 
@@ -111,6 +111,19 @@ prof-demo:
 	$(GO) run ./cmd/dsmbench -exp sharing -nodes 16 -size small \
 		-progress=false
 
+# Demonstrate the critical-path profiler: one LU run with the recovered
+# path's component/node/region report, the same run under a what-if
+# (halved wire latency) printing the path-predicted speedup next to the
+# re-simulated ground truth, then the path-composition table across the
+# protocol × granularity matrix.
+crit-demo:
+	$(GO) run ./cmd/dsmrun -app lu -protocol hlrc -block 4096 -nodes 8 \
+		-crit -crit-top 3
+	$(GO) run ./cmd/dsmrun -app lu -protocol hlrc -block 4096 -nodes 8 \
+		-whatif msg=0.5
+	$(GO) run ./cmd/dsmbench -exp critpath -nodes 16 -size small \
+		-progress=false
+
 # Demonstrate the lifted node ceiling: verified FFT + LU sweep at 256
 # nodes under every protocol, then a single verified 1024-node LU run.
 # Sparse directory tables and compact copysets keep protocol metadata
@@ -142,4 +155,5 @@ fork-demo:
 clean:
 	rm -f results.csv trace.json sweep_p1.txt sweep_pN.txt sweep_p1.csv sweep_pN.csv \
 		metrics_demo.csv metrics_demo.json prof_p1.csv prof_p8.csv \
+		crit_p1.csv crit_p8.csv \
 		fork_flat.csv fork_forked.csv bench_sweep_raw.txt

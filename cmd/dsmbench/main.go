@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"dsmsim/internal/apps"
+	"dsmsim/internal/critpath"
 	"dsmsim/internal/faults"
 	"dsmsim/internal/harness"
 	"dsmsim/internal/metrics"
@@ -51,6 +52,10 @@ func main() {
 
 		prof    = flag.Bool("prof", false, "attach the sharing-pattern profiler to every matrix run")
 		profCSV = flag.String("prof-csv", "", "append every run's sharing profile as CSV to this file (implies -prof)")
+
+		crit    = flag.Bool("crit", false, "attach the critical-path profiler to every matrix run")
+		critCSV = flag.String("crit-csv", "", "append every run's critical-path component row as CSV to this file (implies -crit)")
+		whatIf  = flag.String("whatif", "", "rescale one machine cost class on every matrix run, e.g. 'lock=0.5' (tables show the rescaled machine)")
 
 		sampleEvery  = flag.Duration("sample-every", 0, "virtual-time metrics sampling interval (e.g. 100us; 0 = off)")
 		sampleCSV    = flag.String("sample-csv", "", "append every run's sampler time-series to this file (needs -sample-every)")
@@ -147,6 +152,22 @@ func main() {
 		}
 		defer f.Close()
 		opts.ProfCSV = f
+	}
+	opts.CritPath = *crit || *critCSV != ""
+	if *critCSV != "" {
+		f, err := os.OpenFile(*critCSV, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		opts.CritCSV = f
+	}
+	if *whatIf != "" {
+		scale, err := critpath.ParseScale(*whatIf)
+		if err != nil {
+			fatal(err)
+		}
+		opts.WhatIf = scale
 	}
 	if *metricsAddr != "" {
 		reg := metrics.NewRegistry()

@@ -52,6 +52,11 @@ func main() {
 		profCSV = flag.String("prof-csv", "", "write sharing profiles as CSV to this file (implies -prof; appends for sweeps)")
 		profTop = flag.Int("prof-top", 10, "regions shown in the single-run sharing report (0 = all)")
 
+		crit    = flag.Bool("crit", false, "attach the critical-path profiler (exact longest dependency chain, attributed per component/node/region)")
+		critCSV = flag.String("crit-csv", "", "write critical-path component rows as CSV to this file (implies -crit; appends for sweeps)")
+		critTop = flag.Int("crit-top", 5, "nodes/regions shown in the single-run critical-path report (0 = all)")
+		whatIf  = flag.String("whatif", "", "what-if analysis: rescale one cost class (compute, msg, svc, lock, barrier) and re-simulate, e.g. 'lock=0.5'; single runs print predicted vs measured speedup")
+
 		sampleEvery = flag.Duration("sample-every", 0, "virtual-time metrics sampling interval (e.g. 100us; 0 = off)")
 		sampleCSV   = flag.String("sample-csv", "", "write the sampler time-series as CSV to this file (needs -sample-every)")
 		sampleJSON  = flag.String("sample-json", "", "write Chrome-trace counter tracks to this file (single runs only; needs -sample-every)")
@@ -97,19 +102,31 @@ func main() {
 	if *profCSV != "" {
 		*prof = true
 	}
+	if *critCSV != "" {
+		*crit = true
+	}
+	var scale *dsmsim.CritScale
+	if *whatIf != "" {
+		var err error
+		if scale, err = dsmsim.ParseWhatIf(*whatIf); err != nil {
+			fatal(err)
+		}
+	}
 	if points == 1 && len(grid) == 0 {
 		if *metricsAddr != "" {
 			fatal(fmt.Errorf("-metrics-addr applies to sweeps only (1 configuration selected)"))
 		}
 		runOne(ctx, spec, plan, *verify, *static, *trace, *traceJS,
-			dsmsim.Time(*sampleEvery), *sampleCSV, *sampleJSON, *prof, *profCSV, *profTop)
+			dsmsim.Time(*sampleEvery), *sampleCSV, *sampleJSON, *prof, *profCSV, *profTop,
+			*crit, *critCSV, *critTop, scale)
 		return
 	}
 	if *static || *trace != "" || *traceJS != "" || *sampleJSON != "" {
 		fatal(fmt.Errorf("-static-homes/-trace/-trace-json/-sample-json apply to single runs only (%d configurations selected)", points))
 	}
 	runSweep(ctx, spec, plan, grid, *fork, *verify, *parallel, *csvPath,
-		dsmsim.Time(*sampleEvery), *sampleCSV, *metricsAddr, *prof, *profCSV)
+		dsmsim.Time(*sampleEvery), *sampleCSV, *metricsAddr, *prof, *profCSV,
+		*crit, *critCSV, scale)
 }
 
 // parseGrid parses the -fault-grid syntax: semicolon-separated
@@ -167,7 +184,8 @@ func faultPlan(spec string, seed uint64, straggler string) *dsmsim.FaultPlan {
 // runSweep fans the cross product out over the worker pool and prints one
 // speedup row per configuration.
 func runSweep(ctx context.Context, spec dsmsim.SweepSpec, plan *dsmsim.FaultPlan, grid []dsmsim.FaultVariant, fork, verify bool, parallel int, csvPath string,
-	sampleEvery dsmsim.Time, sampleCSV, metricsAddr string, prof bool, profCSV string) {
+	sampleEvery dsmsim.Time, sampleCSV, metricsAddr string, prof bool, profCSV string,
+	crit bool, critCSV string, whatIf *dsmsim.CritScale) {
 	opts := []dsmsim.Option{
 		dsmsim.WithParallelism(parallel),
 		dsmsim.WithProgress(os.Stderr),
@@ -189,6 +207,20 @@ func runSweep(ctx context.Context, spec dsmsim.SweepSpec, plan *dsmsim.FaultPlan
 		}
 		defer f.Close()
 		opts = append(opts, dsmsim.WithProfCSV(f))
+	}
+	if crit {
+		opts = append(opts, dsmsim.WithCritPath())
+	}
+	if critCSV != "" {
+		f, err := os.OpenFile(critCSV, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		opts = append(opts, dsmsim.WithCritCSV(f))
+	}
+	if whatIf != nil {
+		opts = append(opts, dsmsim.WithWhatIf(whatIf))
 	}
 	if plan != nil {
 		opts = append(opts, dsmsim.WithFaults(plan))
@@ -271,9 +303,15 @@ func printForkSummary(fs dsmsim.ForkStats, wall time.Duration) {
 
 // runOne executes a single configuration with the full statistics dump.
 func runOne(ctx context.Context, spec dsmsim.SweepSpec, plan *dsmsim.FaultPlan, verify, static bool, trace, traceJS string,
-	sampleEvery dsmsim.Time, sampleCSV, sampleJSON string, prof bool, profCSV string, profTop int) {
+	sampleEvery dsmsim.Time, sampleCSV, sampleJSON string, prof bool, profCSV string, profTop int,
+	crit bool, critCSV string, critTop int, whatIf *dsmsim.CritScale) {
 	if (sampleCSV != "" || sampleJSON != "") && sampleEvery <= 0 {
 		fatal(fmt.Errorf("-sample-csv/-sample-json need -sample-every"))
+	}
+	if whatIf != nil {
+		// The what-if comparison needs the baseline's critical path for
+		// its prediction.
+		crit = true
 	}
 	cfg := dsmsim.Config{
 		Nodes: spec.Nodes, BlockSize: spec.Granularities[0], Protocol: spec.Protocols[0],
@@ -282,6 +320,9 @@ func runOne(ctx context.Context, spec dsmsim.SweepSpec, plan *dsmsim.FaultPlan, 
 	opts := []dsmsim.Option{dsmsim.WithVerify(verify)}
 	if prof {
 		opts = append(opts, dsmsim.WithShareProfile())
+	}
+	if crit {
+		opts = append(opts, dsmsim.WithCritPath())
 	}
 	if plan != nil {
 		opts = append(opts, dsmsim.WithFaults(plan))
@@ -373,6 +414,43 @@ func runOne(ctx context.Context, spec dsmsim.SweepSpec, plan *dsmsim.FaultPlan, 
 		}
 	}
 
+	if res.CritPath != nil {
+		var rep strings.Builder
+		res.CritPath.WriteText(&rep, critTop)
+		fmt.Print("  " + strings.ReplaceAll(strings.TrimSuffix(rep.String(), "\n"), "\n", "\n  ") + "\n")
+		if critCSV != "" {
+			f, err := os.Create(critCSV)
+			if err != nil {
+				fatal(err)
+			}
+			if err := res.CritPath.WriteCSV(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if whatIf != nil {
+		wiApp, err := dsmsim.NewApp(spec.Apps[0], spec.Size)
+		if err != nil {
+			fatal(err)
+		}
+		wopts := []dsmsim.Option{dsmsim.WithVerify(verify), dsmsim.WithWhatIf(whatIf)}
+		if plan != nil {
+			wopts = append(wopts, dsmsim.WithFaults(plan))
+		}
+		wres, err := dsmsim.Start(ctx, cfg, wiApp, wopts...)
+		if err != nil {
+			fatal(err)
+		}
+		pred := res.CritPath.Predict(whatIf)
+		fmt.Printf("  what-if %s:\n", whatIf)
+		fmt.Printf("    baseline        %14v\n", res.Time)
+		fmt.Printf("    path-predicted  %14v  (%.3fx speedup)\n", pred, ratio(res.Time, pred))
+		fmt.Printf("    re-simulated    %14v  (%.3fx speedup)\n", wres.Time, ratio(res.Time, wres.Time))
+	}
+
 	if sampleCSV != "" {
 		if err := writeSamples(sampleCSV, res, (*dsmsim.Series).WriteCSV); err != nil {
 			fatal(err)
@@ -383,6 +461,14 @@ func runOne(ctx context.Context, spec dsmsim.SweepSpec, plan *dsmsim.FaultPlan, 
 			fatal(err)
 		}
 	}
+}
+
+// ratio guards the x/y speedup display against a zero counterfactual.
+func ratio(x, y dsmsim.Time) float64 {
+	if y == 0 {
+		return 0
+	}
+	return float64(x) / float64(y)
 }
 
 // printPhases renders the phase-resolved cost breakdown (the paper's

@@ -41,6 +41,7 @@ import (
 
 	"dsmsim/internal/apps"
 	"dsmsim/internal/core"
+	"dsmsim/internal/critpath"
 	"dsmsim/internal/metrics"
 	"dsmsim/internal/network"
 	"dsmsim/internal/shareprof"
@@ -101,7 +102,25 @@ type (
 	// SharingClass is a block's sharing-taxonomy classification
 	// (private, read-only, producer-consumer, migratory, write-shared).
 	SharingClass = shareprof.Class
+	// CritReport is the critical-path profiler's per-run report
+	// (Result.CritPath under WithCritPath): the exact longest dependency
+	// chain's component composition, top nodes and top heap regions, and
+	// the what-if speedup predictor (Predict), renderable as text
+	// (WriteText) or CSV (WriteCSV).
+	CritReport = critpath.Report
+	// CritComponent labels one class of critical-path time (compute,
+	// msg-wire, lock-wait, …); CritReport.Components indexes by it.
+	CritComponent = critpath.Component
+	// CritScale is a what-if rescaling of one machine cost class, applied
+	// with WithWhatIf and predicted from a baseline with
+	// CritReport.Predict. Build from a spec string with ParseWhatIf.
+	CritScale = critpath.Scale
 )
+
+// ParseWhatIf parses a what-if spec "class=factor" — e.g. "lock=0.5"
+// (halve lock-protocol costs), "msg=0" (free wire transit) — where class
+// is one of compute, msg, svc, lock, barrier and factor is in [0, 100].
+func ParseWhatIf(spec string) (*CritScale, error) { return critpath.ParseScale(spec) }
 
 // NewMetrics creates a live metrics registry for WithMetrics.
 func NewMetrics() *Metrics { return metrics.NewRegistry() }

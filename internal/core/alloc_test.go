@@ -10,14 +10,16 @@ import (
 // block has been validated and no tag in the space has changed, repeated
 // accesses to it must not allocate (and must not fault). The measurement
 // runs inside the app's proc body, where access is ordinarily called.
+// The matrix covers both observers: the sharing profiler and the
+// critical-path profiler, each off (nil hook fields) and on.
 func TestAccessNoFaultZeroAlloc(t *testing.T) {
 	for _, proto := range []string{SC, SWLRC, HLRC} {
-		for _, profiled := range []bool{false, true} {
-			proto, profiled := proto, profiled
-			name := proto
-			if profiled {
-				name += "/profiled"
-			}
+		for _, obs := range []struct {
+			name           string
+			prof, critpath bool
+		}{{"", false, false}, {"/profiled", true, false}, {"/critpath", false, true}} {
+			proto, obs := proto, obs
+			name := proto + obs.name
 			t.Run(name, func(t *testing.T) {
 				var addr int
 				var reads, writes float64
@@ -43,7 +45,8 @@ func TestAccessNoFaultZeroAlloc(t *testing.T) {
 				}
 				m, err := NewMachine(Config{
 					Nodes: 1, BlockSize: 1024, Protocol: proto,
-					Limit: 100 * sim.Second, ShareProfile: profiled,
+					Limit: 100 * sim.Second,
+					ShareProfile: obs.prof, CritPath: obs.critpath,
 				})
 				if err != nil {
 					t.Fatal(err)

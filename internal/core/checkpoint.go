@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"dsmsim/internal/critpath"
 	"dsmsim/internal/mem"
 	"dsmsim/internal/metrics"
 	"dsmsim/internal/network"
@@ -54,6 +55,7 @@ type Checkpoint struct {
 	writers    []proto.Copyset
 	phases     *metrics.PhaseState
 	sampler    *metrics.SamplerState
+	crit       *critpath.State
 
 	stolen    []sim.Time
 	barStart  []sim.Time
@@ -97,14 +99,14 @@ func sigOf(cfg *Config) runSig {
 }
 
 // checkpointable rejects configurations whose side state a checkpoint does
-// not carry (trace streams, sharing profiles) or that never reach a global
-// barrier (sequential baselines).
+// not carry (sharing profiles) or that never reach a global barrier
+// (sequential baselines). Tracing is fork-compatible: the prefix run
+// flushes its trace at the cut and each fork writes its own suffix stream,
+// so concatenating prefix and suffix reproduces the flat run's trace.
 func checkpointable(cfg *Config) error {
 	switch {
 	case cfg.Sequential:
 		return fmt.Errorf("%w: sequential baseline", ErrNotResumable)
-	case cfg.Trace != nil || cfg.TraceJSON != nil:
-		return fmt.Errorf("%w: tracing attached", ErrNotResumable)
 	case cfg.ShareProfile:
 		return fmt.Errorf("%w: sharing profiler attached", ErrNotResumable)
 	}
@@ -121,6 +123,10 @@ func (cp *Checkpoint) compatible(cfg *Config, appName string) error {
 	}
 	if sig := sigOf(cfg); sig != cp.sig {
 		return fmt.Errorf("%w: config %+v differs from checkpoint %+v", ErrNotResumable, sig, cp.sig)
+	}
+	if (cp.crit != nil) != cfg.CritPath {
+		return fmt.Errorf("%w: critical-path profiling differs (checkpoint %v, run %v)",
+			ErrNotResumable, cp.crit != nil, cfg.CritPath)
 	}
 	return nil
 }
@@ -157,7 +163,7 @@ func (m *Machine) RunFromCheckpoint(ctx context.Context, cp *Checkpoint, app App
 	if err != nil {
 		return nil, err
 	}
-	r.sy.ReleaseBarrier()
+	r.releaseFromCut()
 	return r.finish(r.engine.Run())
 }
 
@@ -176,8 +182,20 @@ func (m *Machine) RunToBarrierFrom(ctx context.Context, cp *Checkpoint, app App,
 	}
 	r.captureEpoch = k
 	r.sy.OnBarrierFull = r.barrierHook
-	r.sy.ReleaseBarrier()
+	r.releaseFromCut()
 	return r.runToCapture(k)
+}
+
+// releaseFromCut replays the suppressed barrier release of the checkpoint's
+// cut. The restored critical-path context is the captured barrier-arrive
+// service record (the release was cut mid-handler), so the replayed release
+// messages chain from it exactly as the flat run's do; the context is
+// cleared afterwards, mirroring the flat run's handler return.
+func (r *run) releaseFromCut() {
+	r.sy.ReleaseBarrier()
+	if r.crit != nil {
+		r.crit.EndHandler()
+	}
 }
 
 // runToCapture drives the engine until the capture hook cuts the run.
@@ -198,6 +216,7 @@ func (r *run) runToCapture(k int) (*Checkpoint, error) {
 	for _, sp := range r.env.Spaces {
 		sp.Release() // the checkpoint deep-copied them
 	}
+	r.tr.Flush() // nil-safe; completes the prefix's trace stream at the cut
 	return r.cp, nil
 }
 
@@ -273,6 +292,9 @@ func (r *run) capture(epoch int) (*Checkpoint, error) {
 		c := r.inj.Cursor()
 		cp.injCursor = &c
 	}
+	if r.crit != nil {
+		cp.crit = r.crit.CaptureState()
+	}
 	return cp, nil
 }
 
@@ -315,6 +337,9 @@ func (r *run) restore(cp *Checkpoint) error {
 		r.sampler.RestoreState(cp.sampler)
 	}
 	r.phases.RestoreState(cp.phases)
+	if r.crit != nil {
+		r.crit.RestoreState(cp.crit)
+	}
 	return nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 
+	"dsmsim/internal/critpath"
 	"dsmsim/internal/faults"
 	"dsmsim/internal/mem"
 	"dsmsim/internal/metrics"
@@ -113,6 +114,20 @@ type Config struct {
 	// plans (same seed) reproduce runs bit-for-bit. Ignored by Sequential
 	// baselines.
 	Faults *faults.Plan
+	// CritPath attaches the critical-path profiler: every event's
+	// last-finisher predecessor is recorded so the run's exact critical
+	// path — whose component/node/region attribution sums to Result.Time
+	// precisely — lands in Result.CritPath. Strictly observational, like
+	// ShareProfile: no events, no virtual-time cost, every other output
+	// byte-identical to a profiler-off run. Ignored by Sequential
+	// baselines.
+	CritPath bool
+	// WhatIf, when non-nil, re-simulates with one cost class rescaled
+	// (e.g. lock-protocol traffic halved): the causal what-if experiment
+	// whose measured speedup the critical-path report predicts. Unlike
+	// CritPath this changes the run — it answers "what would happen if",
+	// deterministically. Ignored by Sequential baselines.
+	WhatIf *critpath.Scale
 }
 
 // Typed validation errors returned (wrapped) by Config.Validate and
@@ -238,6 +253,10 @@ type Result struct {
 	// true/false-sharing attribution aggregated over named heap regions
 	// — non-nil only when Config.ShareProfile was set.
 	Sharing *shareprof.Report
+	// CritPath is the run's recovered critical path — component, node
+	// and region attribution summing exactly to Time — non-nil only when
+	// Config.CritPath was set.
+	CritPath *critpath.Report
 
 	// Heap exposes the final shared image (gathered from the
 	// authoritative copies) for verification and inspection.
@@ -302,6 +321,7 @@ type run struct {
 	sy       *synch.Sync
 	writers  []proto.Copyset
 	prof     *shareprof.Profiler
+	crit     *critpath.Tracker
 	phases   *metrics.PhaseAccountant
 	sampler  *metrics.Sampler
 	nodes    []*Node
@@ -437,6 +457,21 @@ func (m *Machine) buildRun(ctx context.Context, app App, cp *Checkpoint) (*run, 
 		env.Prof = r.prof
 	}
 	prof := r.prof
+	// The critical-path tracker is likewise wired after seeding and
+	// preclaim, so only parallel-phase causality is recorded; its chains
+	// root at the parallel phase's t=0 on every node.
+	if cfg.CritPath && !cfg.Sequential {
+		r.crit = critpath.New(cfg.Nodes)
+		net.SetCrit(r.crit)
+		env.Crit = r.crit
+	}
+	whatif := cfg.WhatIf
+	if cfg.Sequential {
+		whatif = nil
+	}
+	if whatif != nil {
+		net.SetScale(whatif)
+	}
 	if tr != nil || prof != nil {
 		// Wire the tag-transition observer only now, so the untimed heap
 		// seeding and baseline preclaim above do not spam the trace (or
@@ -470,14 +505,16 @@ func (m *Machine) buildRun(ctx context.Context, app App, cp *Checkpoint) (*run, 
 				return msgs, bytes
 			},
 			LockQueue: r.sy.QueuedWaiters,
-			Retrans: func() (int64, int64) {
-				var rtx, drp int64
+			Retrans: func() (int64, int64, int64, int64) {
+				var rtx, tmo, drp, dup int64
 				for i := 0; i < cfg.Nodes; i++ {
 					s := &net.Endpoint(i).Stats
 					rtx += s.Retransmits
+					tmo += s.Timeouts
 					drp += s.WireDrops
+					dup += s.Duplicates
 				}
-				return rtx, drp
+				return rtx, tmo, drp, dup
 			},
 			Sharing: func() (int64, int64) {
 				if prof == nil {
@@ -516,6 +553,8 @@ func (m *Machine) buildRun(ctx context.Context, app App, cp *Checkpoint) (*run, 
 			writers:  r.writers,
 			phases:   r.phases,
 			prof:     prof,
+			crit:     r.crit,
+			scale:    whatif,
 		}
 		if r.inj.Straggling() {
 			n.faults = r.inj // only stragglers dilate Compute; wire faults stay in the network
@@ -523,12 +562,18 @@ func (m *Machine) buildRun(ctx context.Context, app App, cp *Checkpoint) (*run, 
 		r.nodes[i] = n
 		n.ep.Bind(n, m.serviceCost(r.sy, r.p), m.handler(r.sy, r.p))
 	}
+	if ct := r.crit; ct != nil {
+		ct.Runtime = func(i int) bool { return r.nodes[i].inRuntime }
+	}
 	if cp == nil {
 		for i := 0; i < cfg.Nodes; i++ {
 			n := r.nodes[i]
 			n.proc = engine.NewProc(fmt.Sprintf("node%d", i), 0, func(pr *sim.Proc) {
 				app.Run(&Ctx{n: n})
 				n.finishAt = engine.Now()
+				if ct := r.crit; ct != nil {
+					ct.Finish(n.id, n.finishAt)
+				}
 				// Service time stolen from computation extends the *next*
 				// Compute call; what was charged after the last one never
 				// lengthened anything, so give it back — the breakdown
@@ -555,13 +600,16 @@ func (m *Machine) buildRun(ctx context.Context, app App, cp *Checkpoint) (*run, 
 				n.barrierResumed()
 				rapp.RunFrom(&Ctx{n: n}, cp.epoch)
 				n.finishAt = engine.Now()
+				if ct := r.crit; ct != nil {
+					ct.Finish(n.id, n.finishAt)
+				}
 				n.stats.Stolen -= n.stolen
 				n.stolen = 0
 			})
 			env.Procs = append(env.Procs, n.proc)
 		}
 	}
-	if tr != nil {
+	if ct := r.crit; tr != nil || ct != nil {
 		procIdx := make(map[*sim.Proc]int, cfg.Nodes)
 		for i, pr := range env.Procs {
 			procIdx[pr] = i
@@ -569,16 +617,26 @@ func (m *Machine) buildRun(ctx context.Context, app App, cp *Checkpoint) (*run, 
 		hooks := sim.Hooks{
 			ProcBlock: func(pr *sim.Proc, reason string) {
 				if i, ok := procIdx[pr]; ok {
-					tr.InstantMsg(i, trace.CatSim, "block", reason)
+					if tr != nil {
+						tr.InstantMsg(i, trace.CatSim, "block", reason)
+					}
+					if ct != nil {
+						ct.Block(i, engine.Now())
+					}
 				}
 			},
 			ProcUnblock: func(pr *sim.Proc) {
 				if i, ok := procIdx[pr]; ok {
-					tr.Instant(i, trace.CatSim, "unblock")
+					if tr != nil {
+						tr.Instant(i, trace.CatSim, "unblock")
+					}
+					if ct != nil {
+						ct.Unblock(i, engine.Now())
+					}
 				}
 			},
 		}
-		if cfg.TraceDispatch {
+		if cfg.TraceDispatch && tr != nil {
 			hooks.Dispatch = func(at sim.Time, queued int) {
 				tr.Instant(trace.EngineNode, trace.CatSim, "dispatch",
 					trace.A("queued", int64(queued)))
@@ -598,6 +656,19 @@ func (m *Machine) buildRun(ctx context.Context, app App, cp *Checkpoint) (*run, 
 // Run variant once the engine loop returns.
 func (r *run) finish(runErr error) (*Result, error) {
 	cfg := &r.cfg
+	if r.crit != nil && r.tr != nil && runErr == nil {
+		// Paint the recovered critical path into the trace as a per-node
+		// "crit" lane before flushing, so the Perfetto view shows the
+		// exact chain the completion time followed.
+		for _, s := range r.crit.PathSpans() {
+			var args []trace.Arg
+			if s.Block >= 0 {
+				args = append(args, trace.A("block", int64(s.Block)))
+			}
+			r.tr.Emit(trace.Event{Time: s.Start, Dur: s.End - s.Start, Node: s.Node,
+				Cat: trace.CatCrit, Name: s.Comp.String(), Span: true, Args: args})
+		}
+	}
 	r.tr.Flush() // nil-safe; flush even when the run aborted so the partial trace is inspectable
 	if runErr != nil {
 		if ctxErr := r.ctx.Err(); ctxErr != nil {
@@ -636,6 +707,9 @@ func (r *run) finish(runErr error) (*Result, error) {
 	}
 	if r.prof != nil {
 		res.Sharing = r.prof.Report(r.heap.alloc.Regions())
+	}
+	if r.crit != nil {
+		res.CritPath = r.crit.Report(r.heap.alloc.Regions(), cfg.BlockSize)
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		res.PerNode = append(res.PerNode, *r.env.Stats[i])

@@ -52,26 +52,38 @@ func (c *Ctx) Compute(d sim.Time) {
 		return
 	}
 	n := c.n
+	if s := n.scale; s != nil {
+		// What-if re-simulation: rescale the requested work before the
+		// dilations that multiply onto it.
+		if d = s.ComputeCost(d); d <= 0 {
+			return
+		}
+	}
 	if n.dilation > 0 {
 		d += sim.Time(float64(d) * n.dilation)
 	}
+	total := d
 	if n.faults != nil {
 		// A straggler window dilates this node's computation: the whole
 		// Compute call is scaled by the factor in force when it starts,
 		// modeling a slowed clock rather than re-slicing mid-call.
 		if f := n.faults.Dilation(n.id, n.engine.Now()); f > 1 {
-			d = sim.Time(float64(d) * f)
+			total = sim.Time(float64(d) * f)
 		}
 	}
-	n.stats.Compute += d
-	target := n.engine.Now() + d
+	n.stats.Compute += total
+	start := n.engine.Now()
+	target := start + total
 	for {
 		n.proc.Sleep(target - n.engine.Now())
 		if n.stolen == 0 {
-			return
+			break
 		}
 		target += n.stolen
 		n.stolen = 0
+	}
+	if ct := n.crit; ct != nil {
+		ct.ComputeSeg(n.id, start, d, total, n.engine.Now())
 	}
 }
 
@@ -233,14 +245,12 @@ func (c *Ctx) Barrier() {
 	n.sync.Barrier(n.id)
 	n.inRuntime = false
 	n.barrierResumed()
-	if tr := n.tracer; tr != nil {
-		tr.Span(n.id, trace.CatSynch, "barrier", n.barStart)
-	}
 }
 
-// barrierResumed books the stall and cuts the phase when a barrier release
-// lands — the tail of Ctx.Barrier, shared with the checkpoint-restore
-// continuation (which resumes a node exactly here).
+// barrierResumed books the stall, cuts the phase and traces the barrier
+// span when a barrier release lands — the tail of Ctx.Barrier, shared
+// with the checkpoint-restore continuation (which resumes a node exactly
+// here, so a forked run's trace shows the cut barrier like a flat one).
 func (n *Node) barrierResumed() {
 	elapsed := n.engine.Now() - n.barStart
 	n.stats.BarrierStall += elapsed - (n.stats.FlushTime - n.barFlush0)
@@ -248,4 +258,7 @@ func (n *Node) barrierResumed() {
 	// A barrier return ends this node's current phase: cut the epoch with
 	// the just-booked stall included. Pure bookkeeping, cannot yield.
 	n.phases.Cut(n.id, n.engine.Now(), n.stats)
+	if tr := n.tracer; tr != nil {
+		tr.Span(n.id, trace.CatSynch, "barrier", n.barStart)
+	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"dsmsim/internal/critpath"
 	"dsmsim/internal/faults"
 	"dsmsim/internal/mem"
 	"dsmsim/internal/metrics"
@@ -37,6 +38,12 @@ type Node struct {
 	// so a fault can be attributed to the exact bytes that missed.
 	prof               *shareprof.Profiler
 	profAddr, profSize int
+
+	// crit is the critical-path tracker, nil when the profiler is off;
+	// like prof, every hook hides behind the nil check. scale is the
+	// what-if cost rescaling, nil outside -whatif re-simulations.
+	crit  *critpath.Tracker
+	scale *critpath.Scale
 
 	// phases receives a per-node cut at every barrier return (and one
 	// final cut when the body finishes), building Result.Phases.
@@ -101,7 +108,11 @@ func (n *Node) settleChecks() {
 	cost := sim.Time(n.checkDebt) * n.machine.cfg.SoftwareAccessCheck
 	n.checkDebt = 0
 	n.stats.Compute += cost
+	start := n.engine.Now()
 	n.proc.Sleep(cost)
+	if ct := n.crit; ct != nil {
+		ct.CheckSeg(n.id, start, n.engine.Now())
+	}
 }
 
 // Computing implements network.Host.
@@ -149,6 +160,12 @@ func (n *Node) fault(block int, write bool) {
 	} else {
 		n.stats.ReadStall += elapsed
 		n.stats.ReadFaultTime.ObserveTime(elapsed)
+	}
+	if ct := n.crit; ct != nil {
+		// The fault's proc-side time that did not pass blocked (delivery
+		// sleep, post-wake tag rescans) books as runtime overhead; blocked
+		// intervals already live on the message chain that ended them.
+		ct.CheckSeg(n.id, start, n.engine.Now())
 	}
 	if tr := n.tracer; tr != nil {
 		tr.Span(n.id, trace.CatMem, "fault", start,

@@ -1,0 +1,316 @@
+package critpath
+
+import (
+	"strings"
+	"testing"
+
+	"dsmsim/internal/mem"
+	"dsmsim/internal/sim"
+)
+
+// chainTracker builds a minimal three-segment chain: node 0 computes
+// [0,100], transmits a protocol message (kind 100) to node 1 over
+// [100,150] (40ns of pure wire), which is serviced [150,170].
+func chainTracker() *Tracker {
+	t := New(2)
+	t.ComputeSeg(0, 0, 100, 100, 100)
+	x := t.Xmit(0, 1, 100, 5, 100, 150, 40)
+	t.SvcStart(1, 100, 5, x, 150, 150, 20)
+	t.BeginHandler(1)
+	t.EndHandler()
+	return t
+}
+
+func TestSyntheticChainReport(t *testing.T) {
+	tr := chainTracker()
+	rep := tr.Report(nil, 0)
+	if rep.Total != 170 {
+		t.Fatalf("Total = %v, want 170", rep.Total)
+	}
+	if rep.Events != 3 || rep.Recorded != 3 {
+		t.Fatalf("Events/Recorded = %d/%d, want 3/3", rep.Events, rep.Recorded)
+	}
+	var sum sim.Time
+	for c := Component(0); c < NumComponents; c++ {
+		sum += rep.Components[c]
+	}
+	if sum != rep.Total {
+		t.Fatalf("component sum %v != Total %v", sum, rep.Total)
+	}
+	if rep.Components[Compute] != 100 || rep.Components[MsgWire] != 50 || rep.Components[MsgService] != 20 {
+		t.Fatalf("components = %v", rep.Components)
+	}
+	if rep.Scalable[ClassCompute] != 100 || rep.Scalable[ClassMsg] != 40 || rep.Scalable[ClassSvc] != 20 {
+		t.Fatalf("scalable = %v", rep.Scalable)
+	}
+	if rep.Nodes[0].Time != 100 || rep.Nodes[1].Time != 70 {
+		t.Fatalf("node attribution = %+v", rep.Nodes)
+	}
+}
+
+func TestPathSpansContiguous(t *testing.T) {
+	tr := chainTracker()
+	spans := tr.PathSpans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	if spans[0].Start != 0 {
+		t.Fatalf("path roots at %v, want 0", spans[0].Start)
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start != spans[i-1].End {
+			t.Fatalf("span %d starts at %v, previous ends at %v", i, spans[i].Start, spans[i-1].End)
+		}
+	}
+	if spans[2].End != 170 {
+		t.Fatalf("path ends at %v, want 170", spans[2].End)
+	}
+	if spans[1].Comp != MsgWire || spans[1].Block != 5 {
+		t.Fatalf("wire span = %+v", spans[1])
+	}
+}
+
+// TestBlockedIntervalOnMessageChain: a proc blocked across a message
+// round trip contributes no proc-side length — the wait lives on the
+// message chain, so the path stays exact.
+func TestBlockedIntervalOnMessageChain(t *testing.T) {
+	tr := New(2)
+	tr.ComputeSeg(0, 0, 50, 50, 50)
+	x := tr.Xmit(0, 1, 100, 2, 50, 90, 30)
+	tr.Block(0, 50) // requester blocks at the send
+	tr.SvcStart(1, 100, 2, x, 90, 90, 10)
+	tr.BeginHandler(1)
+	// The handler's reply wakes node 0 at 130.
+	rx := tr.Xmit(1, 0, 101, 2, 100, 130, 25)
+	tr.EndHandler()
+	tr.SvcStart(0, 101, 2, rx, 130, 130, 5)
+	tr.BeginHandler(0)
+	tr.Unblock(0, 135)
+	tr.EndHandler()
+	tr.Finish(0, 200)
+	rep := tr.Report(nil, 0)
+	if rep.Total != 200 {
+		t.Fatalf("Total = %v, want 200 (blocked interval must not double-count)", rep.Total)
+	}
+	var sum sim.Time
+	for c := Component(0); c < NumComponents; c++ {
+		sum += rep.Components[c]
+	}
+	if sum != rep.Total {
+		t.Fatalf("component sum %v != Total %v", sum, rep.Total)
+	}
+}
+
+func TestComponentClassification(t *testing.T) {
+	cases := []struct {
+		kind int
+		wire Component
+		svc  Component
+	}{
+		{0, LockWait, LockWait},
+		{3, LockWait, LockWait},
+		{4, BarrierWait, BarrierWait},
+		{5, BarrierWait, BarrierWait},
+		{100, MsgWire, MsgService},
+		{117, MsgWire, MsgService},
+	}
+	for _, c := range cases {
+		if got := wireComp(c.kind); got != c.wire {
+			t.Errorf("wireComp(%d) = %v, want %v", c.kind, got, c.wire)
+		}
+		if got := svcComp(c.kind); got != c.svc {
+			t.Errorf("svcComp(%d) = %v, want %v", c.kind, got, c.svc)
+		}
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	s, err := ParseScale("lock=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Class != ClassLock || s.PPM != 500000 {
+		t.Fatalf("scale = %+v", s)
+	}
+	if got := s.String(); got != "lock=0.5" {
+		t.Fatalf("String = %q", got)
+	}
+	if s, err := ParseScale("msg=0"); err != nil || s.PPM != 0 {
+		t.Fatalf("msg=0: %v, %+v", err, s)
+	}
+	if s, err := ParseScale("compute=2"); err != nil || s.PPM != 2000000 {
+		t.Fatalf("compute=2: %v, %+v", err, s)
+	}
+	for _, bad := range []string{"", "lock", "frobnicate=1", "lock=-1", "lock=101", "lock=x"} {
+		if _, err := ParseScale(bad); err == nil {
+			t.Errorf("ParseScale(%q) accepted", bad)
+		}
+	}
+}
+
+func TestScaleGating(t *testing.T) {
+	msg := &Scale{Class: ClassMsg, PPM: 500000}
+	if got := msg.Wire(100, 1000); got != 500 {
+		t.Errorf("msg scale on proto wire = %v, want 500", got)
+	}
+	if got := msg.Wire(2, 1000); got != 1000 {
+		t.Errorf("msg scale must not touch lock wire, got %v", got)
+	}
+	if got := msg.SvcCost(100, 1000); got != 1000 {
+		t.Errorf("msg scale must not touch service cost, got %v", got)
+	}
+	lock := &Scale{Class: ClassLock, PPM: 500000}
+	if got := lock.Wire(2, 1000); got != 500 {
+		t.Errorf("lock scale on lock wire = %v, want 500", got)
+	}
+	if got := lock.SvcCost(2, 1000); got != 500 {
+		t.Errorf("lock scale on lock service = %v, want 500", got)
+	}
+	if got := lock.Wire(4, 1000); got != 1000 {
+		t.Errorf("lock scale must not touch barrier wire, got %v", got)
+	}
+	if got := lock.Wire(100, 1000); got != 1000 {
+		t.Errorf("lock scale must not touch proto wire, got %v", got)
+	}
+	comp := &Scale{Class: ClassCompute, PPM: 250000}
+	if got := comp.ComputeCost(1000); got != 250 {
+		t.Errorf("compute scale = %v, want 250", got)
+	}
+	if got := lock.ComputeCost(1000); got != 1000 {
+		t.Errorf("lock scale must not touch compute, got %v", got)
+	}
+	// A nil scale is the identity everywhere.
+	var nilScale *Scale
+	if nilScale.Wire(100, 7) != 7 || nilScale.SvcCost(100, 7) != 7 || nilScale.ComputeCost(7) != 7 {
+		t.Error("nil scale is not the identity")
+	}
+}
+
+func TestPredict(t *testing.T) {
+	rep := &Report{Total: 1000}
+	rep.Scalable[ClassLock] = 400
+	s := &Scale{Class: ClassLock, PPM: 500000}
+	if got := rep.Predict(s); got != 800 {
+		t.Fatalf("Predict = %v, want 800 (1000 - 400 + 200)", got)
+	}
+	zero := &Scale{Class: ClassLock, PPM: 0}
+	if got := rep.Predict(zero); got != 600 {
+		t.Fatalf("Predict(lock=0) = %v, want 600", got)
+	}
+	other := &Scale{Class: ClassMsg, PPM: 0}
+	if got := rep.Predict(other); got != 1000 {
+		t.Fatalf("Predict(msg=0) with no scalable msg time = %v, want 1000", got)
+	}
+}
+
+func TestCSVRow(t *testing.T) {
+	tr := chainTracker()
+	rep := tr.Report(nil, 0)
+	var b strings.Builder
+	if err := rep.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("WriteCSV lines = %d, want 2", len(lines))
+	}
+	if lines[0] != CSVHeader {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "170,3,100,0,0,50,20,0,0,0,0" {
+		t.Fatalf("row = %q", lines[1])
+	}
+	row := string(rep.AppendRow(nil, "lu,hlrc,"))
+	if row != "lu,hlrc,170,3,100,0,0,50,20,0,0,0,0\n" {
+		t.Fatalf("prefixed row = %q", row)
+	}
+}
+
+func TestRegionize(t *testing.T) {
+	tr := New(2)
+	tr.ComputeSeg(0, 0, 10, 10, 10)
+	x := tr.Xmit(0, 1, 100, 3, 10, 30, 15) // block 3 → addr 3072 with 1KB blocks
+	tr.SvcStart(1, 100, 3, x, 30, 30, 5)
+	tr.BeginHandler(1)
+	tr.EndHandler()
+	regions := []mem.Region{
+		{Name: "matrix", Start: 0, Size: 2048},
+		{Name: "vector", Start: 2048, Size: 4096},
+	}
+	rep := tr.Report(regions, 1024)
+	if len(rep.Regions) != 1 || rep.Regions[0].Name != "vector" {
+		t.Fatalf("regions = %+v, want the vector region only", rep.Regions)
+	}
+	if rep.Regions[0].Time != 25 || rep.Regions[0].Events != 2 {
+		t.Fatalf("vector attribution = %+v", rep.Regions[0])
+	}
+}
+
+func TestArqRecordsEndAtFireTime(t *testing.T) {
+	tr := New(2)
+	tr.ComputeSeg(0, 0, 10, 10, 10)
+	pred := tr.ArqPred(0, 10)
+	f := tr.ArqFrame(pred, 1, 4, tr.WireComp(100, true), 10, 40)
+	tm := tr.ArqTimer(pred, 0, 10, 200)
+	tr.SetContext(f)
+	a := tr.ArqAck(0, 40, 55)
+	rel := tr.ArqRelease(f, 1, 4, 70)
+	tr.ClearContext()
+	if tr.recs[f-1].end != 40 || tr.recs[tm-1].end != 200 || tr.recs[a-1].end != 55 {
+		t.Fatalf("record ends: frame %v timer %v ack %v", tr.recs[f-1].end, tr.recs[tm-1].end, tr.recs[a-1].end)
+	}
+	if rel == f {
+		t.Fatal("reorder release after the arrival must add a wait record")
+	}
+	if r := tr.recs[rel-1]; r.start != 40 || r.end != 70 || r.comp != Retransmit {
+		t.Fatalf("release record = %+v", r)
+	}
+	// Release at (or before) the arrival instant is the identity.
+	if got := tr.ArqRelease(f, 1, 4, 40); got != f {
+		t.Fatalf("same-instant release re-stamped to %d", got)
+	}
+	// The retransmit attempt books to Retransmit regardless of kind.
+	if c := tr.WireComp(100, false); c != Retransmit {
+		t.Fatalf("retransmission component = %v", c)
+	}
+}
+
+func TestCaptureRestoreRoundTrip(t *testing.T) {
+	tr := chainTracker()
+	st := tr.CaptureState()
+	// Mutating the original must not leak into the snapshot.
+	tr.ComputeSeg(0, 100, 50, 50, 150)
+	fresh := New(2)
+	fresh.RestoreState(st)
+	rep := fresh.Report(nil, 0)
+	if rep.Total != 170 || rep.Events != 3 {
+		t.Fatalf("restored report = Total %v Events %d, want 170/3", rep.Total, rep.Events)
+	}
+	// Restore re-copies: appending to the restored tracker must leave the
+	// snapshot usable for further forks.
+	fresh.ComputeSeg(0, 170, 10, 10, 180)
+	second := New(2)
+	second.RestoreState(st)
+	if got := second.Report(nil, 0).Total; got != 170 {
+		t.Fatalf("second restore total = %v, want 170", got)
+	}
+}
+
+func TestWriteTextDeterministic(t *testing.T) {
+	tr := chainTracker()
+	rep := tr.Report(nil, 0)
+	var a, b strings.Builder
+	if err := rep.WriteText(&a, 3); err != nil {
+		t.Fatal(err)
+	}
+	rep.WriteText(&b, 3)
+	if a.String() != b.String() {
+		t.Fatal("WriteText not deterministic")
+	}
+	if !strings.Contains(a.String(), "critical path: 0.000ms over 3 events") {
+		t.Fatalf("report text:\n%s", a.String())
+	}
+	if !strings.Contains(a.String(), "msg-wire") {
+		t.Fatalf("report text missing components:\n%s", a.String())
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"dsmsim"
 	"dsmsim/internal/apps"
 	"dsmsim/internal/core"
+	"dsmsim/internal/critpath"
 	"dsmsim/internal/faults"
 	"dsmsim/internal/metrics"
 	"dsmsim/internal/network"
@@ -68,6 +69,17 @@ type Options struct {
 	// ProfCSV, if non-nil, receives each run's sharing profile as CSV rows
 	// in canonical sweep order. Requires ShareProfile.
 	ProfCSV io.Writer
+	// CritPath attaches the critical-path profiler to every matrix run
+	// (strictly observational; tables and CSV records are unchanged). The
+	// critpath experiment profiles its own runs regardless.
+	CritPath bool
+	// CritCSV, if non-nil, receives each run's critical-path component row
+	// in canonical sweep order. Requires CritPath.
+	CritCSV io.Writer
+	// WhatIf rescales one machine cost class on every non-sequential
+	// matrix run (a what-if counterfactual; tables then show the rescaled
+	// machine).
+	WhatIf *critpath.Scale
 	// Metrics, if non-nil, receives live sweep progress for the HTTP
 	// exporter and switches progress lines to the enriched format.
 	Metrics *metrics.Registry
@@ -117,6 +129,10 @@ func New(opts Options) *Runner {
 
 		ShareProfile: opts.ShareProfile,
 		ProfCSV:      opts.ProfCSV,
+
+		CritPath: opts.CritPath,
+		CritCSV:  opts.CritCSV,
+		WhatIf:   opts.WhatIf,
 	})
 	return &Runner{opts: opts, eng: eng}
 }

@@ -72,10 +72,13 @@ func TestSpeedupPositive(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 28 {
-		t.Fatalf("experiments = %d, want 28 (table1-17, fig1-2, 9 extensions)", len(exps))
+	if len(exps) != 29 {
+		t.Fatalf("experiments = %d, want 29 (table1-17, fig1-2, 10 extensions)", len(exps))
 	}
 	if _, err := Get("sharing"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Get("critpath"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Get("fig1"); err != nil {

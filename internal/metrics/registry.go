@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dsmsim/internal/critpath"
 	"dsmsim/internal/sim"
 )
 
@@ -30,6 +31,10 @@ type Registry struct {
 	running   int
 	memoHits  int
 	completed []PointResult
+
+	// Prefix-sharing (fork) counters, set by the sweep after each point
+	// when WithFork is active; nil when the sweep never reported any.
+	fork *ForkProgress
 }
 
 // PointResult is one finished sweep point as the registry records it.
@@ -51,6 +56,24 @@ type PointResult struct {
 	TrueSharing   int64
 	FalseSharing  int64
 	FalseFraction float64
+
+	// Crit is the run's critical-path report, non-nil only when the sweep
+	// runs with the critical-path profiler attached (Options.CritPath).
+	Crit *critpath.Report
+}
+
+// SetForkStats records the sweep's prefix-sharing counters (distinct
+// warmup prefixes simulated, runs forked from them, and the warmup
+// re-simulation wall time avoided). Exposed at /progress (the "fork"
+// object) and as dsmsim_sweep_fork_* gauges.
+func (r *Registry) SetForkStats(prefixes, forkedRuns int, savedWall time.Duration) {
+	r.mu.Lock()
+	r.fork = &ForkProgress{
+		Prefixes:         prefixes,
+		ForkedRuns:       forkedRuns,
+		SavedWallSeconds: savedWall.Seconds(),
+	}
+	r.mu.Unlock()
 }
 
 // NewRegistry creates a registry; the sweep's ETA clock starts now.
@@ -92,7 +115,16 @@ type Progress struct {
 	MemoHits       int             `json:"memo_hits"`
 	ElapsedSeconds float64         `json:"elapsed_seconds"`
 	ETASeconds     float64         `json:"eta_seconds"`
+	Fork           *ForkProgress   `json:"fork,omitempty"`
 	Points         []PointProgress `json:"points"`
+}
+
+// ForkProgress is the prefix-sharing summary in the progress document,
+// present only when the sweep runs with WithFork.
+type ForkProgress struct {
+	Prefixes         int     `json:"prefixes"`
+	ForkedRuns       int     `json:"forked_runs"`
+	SavedWallSeconds float64 `json:"saved_wall_seconds"`
 }
 
 // PointProgress is one completed point's runtime in the progress document.
@@ -115,6 +147,10 @@ func (r *Registry) Snapshot() Progress {
 		MemoHits:       r.memoHits,
 		ElapsedSeconds: time.Since(r.start).Seconds(),
 		Points:         make([]PointProgress, 0, len(r.completed)),
+	}
+	if r.fork != nil {
+		f := *r.fork
+		p.Fork = &f
 	}
 	computed := 0
 	var wall time.Duration
@@ -159,6 +195,19 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# HELP dsmsim_sweep_eta_seconds Estimated wall time to completion.\n")
 	fmt.Fprintf(w, "# TYPE dsmsim_sweep_eta_seconds gauge\n")
 	fmt.Fprintf(w, "dsmsim_sweep_eta_seconds %.3f\n", p.ETASeconds)
+	// Fork gauges appear only when the sweep reported prefix sharing,
+	// keeping fork-free sweeps' exports unchanged.
+	if f := p.Fork; f != nil {
+		fmt.Fprintf(w, "# HELP dsmsim_sweep_fork_prefixes Distinct warmup prefixes simulated for forked runs.\n")
+		fmt.Fprintf(w, "# TYPE dsmsim_sweep_fork_prefixes gauge\n")
+		fmt.Fprintf(w, "dsmsim_sweep_fork_prefixes %d\n", f.Prefixes)
+		fmt.Fprintf(w, "# HELP dsmsim_sweep_fork_forked_runs Runs served from a shared warmup prefix.\n")
+		fmt.Fprintf(w, "# TYPE dsmsim_sweep_fork_forked_runs gauge\n")
+		fmt.Fprintf(w, "dsmsim_sweep_fork_forked_runs %d\n", f.ForkedRuns)
+		fmt.Fprintf(w, "# HELP dsmsim_sweep_fork_saved_wall_seconds Warmup re-simulation wall time avoided by forking.\n")
+		fmt.Fprintf(w, "# TYPE dsmsim_sweep_fork_saved_wall_seconds gauge\n")
+		fmt.Fprintf(w, "dsmsim_sweep_fork_saved_wall_seconds %.3f\n", f.SavedWallSeconds)
+	}
 
 	r.mu.Lock()
 	pts := make([]PointResult, len(r.completed))
@@ -201,6 +250,27 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		func(p *PointResult) string { return fmt.Sprintf("%d", p.FalseSharing) })
 	writePer("dsmsim_point_false_sharing_fraction", "False fraction of sharing misses.", "gauge",
 		func(p *PointResult) string { return fmt.Sprintf("%.3f", p.FalseFraction) })
+	// Critical-path gauges, only for points that ran with the profiler:
+	// one two-label series per (point, component) of the recovered path.
+	critted := pts[:0:0]
+	for i := range pts {
+		if pts[i].Crit != nil {
+			critted = append(critted, pts[i])
+		}
+	}
+	if len(critted) > 0 {
+		const m = "dsmsim_point_critpath_component_seconds"
+		fmt.Fprintf(w, "# HELP %s Critical-path time attributed to one component of the point's run.\n# TYPE %s gauge\n", m, m)
+		for i := range critted {
+			for c := critpath.Component(0); c < critpath.NumComponents; c++ {
+				if critted[i].Crit.Components[c] == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "%s{point=%q,component=%q} %.6f\n", m, critted[i].Key, c.String(),
+					float64(critted[i].Crit.Components[c])/float64(sim.Second))
+			}
+		}
+	}
 }
 
 // expvar integration: /debug/vars carries the same progress document under

@@ -30,8 +30,9 @@ type Probes struct {
 	// LockQueue returns how many nodes are queued behind held locks now.
 	LockQueue func() int64
 	// Retrans returns cumulative link-layer reliability traffic
-	// (retransmitted frames, wire drops); nil on fault-free runs.
-	Retrans func() (retransmits, drops int64)
+	// (retransmitted frames, timer expirations, wire drops, duplicate
+	// frames discarded by dedup); nil on fault-free runs.
+	Retrans func() (retransmits, timeouts, drops, dups int64)
 	// Sharing returns the sharing-pattern profiler's cumulative true-
 	// and false-sharing fault totals; nil (or zero) when profiling is
 	// off, so the columns render as 0 and unprofiled series keep the
@@ -48,10 +49,14 @@ type Sample struct {
 	NetBytes  int64          // bytes sent in the interval
 	LockQueue int64          // nodes queued behind locks at time At (gauge)
 
-	// Retransmits and WireDrops are the interval's link-layer reliability
-	// deltas; zero except under a wire-active fault plan.
+	// Retransmits, Timeouts, WireDrops and Duplicates are the interval's
+	// link-layer reliability deltas; zero except under a wire-active
+	// fault plan. (The CSV schema carries retransmits and wire_drops;
+	// all four feed the Chrome counter track.)
 	Retransmits int64
+	Timeouts    int64
 	WireDrops   int64
+	Duplicates  int64
 
 	// TrueSharing and FalseSharing are the interval's attributed
 	// sharing-fault deltas; zero unless the sharing-pattern profiler is
@@ -72,7 +77,9 @@ type Sampler struct {
 	prevMsg int64
 	prevByt int64
 	prevRtx int64
+	prevTmo int64
 	prevDrp int64
+	prevDup int64
 	prevTru int64
 	prevFls int64
 	series  Series
@@ -116,9 +123,10 @@ func (s *Sampler) cut(at sim.Time) {
 		sm.LockQueue = s.probes.LockQueue()
 	}
 	if s.probes.Retrans != nil {
-		r, d := s.probes.Retrans()
-		sm.Retransmits, sm.WireDrops = r-s.prevRtx, d-s.prevDrp
-		s.prevRtx, s.prevDrp = r, d
+		r, t, d, u := s.probes.Retrans()
+		sm.Retransmits, sm.Timeouts = r-s.prevRtx, t-s.prevTmo
+		sm.WireDrops, sm.Duplicates = d-s.prevDrp, u-s.prevDup
+		s.prevRtx, s.prevTmo, s.prevDrp, s.prevDup = r, t, d, u
 	}
 	if s.probes.Sharing != nil {
 		t, f := s.probes.Sharing()
@@ -139,7 +147,7 @@ func (s *Sampler) Series() *Series { return &s.series }
 // deltas — as if the prefix had been simulated in place.
 type SamplerState struct {
 	prev    stats.Snapshot
-	prevMsg, prevByt, prevRtx, prevDrp, prevTru, prevFls int64
+	prevMsg, prevByt, prevRtx, prevTmo, prevDrp, prevDup, prevTru, prevFls int64
 	samples []Sample
 }
 
@@ -148,7 +156,8 @@ func (s *Sampler) CaptureState() *SamplerState {
 	return &SamplerState{
 		prev: s.prev,
 		prevMsg: s.prevMsg, prevByt: s.prevByt, prevRtx: s.prevRtx,
-		prevDrp: s.prevDrp, prevTru: s.prevTru, prevFls: s.prevFls,
+		prevTmo: s.prevTmo, prevDrp: s.prevDrp, prevDup: s.prevDup,
+		prevTru: s.prevTru, prevFls: s.prevFls,
 		samples: append([]Sample(nil), s.series.Samples...),
 	}
 }
@@ -157,8 +166,8 @@ func (s *Sampler) CaptureState() *SamplerState {
 // interval and node count (re-copied, so the snapshot stays pristine).
 func (s *Sampler) RestoreState(st *SamplerState) {
 	s.prev = st.prev
-	s.prevMsg, s.prevByt, s.prevRtx = st.prevMsg, st.prevByt, st.prevRtx
-	s.prevDrp, s.prevTru, s.prevFls = st.prevDrp, st.prevTru, st.prevFls
+	s.prevMsg, s.prevByt, s.prevRtx, s.prevTmo = st.prevMsg, st.prevByt, st.prevRtx, st.prevTmo
+	s.prevDrp, s.prevDup, s.prevTru, s.prevFls = st.prevDrp, st.prevDup, st.prevTru, st.prevFls
 	s.series.Samples = append(s.series.Samples[:0], st.samples...)
 }
 
@@ -269,7 +278,9 @@ func (s *Series) WriteCounterJSON(w io.Writer) error {
 			trace.CounterVal{Key: "waiters", Val: float64(sm.LockQueue)})
 		cw.Counter("retransmissions/s", sm.At,
 			trace.CounterVal{Key: "retx", Val: rate(float64(sm.Retransmits), secs)},
-			trace.CounterVal{Key: "drops", Val: rate(float64(sm.WireDrops), secs)})
+			trace.CounterVal{Key: "timeouts", Val: rate(float64(sm.Timeouts), secs)},
+			trace.CounterVal{Key: "drops", Val: rate(float64(sm.WireDrops), secs)},
+			trace.CounterVal{Key: "dups", Val: rate(float64(sm.Duplicates), secs)})
 		cw.Counter("sharing faults/s", sm.At,
 			trace.CounterVal{Key: "true", Val: rate(float64(sm.TrueSharing), secs)},
 			trace.CounterVal{Key: "false", Val: rate(float64(sm.FalseSharing), secs)})

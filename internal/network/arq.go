@@ -17,6 +17,7 @@
 package network
 
 import (
+	"dsmsim/internal/critpath"
 	"dsmsim/internal/faults"
 	"dsmsim/internal/sim"
 	"dsmsim/internal/trace"
@@ -155,12 +156,27 @@ func (ep *Endpoint) transmit(f *frame) {
 	model := net.model
 	now := eng.Now()
 	f.attempts++
-	base := now + model.SendOverhead + model.OneWayLatency(f.m.Bytes+model.MsgHeader)
+	wire := model.OneWayLatency(f.m.Bytes + model.MsgHeader)
+	if sc := net.scale; sc != nil {
+		wire = sc.Wire(f.m.Kind, wire)
+	}
+	base := now + model.SendOverhead + wire
 	tx := &ep.tx[f.dst]
 	if base < tx.lastNominal {
 		base = tx.lastNominal // FIFO wire: no overtaking the previous frame
 	}
 	tx.lastNominal = base
+	// Every event this attempt schedules gets a dependency record ending
+	// exactly at its fire time, so even a run whose final event is a stale
+	// timer or a duplicate arrival walks back exactly. The PRNG draw order
+	// below is untouched: the profiler never perturbs the replay.
+	ct := net.crit
+	var critPred int32
+	var critComp critpath.Component
+	if ct != nil {
+		critPred = ct.ArqPred(f.src, now)
+		critComp = ct.WireComp(f.m.Kind, f.attempts == 1)
+	}
 	switch {
 	case inj.Cut(f.src, f.dst, now):
 		ep.Stats.WireDrops++
@@ -175,16 +191,31 @@ func (ep *Endpoint) transmit(f *frame) {
 				trace.A("dst", int64(f.dst)), trace.A("seq", int64(f.seq)))
 		}
 	default:
-		eng.ScheduleArg(base+inj.JitterDraw(), deliverFrame, ep.wireCopy(f))
+		at := base + inj.JitterDraw()
+		cm := ep.wireCopy(f)
+		if ct != nil {
+			cm.crit = ct.ArqFrame(critPred, f.dst, f.m.Block, critComp, now, at)
+		}
+		eng.ScheduleArg(at, deliverFrame, cm)
 		if inj.DupDraw() {
-			eng.ScheduleArg(base+inj.JitterDraw(), deliverFrame, ep.wireCopy(f))
+			at = base + inj.JitterDraw()
+			cm = ep.wireCopy(f)
+			if ct != nil {
+				cm.crit = ct.ArqFrame(critPred, f.dst, f.m.Block, critComp, now, at)
+			}
+			eng.ScheduleArg(at, deliverFrame, cm)
 		}
 	}
 	deadline := base + model.OneWayLatency(model.MsgHeader) + 2*inj.MaxJitter() + rtoSlack
 	if t := now + f.rto; t > deadline {
 		deadline = t // exponential backoff dominates once timeouts begin
 	}
-	eng.ScheduleArg(deadline, frameTimeout, f)
+	if ct != nil {
+		rec := ct.ArqTimer(critPred, f.src, now, deadline)
+		eng.ScheduleArg(deadline, frameTimeoutCrit, &timerEv{f: f, rec: rec})
+	} else {
+		eng.ScheduleArg(deadline, frameTimeout, f)
+	}
 }
 
 // wireCopy clones the master message for one wire transmission. Each copy
@@ -213,6 +244,18 @@ func (ep *Endpoint) wireCopy(f *frame) *Msg {
 // arrival or retransmission).
 func deliverFrame(arg any) {
 	m := arg.(*Msg)
+	if ct := m.net.crit; ct != nil {
+		// Frame-delivery context: the ack this arrival generates (and any
+		// reorder-buffer releases) chain from the frame's transit record.
+		ct.SetContext(m.crit)
+		deliverFrame1(m)
+		ct.ClearContext()
+		return
+	}
+	deliverFrame1(m)
+}
+
+func deliverFrame1(m *Msg) {
 	net := m.net
 	dst := net.eps[m.Dst]
 	src := m.Src
@@ -246,6 +289,9 @@ func deliverFrame(arg any) {
 		// service queue sees the same FIFO stream a healthy link produces.
 		mm.linkSeq = 0
 		mm.arrived = net.engine.Now()
+		if ct := net.crit; ct != nil {
+			mm.crit = ct.ArqRelease(mm.crit, dst.id, mm.Block, mm.arrived)
+		}
 		dst.Stats.MsgsReceived++
 		if tr := net.tracer; tr != nil {
 			tr.Instant(dst.id, trace.CatNet, "recv",
@@ -276,6 +322,9 @@ func (ep *Endpoint) sendAck(to int, expect uint64) {
 	*am = Msg{Src: ep.id, Dst: to, linkSeq: expect}
 	am.net = net
 	at := now + net.model.OneWayLatency(net.model.MsgHeader) + inj.JitterDraw()
+	if ct := net.crit; ct != nil {
+		am.crit = ct.ArqAck(to, now, at)
+	}
 	net.engine.ScheduleArg(at, deliverAck, am)
 }
 
@@ -310,8 +359,26 @@ func deliverAck(arg any) {
 // frames ignore it (the engine has no event cancellation — the stale event
 // is the cheap alternative); live frames double their timeout, bounded by
 // rtoCap, and go back on the wire.
-func frameTimeout(arg any) {
-	f := arg.(*frame)
+func frameTimeout(arg any) { arg.(*frame).timeout() }
+
+// timerEv pairs a timer expiry with its dependency record, so a
+// retransmission chains from the specific timer that provoked it. Only
+// allocated with the critical-path profiler on (the ARQ path allocates
+// per send anyway).
+type timerEv struct {
+	f   *frame
+	rec int32
+}
+
+func frameTimeoutCrit(arg any) {
+	te := arg.(*timerEv)
+	ct := te.f.net.crit
+	ct.SetContext(te.rec)
+	te.f.timeout()
+	ct.ClearContext()
+}
+
+func (f *frame) timeout() {
 	if f.acked {
 		return
 	}

@@ -19,6 +19,7 @@ package network
 import (
 	"fmt"
 
+	"dsmsim/internal/critpath"
 	"dsmsim/internal/faults"
 	"dsmsim/internal/sim"
 	"dsmsim/internal/stats"
@@ -74,6 +75,7 @@ type Msg struct {
 	sent     sim.Time // when Send was called (end-to-end latency origin)
 	arrived  sim.Time
 	linkSeq  uint64 // ARQ sequence number / cumulative ack (fault path only)
+	crit     int32  // critical-path record of the delivering transit (profiler only)
 }
 
 // Retain keeps the message (and its Data) alive past the handler return
@@ -197,12 +199,29 @@ type Network struct {
 	// the Send fast path stays a single nil check.
 	faults        *faults.Injector
 	pendingFaults *faults.Injector
+
+	// crit, when non-nil, is the critical-path tracker: every committed
+	// transit, service occupancy and ARQ event records its dependency
+	// edge. Observational only, nil-guarded like the tracer.
+	crit *critpath.Tracker
+
+	// scale, when non-nil, is a what-if cost rescaling applied to wire
+	// latencies and service costs as they are charged (the re-simulation
+	// side of the critical-path what-if analyzer).
+	scale *critpath.Scale
 }
 
 // SetTracer attaches the structured event tracer (nil disables). It
 // replaces the old ad-hoc fprintf trace; the deterministic line format is
 // available through the tracer's line sink.
 func (n *Network) SetTracer(t *trace.Tracer) { n.tracer = t }
+
+// SetCrit attaches the critical-path tracker (nil disables).
+func (n *Network) SetCrit(t *critpath.Tracker) { n.crit = t }
+
+// SetScale applies a what-if cost rescaling to the timing charged for
+// wire transit and message service (nil disables).
+func (n *Network) SetScale(s *critpath.Scale) { n.scale = s }
 
 // New creates a network of n endpoints. Handlers are attached later with
 // Bind, before any traffic flows.
@@ -323,6 +342,9 @@ func (ep *Endpoint) Send(m *Msg) {
 	var wire sim.Time
 	if m.Dst != ep.id {
 		wire = model.OneWayLatency(m.Bytes + model.MsgHeader)
+		if sc := net.scale; sc != nil {
+			wire = sc.Wire(m.Kind, wire)
+		}
 	}
 	if ep.lastArrival == nil {
 		ep.lastArrival = make([]sim.Time, len(net.eps))
@@ -337,6 +359,9 @@ func (ep *Endpoint) Send(m *Msg) {
 	pm.net = net
 	pm.retained = false
 	pm.sent = net.engine.Now()
+	if ct := net.crit; ct != nil {
+		pm.crit = ct.Xmit(ep.id, m.Dst, m.Kind, m.Block, pm.sent, at, wire)
+	}
 	net.engine.ScheduleArg(at, deliverMsg, pm)
 }
 
@@ -444,6 +469,9 @@ func svcStart(arg any) {
 	}
 	m := ep.queue[ep.qhead]
 	cost := ep.net.model.HandlerCost + ep.cost(m)
+	if sc := ep.net.scale; sc != nil {
+		cost = sc.SvcCost(m.Kind, cost)
+	}
 	ep.svcAt = eng.Now()
 	done := ep.svcAt + cost
 	ep.busyUntil = done
@@ -452,6 +480,9 @@ func svcStart(arg any) {
 	ep.Stats.ServiceTime += cost
 	if ep.host.Computing() {
 		ep.host.Steal(cost)
+	}
+	if ct := ep.net.crit; ct != nil {
+		ct.SvcStart(ep.id, m.Kind, m.Block, m.crit, m.arrived, ep.svcAt, cost)
 	}
 	eng.ScheduleArg(done, svcDone, ep)
 }
@@ -473,7 +504,16 @@ func svcDone(arg any) {
 			trace.A("src", int64(m.Src)), trace.A("kind", int64(m.Kind)),
 			trace.A("block", int64(m.Block)), trace.A("wait", int64(ep.svcAt-m.arrived)))
 	}
-	ep.handler(m)
+	if ct := ep.net.crit; ct != nil {
+		// Handler context: sends and proc wakeups inside the handler (and
+		// inside any hand-dispatched handlers it drains through Release)
+		// chain from this service's record.
+		ct.BeginHandler(ep.id)
+		ep.handler(m)
+		ct.EndHandler()
+	} else {
+		ep.handler(m)
+	}
 	ep.net.release(m)
 	ep.trySvc()
 }

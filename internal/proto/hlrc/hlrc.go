@@ -473,6 +473,9 @@ func (p *Protocol) handleFetch(m *network.Msg) {
 			tr.Instant(here, trace.CatProto, "forward",
 				trace.A("block", int64(b)), trace.A("home", int64(home)))
 		}
+		if ct := p.env.Crit; ct != nil {
+			ct.MarkForward()
+		}
 		p.env.Send(here, &network.Msg{Dst: home, Kind: kFetch, Block: b, A: m.A, Flag: m.Flag, Bytes: m.Bytes})
 		return
 	}
@@ -509,7 +512,17 @@ func (p *Protocol) handleFetchData(m *network.Msg) {
 		delete(p.installing, b)
 		for _, wm := range waiting {
 			wm := wm
+			// Continuation of this handler: re-enter its event context so
+			// the re-dispatched fetch chains from the install that enabled it.
+			var cur int32
+			if ct := p.env.Crit; ct != nil {
+				cur = ct.Context()
+			}
 			p.env.Engine.After(0, func() {
+				if ct := p.env.Crit; ct != nil {
+					ct.SetContext(cur)
+					defer ct.ClearContext()
+				}
 				p.handleFetch(wm)
 				p.env.Net.Release(wm)
 			})
@@ -539,6 +552,9 @@ func (p *Protocol) handleDiff(m *network.Msg) {
 		if tr := p.env.Tracer; tr != nil {
 			tr.Instant(here, trace.CatProto, "forward",
 				trace.A("block", int64(b)), trace.A("home", int64(home)))
+		}
+		if ct := p.env.Crit; ct != nil {
+			ct.MarkForward()
 		}
 		p.env.Send(here, &network.Msg{Dst: home, Kind: kDiff, Block: b, Payload: dm, Bytes: m.Bytes})
 		return

@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"dsmsim/internal/critpath"
 	"dsmsim/internal/mem"
 	"dsmsim/internal/network"
 	"dsmsim/internal/sim"
@@ -49,6 +50,13 @@ type Env struct {
 	// see — full-block installs and diff applications — behind a nil
 	// check, like Tracer; the core feeds the access/fault/tag side.
 	Prof SharingObserver
+
+	// Crit is the critical-path tracker, nil when the profiler is off.
+	// Protocols mark the one event only they can see — a request
+	// re-forwarded by a stale home or non-owner — by calling
+	// Crit.MarkForward immediately before the forwarding Send, behind a
+	// nil check like Tracer.
+	Crit *critpath.Tracker
 }
 
 // SharingObserver is implemented by the sharing-pattern profiler

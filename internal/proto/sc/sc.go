@@ -215,6 +215,9 @@ func (p *Protocol) handleReq(here int, m *network.Msg) {
 			tr.Instant(here, trace.CatProto, "forward",
 				trace.A("block", int64(b)), trace.A("home", int64(home)))
 		}
+		if ct := p.env.Crit; ct != nil {
+			ct.MarkForward()
+		}
 		p.env.Send(here, &network.Msg{
 			Dst: home, Kind: m.Kind, Block: b, A: m.A, Bytes: m.Bytes,
 		})
@@ -350,7 +353,18 @@ func (p *Protocol) drain(b int) {
 	delete(p.txns, b)
 	for _, m := range t.waitq {
 		m := m
+		// The re-dispatch is a continuation of the handler that finished
+		// the transaction: re-enter its event context so the queued
+		// request's resolution chains from the service that enabled it.
+		var cur int32
+		if ct := p.env.Crit; ct != nil {
+			cur = ct.Context()
+		}
 		p.env.Engine.After(0, func() {
+			if ct := p.env.Crit; ct != nil {
+				ct.SetContext(cur)
+				defer ct.ClearContext()
+			}
 			p.handleReq(m.Dst, m)
 			p.env.Net.Release(m)
 		})

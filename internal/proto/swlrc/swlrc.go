@@ -335,6 +335,9 @@ func (p *Protocol) handleRead(m *network.Msg) {
 		tr.Instant(here, trace.CatProto, "forward",
 			trace.A("block", int64(b)), trace.A("owner", int64(d.owner)))
 	}
+	if ct := p.env.Crit; ct != nil {
+		ct.MarkForward()
+	}
 	p.env.Send(here, &network.Msg{Dst: int(d.owner), Kind: kRead, Block: b, A: m.A, B: m.B, Bytes: m.Bytes})
 }
 
@@ -378,6 +381,9 @@ func (p *Protocol) handleOwn(m *network.Msg) {
 		if tr := p.env.Tracer; tr != nil {
 			tr.Instant(here, trace.CatProto, "forward",
 				trace.A("block", int64(b)), trace.A("owner", int64(d.owner)))
+		}
+		if ct := p.env.Crit; ct != nil {
+			ct.MarkForward()
 		}
 		p.env.Send(here, &network.Msg{Dst: int(d.owner), Kind: kOwn, Block: b, A: m.A, B: m.B, Bytes: m.Bytes})
 		return
@@ -435,7 +441,17 @@ func (p *Protocol) handleOwnData(m *network.Msg) {
 	p.env.Procs[node].Unblock()
 	for _, wm := range waiting {
 		wm := wm
+		// Continuation of this handler: re-enter its event context so the
+		// re-dispatched request chains from the install that enabled it.
+		var cur int32
+		if ct := p.env.Crit; ct != nil {
+			cur = ct.Context()
+		}
 		p.env.Engine.After(0, func() {
+			if ct := p.env.Crit; ct != nil {
+				ct.SetContext(cur)
+				defer ct.ClearContext()
+			}
 			p.Handle(wm)
 			p.env.Net.Release(wm)
 		})

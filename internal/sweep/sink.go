@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"dsmsim/internal/core"
+	"dsmsim/internal/critpath"
 	"dsmsim/internal/metrics"
 	"dsmsim/internal/shareprof"
 	"dsmsim/internal/stats"
@@ -24,6 +25,7 @@ type Sink struct {
 	csv        *csvSink
 	samples    *sampleSink
 	profs      *profSink
+	crits      *critSink
 	histograms bool
 
 	// faultCol adds the fault-variant column to every CSV schema and a
@@ -44,11 +46,11 @@ type Sink struct {
 	closed bool
 }
 
-// NewSink builds a sink. progress, csv, samples and profs may be nil;
-// histograms adds a latency-distribution line after each run record;
+// NewSink builds a sink. progress, csv, samples, profs and crits may be
+// nil; histograms adds a latency-distribution line after each run record;
 // enriched selects the counter-prefixed progress format (the live-metrics
 // mode); faultCol adds the fault-variant column (fault-grid sweeps).
-func NewSink(progress, csv io.Writer, histograms bool, samples, profs io.Writer, enriched, faultCol bool) *Sink {
+func NewSink(progress, csv io.Writer, histograms bool, samples, profs, crits io.Writer, enriched, faultCol bool) *Sink {
 	s := &Sink{progress: progress, histograms: histograms, enriched: enriched,
 		faultCol: faultCol, ch: make(chan func(), 64), done: make(chan struct{})}
 	if csv != nil {
@@ -59,6 +61,9 @@ func NewSink(progress, csv io.Writer, histograms bool, samples, profs io.Writer,
 	}
 	if profs != nil {
 		s.profs = &profSink{w: profs, fault: faultCol}
+	}
+	if crits != nil {
+		s.crits = &critSink{w: crits, fault: faultCol}
 	}
 	go func() {
 		defer close(s.done)
@@ -110,6 +115,9 @@ func (s *Sink) Emit(k Key, res *core.Result) {
 		}
 		if s.profs != nil && !k.Sequential && res.Sharing != nil {
 			s.profs.Write(k, res)
+		}
+		if s.crits != nil && !k.Sequential && res.CritPath != nil {
+			s.crits.Write(k, res)
 		}
 	})
 }
@@ -280,6 +288,30 @@ func (c *profSink) Write(k Key, res *core.Result) {
 		}
 	}
 	c.w.Write(res.Sharing.AppendRows(nil, keyPrefix(k, res, c.fault)))
+}
+
+// critSink writes each run's critical-path component row prefixed with
+// the run-key columns. Same header discipline as csvSink, same ordered
+// delivery through the Sink goroutine, so the file is byte-identical at
+// any parallelism.
+type critSink struct {
+	mu     sync.Mutex
+	w      io.Writer
+	header bool
+	fault  bool
+}
+
+// Write appends one run's critical-path row.
+func (c *critSink) Write(k Key, res *core.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.header {
+		c.header = true
+		if !hasExistingData(c.w) {
+			fmt.Fprintln(c.w, keyHeader(c.fault)+critpath.CSVHeader)
+		}
+	}
+	c.w.Write(res.CritPath.AppendRow(nil, keyPrefix(k, res, c.fault)))
 }
 
 // hasExistingData reports whether w is a seekable file that already holds

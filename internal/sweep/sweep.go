@@ -26,6 +26,7 @@ import (
 
 	"dsmsim/internal/apps"
 	"dsmsim/internal/core"
+	"dsmsim/internal/critpath"
 	"dsmsim/internal/faults"
 	"dsmsim/internal/metrics"
 	"dsmsim/internal/network"
@@ -168,6 +169,20 @@ type Options struct {
 	// columns, in canonical sweep order — byte-identical at any
 	// parallelism. Requires ShareProfile.
 	ProfCSV io.Writer
+	// CritPath attaches the critical-path profiler to every
+	// non-sequential run: Result.CritPath carries the exact critical
+	// path's component/node/region breakdown. Observational — every
+	// other output stays byte-identical.
+	CritPath bool
+	// CritCSV, if non-nil, receives each run's critical-path row
+	// prefixed with the run-key columns, in canonical sweep order —
+	// byte-identical at any parallelism. Requires CritPath.
+	CritCSV io.Writer
+	// WhatIf, when non-nil, re-simulates every non-sequential run with
+	// one cost class rescaled (the causal what-if experiment). Unlike
+	// CritPath this changes results — route the output to a separate
+	// file when comparing against a baseline sweep.
+	WhatIf *critpath.Scale
 	// Metrics, if non-nil, receives live progress (point started/done,
 	// wall-clock runtimes) for the HTTP exporter, and switches the
 	// progress lines to the enriched format with a completion counter.
@@ -215,7 +230,7 @@ func New(opts Options) *Engine {
 		memo: NewMemo(),
 		cps:  &cpMemo{},
 		sink: NewSink(opts.Progress, opts.CSV, opts.Histograms,
-			opts.SampleCSV, opts.ProfCSV, opts.Metrics != nil,
+			opts.SampleCSV, opts.ProfCSV, opts.CritCSV, opts.Metrics != nil,
 			len(opts.FaultGrid) > 0),
 	}
 }
@@ -255,8 +270,13 @@ func (e *Engine) runKey(ctx context.Context, k Key) (*core.Result, error, bool) 
 				pr.FalseSharing = sh.Total.FalseFaults
 				pr.FalseFraction = sh.FalseSharingFraction()
 			}
+			pr.Crit = res.CritPath
 		}
 		reg.PointDone(pr)
+		if e.opts.Fork {
+			fs := e.ForkStats()
+			reg.SetForkStats(fs.Prefixes, fs.ForkedRuns, fs.SavedWall)
+		}
 	}
 	return res, err, fresh
 }
@@ -390,6 +410,8 @@ func (e *Engine) compute(ctx context.Context, k Key) (*core.Result, error) {
 		cfg.Notify = k.Notify
 		cfg.Faults = plan
 		cfg.ShareProfile = e.opts.ShareProfile
+		cfg.CritPath = e.opts.CritPath
+		cfg.WhatIf = e.opts.WhatIf
 	}
 	app := entry.New(e.opts.Size)
 	verify := e.opts.Verify || e.opts.Size == apps.Small

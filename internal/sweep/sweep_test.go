@@ -320,7 +320,7 @@ func TestCSVSinkAppendAware(t *testing.T) {
 
 func TestSinkSerializesLogf(t *testing.T) {
 	var buf bytes.Buffer
-	s := NewSink(&buf, nil, false, nil, nil, false, false)
+	s := NewSink(&buf, nil, false, nil, nil, nil, false, false)
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		i := i
@@ -347,7 +347,7 @@ func TestSinkSerializesLogf(t *testing.T) {
 
 func TestSinkEmitAfterClose(t *testing.T) {
 	var buf bytes.Buffer
-	s := NewSink(&buf, nil, false, nil, nil, false, false)
+	s := NewSink(&buf, nil, false, nil, nil, nil, false, false)
 	s.Close()
 	s.Logf("late") // must not panic; degrades to synchronous
 	if !bytes.Contains(buf.Bytes(), []byte("late")) {

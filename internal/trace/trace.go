@@ -39,6 +39,7 @@ const (
 	CatMem   = "mem"   // memory: access-fault spans, tag transitions
 	CatProto = "proto" // protocol: fetch, twin/diff, inval, forwarding
 	CatSynch = "synch" // synchronization: lock/barrier waits, intervals
+	CatCrit  = "crit"  // critical path: per-node lanes of the recovered chain
 )
 
 // EngineNode marks events emitted by the engine itself rather than a node.
@@ -211,6 +212,8 @@ func catTID(cat string) int {
 		return 3
 	case CatNet:
 		return 4
+	case CatCrit:
+		return 5
 	default:
 		return 9
 	}

@@ -3,6 +3,7 @@ package dsmsim
 import (
 	"io"
 
+	"dsmsim/internal/critpath"
 	"dsmsim/internal/sweep"
 )
 
@@ -22,6 +23,8 @@ type options struct {
 	limit        Time
 	sampleEvery  Time
 	shareProfile bool
+	critPath     bool
+	whatIf       *critpath.Scale
 	// Single-run only: per-run event trace writers. Ignored by Sweep,
 	// where parallel runs would interleave on one writer.
 	trace     io.Writer
@@ -35,6 +38,7 @@ type options struct {
 	histograms bool
 	sampleCSV  io.Writer
 	profCSV    io.Writer
+	critCSV    io.Writer
 	metrics    *Metrics
 }
 
@@ -124,6 +128,33 @@ func WithShareProfile() Option { return func(c *options) { c.shareProfile = true
 // canonical sweep order — byte-identical at any parallelism. Sweep only;
 // requires WithShareProfile.
 func WithProfCSV(w io.Writer) Option { return func(c *options) { c.profCSV = w } }
+
+// WithCritPath attaches the critical-path profiler to the run (Start) or
+// to every non-sequential run of the sweep: the exact longest dependency
+// chain of the execution is recovered — its segments sum to the run's
+// completion time to the nanosecond — and attributed per component
+// (compute, straggler dilation, runtime overhead, message wire, message
+// service, lock wait, barrier wait, home forwarding, retransmission), per
+// node and per heap region, into Result.CritPath. Profiling is strictly
+// observational: virtual time and every other Result field are
+// byte-identical to an unprofiled run.
+func WithCritPath() Option { return func(c *options) { c.critPath = true } }
+
+// WithCritCSV streams every run's critical-path component row to w,
+// prefixed with the run-key columns, in canonical sweep order —
+// byte-identical at any parallelism. Sweep only; requires WithCritPath.
+func WithCritCSV(w io.Writer) Option { return func(c *options) { c.critCSV = w } }
+
+// WithWhatIf rescales one cost class of the machine — compute, message
+// wire latency, message service occupancy, lock traffic, barrier traffic
+// — by the scale's factor and re-simulates exactly (COZ-style causal
+// profiling, but with the true counterfactual executed rather than
+// estimated). Compare the rescaled run's time against the baseline's
+// CritPath.Predict to separate what the critical path predicts from what
+// the full dependency structure delivers. Build scales with ParseWhatIf
+// ("lock=0.5", "msg=0"). Applies to Start and to every non-sequential
+// run of the sweep.
+func WithWhatIf(s *CritScale) Option { return func(c *options) { c.whatIf = s } }
 
 // WithTrace streams the run's deterministic line-format event log to w:
 // every fault, synchronization operation, message send/service — and,

@@ -37,6 +37,12 @@ func Start(ctx context.Context, cfg Config, app App, opts ...Option) (*Result, e
 	if c.shareProfile {
 		cfg.ShareProfile = true
 	}
+	if c.critPath {
+		cfg.CritPath = true
+	}
+	if c.whatIf != nil {
+		cfg.WhatIf = c.whatIf
+	}
 	m, err := NewMachine(cfg)
 	if err != nil {
 		return nil, err

@@ -163,6 +163,10 @@ func Sweep(ctx context.Context, spec SweepSpec, opts ...Option) (*SweepResult, e
 
 		ShareProfile: c.shareProfile,
 		ProfCSV:      c.profCSV,
+
+		CritPath: c.critPath,
+		CritCSV:  c.critCSV,
+		WhatIf:   c.whatIf,
 	})
 	points := sweep.Dedupe(sweep.Spec{
 		Apps:          spec.Apps,
