@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test test-short bench bench-json bench-sweep examples paper verify-paper trace-demo sweep-demo metrics-demo faults-demo prof-demo crit-demo scale-demo fork-demo clean
+.PHONY: all test test-short bench bench-json bench-sweep examples paper verify-paper trace-demo sweep-demo metrics-demo faults-demo prof-demo crit-demo scale-demo fork-demo tlc-demo clean
 
 all: test
 
@@ -133,6 +133,16 @@ scale-demo:
 	$(GO) run ./cmd/dsmrun -app fft,lu -protocol all -block 4096 -nodes 256
 	$(GO) run ./cmd/dsmrun -app lu -protocol hlrc -block 4096 -nodes 1024
 	@echo "verified runs at 256 and 1024 nodes completed"
+
+# Demonstrate the timestamp-lease protocol: one verified lock-heavy run
+# under tlc (leases self-expire against the logical clock; no
+# invalidation fan-out), a verified four-family sweep at both granularity
+# extremes, then the registry-driven comparison table with tlc's lease
+# traffic in the last column.
+tlc-demo:
+	$(GO) run ./cmd/dsmrun -app water-nsquared -protocol tlc -block 1024 -nodes 8
+	$(GO) run ./cmd/dsmrun -app fft,lu -protocol all -block 64,4096 -nodes 4
+	$(GO) run ./cmd/dsmbench -exp fourway -nodes 4 -size small -progress=false
 
 # Demonstrate checkpoint/fork warmup sharing: the same fault-grid sweep
 # (three variants per configuration, plans gated on barrier 6) run flat

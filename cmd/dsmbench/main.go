@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"dsmsim/internal/apps"
+	"dsmsim/internal/core"
 	"dsmsim/internal/critpath"
 	"dsmsim/internal/faults"
 	"dsmsim/internal/harness"
@@ -39,6 +40,7 @@ import (
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment name (see -list) or 'all'")
+		protocol = flag.String("protocol", "", "override the matrix experiments' protocol set, comma-separated or 'all' (default: the paper's "+strings.Join(core.Protocols, ", ")+"; registered: "+strings.Join(core.ProtocolNames(), ", ")+")")
 		size     = flag.String("size", "small", "problem size: small or paper")
 		nodes    = flag.Int("nodes", 16, "cluster size")
 		verify   = flag.Bool("verify", false, "verify every run's numeric result (slow at paper size)")
@@ -89,6 +91,7 @@ func main() {
 	if *size == "paper" {
 		opts.Size = apps.Paper
 	}
+	opts.Protocols = protocolList(*protocol)
 	if *progress {
 		opts.Progress = os.Stderr
 	}
@@ -218,6 +221,29 @@ func main() {
 		case <-ctx.Done():
 		}
 	}
+}
+
+// protocolList parses the -protocol override: "" keeps the paper matrix,
+// "all" selects the registry's whole catalog, otherwise each
+// comma-separated name must be registered.
+func protocolList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	if s == "all" {
+		return core.ProtocolNames()
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p == "" {
+			continue
+		}
+		if core.ProtocolTitle(p) == "" {
+			fatal(fmt.Errorf("unknown protocol %q (registered: %s)", p, strings.Join(core.ProtocolNames(), ", ")))
+		}
+		out = append(out, p)
+	}
+	return out
 }
 
 // seedList parses the comma-separated -fault-seed value.

@@ -34,7 +34,7 @@ import (
 func main() {
 	var (
 		app      = flag.String("app", "lu", "application(s), comma-separated or 'all': "+strings.Join(dsmsim.AppNames(), ", "))
-		protocol = flag.String("protocol", "hlrc", "coherence protocol(s), comma-separated or 'all': sc, swlrc, hlrc, dc")
+		protocol = flag.String("protocol", "hlrc", "coherence protocol(s), comma-separated or 'all': "+strings.Join(dsmsim.AllProtocols(), ", "))
 		block    = flag.String("block", "4096", "coherence granularity list in bytes (64, 256, 1024, 4096) or 'all'")
 		notify   = flag.String("notify", "polling", "message notification(s): polling, interrupt, or both comma-separated")
 		nodes    = flag.Int("nodes", 16, "cluster size")
@@ -80,7 +80,7 @@ func main() {
 
 	spec := dsmsim.SweepSpec{
 		Apps:          splitList(*app, dsmsim.AppNames()),
-		Protocols:     splitList(*protocol, []string{dsmsim.SC, dsmsim.SWLRC, dsmsim.HLRC}),
+		Protocols:     splitList(*protocol, dsmsim.AllProtocols()),
 		Granularities: intList(*block, dsmsim.Granularities),
 		Notify:        notifyList(*notify),
 		Nodes:         *nodes,

@@ -5,12 +5,14 @@
 // Performance Evaluation" (Zhou, Iftode, Singh, Li, Toonen, Schoinas,
 // Hill, Wood — PPoPP 1997).
 //
-// The library provides three coherence protocols — sequential consistency
-// (SC, a Stache-style directory protocol), single-writer lazy release
-// consistency (SW-LRC), and home-based lazy release consistency (HLRC,
-// multiple writer with twins and diffs) — at any power-of-two coherence
-// granularity, over a Myrinet-calibrated network model with polling- or
-// interrupt-based message notification.
+// The library provides the paper's three coherence protocols —
+// sequential consistency (SC, a Stache-style directory protocol),
+// single-writer lazy release consistency (SW-LRC), and home-based lazy
+// release consistency (HLRC, multiple writer with twins and diffs) —
+// plus two registered extensions, delayed consistency (DC) and
+// Tardis-style timestamp lease coherence (TLC), at any power-of-two
+// coherence granularity, over a Myrinet-calibrated network model with
+// polling- or interrupt-based message notification.
 //
 // Applications program against Ctx: typed reads and writes of a shared
 // address space (access-checked per coherence block), explicit computation
@@ -125,15 +127,20 @@ func ParseWhatIf(spec string) (*CritScale, error) { return critpath.ParseScale(s
 // NewMetrics creates a live metrics registry for WithMetrics.
 func NewMetrics() *Metrics { return metrics.NewRegistry() }
 
-// Protocol names. DC (delayed consistency) is this library's extension
-// beyond the paper's three protocols: SC's directory protocol with
-// receiver-buffered invalidations applied at synchronization points, the
-// §7 future-work direction.
+// Protocol names. DC (delayed consistency) and TLC (timestamp lease
+// coherence) are this library's extensions beyond the paper's three
+// protocols: DC is SC's directory protocol with receiver-buffered
+// invalidations applied at synchronization points (the §7 future-work
+// direction); TLC is a Tardis-style lease protocol where readers take
+// logical-time leases instead of joining copysets and writers never send
+// an invalidation. The authoritative catalog is the protocol registry —
+// see AllProtocols and ProtocolTitle.
 const (
 	SC    = core.SC
 	SWLRC = core.SWLRC
 	HLRC  = core.HLRC
 	DC    = core.DC
+	TLC   = core.TLC
 )
 
 // Notification mechanisms (§5.4 of the paper).
@@ -157,8 +164,18 @@ const (
 	Paper = apps.Paper
 )
 
-// Protocols lists all protocol names in the paper's order.
+// Protocols lists the paper's three protocol names in the paper's order;
+// extensions (DC, TLC) are selectable but excluded so reproduction
+// sweeps stay faithful to the paper's matrix.
 var Protocols = core.Protocols
+
+// AllProtocols returns every registered protocol name in registry order
+// — the catalog behind the CLIs' "all" selector.
+func AllProtocols() []string { return core.ProtocolNames() }
+
+// ProtocolTitle returns a protocol's registered one-line description, or
+// "" for an unknown name.
+func ProtocolTitle(name string) string { return core.ProtocolTitle(name) }
 
 // Granularities lists the paper's coherence block sizes.
 var Granularities = core.Granularities

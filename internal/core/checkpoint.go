@@ -262,15 +262,21 @@ func (r *run) capture(epoch int) (*Checkpoint, error) {
 		now:        r.engine.Now(),
 		seq:        r.engine.Seq(),
 		homes:      r.env.Homes.Clone(),
-		log:        r.env.Log.Clone(),
 		protoState: ps,
 		sy:         r.sy.CaptureState(),
 		phases:     r.phases.CaptureState(),
 	}
+	if r.env.Log != nil {
+		// Log and VCs exist only for the clock-carrying protocols (see
+		// proto.Meta.NeedsClocks); cp.log nil and cp.vcs empty otherwise.
+		cp.log = r.env.Log.Clone()
+	}
 	for i := 0; i < r.cfg.Nodes; i++ {
 		cp.spaces = append(cp.spaces, r.env.Spaces[i].State())
 		cp.stats = append(cp.stats, *r.env.Stats[i])
-		cp.vcs = append(cp.vcs, r.env.VCs[i].Clone())
+		if len(r.env.VCs) > 0 {
+			cp.vcs = append(cp.vcs, r.env.VCs[i].Clone())
+		}
 		eps, err := r.net.Endpoint(i).CaptureState()
 		if err != nil {
 			return nil, fmt.Errorf("core: checkpoint at epoch %d, node %d: %w", epoch, i, err)
@@ -319,7 +325,9 @@ func (r *run) restore(cp *Checkpoint) error {
 		}
 	}
 	r.env.Homes.RestoreFrom(cp.homes)
-	r.env.Log.RestoreFrom(cp.log)
+	if r.env.Log != nil {
+		r.env.Log.RestoreFrom(cp.log)
+	}
 	if err := r.p.(proto.Checkpointer).RestoreState(cp.protoState); err != nil {
 		return err
 	}
@@ -327,7 +335,9 @@ func (r *run) restore(cp *Checkpoint) error {
 	for i := 0; i < r.cfg.Nodes; i++ {
 		r.env.Spaces[i].Restore(cp.spaces[i])
 		*r.env.Stats[i] = cp.stats[i]
-		r.env.VCs[i] = cp.vcs[i].Clone()
+		if len(r.env.VCs) > 0 {
+			r.env.VCs[i] = cp.vcs[i].Clone()
+		}
 		r.net.Endpoint(i).RestoreState(cp.eps[i])
 	}
 	for b := range r.writers {
@@ -359,7 +369,9 @@ func (cp *Checkpoint) Digest() uint64 {
 			d.Int(int(t))
 		}
 		digestStats(d, &cp.stats[i])
-		cp.vcs[i].AddToDigest(d)
+		if i < len(cp.vcs) {
+			cp.vcs[i].AddToDigest(d)
+		}
 		ep := &cp.eps[i]
 		d.I64(int64(ep.BusyUntil))
 		d.I64(int64(ep.HoldoffUntil))
@@ -376,7 +388,9 @@ func (cp *Checkpoint) Digest() uint64 {
 		d.I64(int64(cp.barFlush0[i]))
 	}
 	cp.homes.AddToDigest(d)
-	cp.log.AddToDigest(d)
+	if cp.log != nil {
+		cp.log.AddToDigest(d)
+	}
 	cp.sy.AddToDigest(d)
 	if dg, ok := cp.protoState.(proto.Digestable); ok {
 		dg.AddToDigest(d)
@@ -395,7 +409,8 @@ func digestStats(d *proto.Digest, n *stats.Node) {
 		s.ReadFaults, s.WriteFaults, s.Invalidations, s.TwinsCreated,
 		s.DiffsCreated, s.DiffsApplied, s.DiffPayloadBytes,
 		s.WriteNoticesSent, s.WriteNoticesRecv, s.HomeMigrations,
-		s.Forwards, s.LockAcquires, s.BarrierEntries,
+		s.Forwards, s.LeaseRenewals, s.LeaseExpiries, s.TimestampJumps,
+		s.LockAcquires, s.BarrierEntries,
 		int64(s.Compute), int64(s.ReadStall), int64(s.WriteStall),
 		int64(s.LockStall), int64(s.BarrierStall), int64(s.FlushTime),
 		int64(s.Stolen),

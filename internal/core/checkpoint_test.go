@@ -9,6 +9,11 @@ import (
 	"dsmsim/internal/faults"
 )
 
+// testProtocols is the paper's protocol matrix plus the tlc lease
+// extension: the checkpoint and critical-path invariants must hold for
+// every registered protocol family, not just the reproduction set.
+var testProtocols = append(append([]string(nil), core.Protocols...), core.TLC)
+
 // forkApps lists the resumable applications with their Small-size barrier
 // counts; the equivalence chain below walks every epoch of each.
 var forkApps = []struct {
@@ -28,7 +33,7 @@ var forkApps = []struct {
 // changes the digest.
 func TestForkDigestEquivalence(t *testing.T) {
 	for _, ap := range forkApps {
-		for _, protocol := range core.Protocols {
+		for _, protocol := range testProtocols {
 			ap, protocol := ap, protocol
 			t.Run(ap.name+"/"+protocol, func(t *testing.T) {
 				t.Parallel()
@@ -69,7 +74,7 @@ func TestForkDigestEquivalence(t *testing.T) {
 // every deterministic Result field against the flat run — the
 // forked-sweep-output-is-byte-identical property at the core level.
 func TestForkResultMatchesFlat(t *testing.T) {
-	for _, protocol := range core.Protocols {
+	for _, protocol := range testProtocols {
 		protocol := protocol
 		t.Run(protocol, func(t *testing.T) {
 			t.Parallel()
@@ -112,7 +117,7 @@ func TestForkWithGatedFaultsMatchesFlat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, protocol := range core.Protocols {
+	for _, protocol := range testProtocols {
 		protocol := protocol
 		t.Run(protocol, func(t *testing.T) {
 			t.Parallel()

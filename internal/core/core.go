@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 
 	"dsmsim/internal/critpath"
 	"dsmsim/internal/faults"
@@ -17,18 +18,25 @@ import (
 	"dsmsim/internal/metrics"
 	"dsmsim/internal/network"
 	"dsmsim/internal/proto"
-	"dsmsim/internal/proto/hlrc"
-	"dsmsim/internal/proto/sc"
-	"dsmsim/internal/proto/swlrc"
 	"dsmsim/internal/shareprof"
 	"dsmsim/internal/sim"
 	"dsmsim/internal/stats"
 	"dsmsim/internal/synch"
 	"dsmsim/internal/timing"
 	"dsmsim/internal/trace"
+
+	// Protocol packages self-register with the proto registry from init;
+	// these imports are what put them in the catalog. Everything below —
+	// Protocols, ProtocolNames, Validate, construction — derives the
+	// protocol set from that registry, never from a hardcoded list.
+	_ "dsmsim/internal/proto/hlrc"
+	_ "dsmsim/internal/proto/sc"
+	_ "dsmsim/internal/proto/swlrc"
+	_ "dsmsim/internal/proto/tlc"
 )
 
-// Protocol names accepted by Config.Protocol.
+// Well-known protocol names accepted by Config.Protocol; the
+// authoritative catalog is the proto registry (see ProtocolNames).
 const (
 	SC    = "sc"
 	SWLRC = "swlrc"
@@ -37,11 +45,31 @@ const (
 	// with receiver-buffered invalidations applied at synchronization
 	// points — the extension §7 of the paper names as unexamined.
 	DC = "dc"
+	// TLC is timestamp/lease coherence (in the spirit of Tardis 2.0):
+	// readers take logical-time leases instead of joining copysets,
+	// writers bump the block's write timestamp past every outstanding
+	// lease, and stale copies self-expire at acquires — no invalidation
+	// fan-out at all.
+	TLC = "tlc"
 )
 
 // Protocols lists the paper's three protocol names, in the paper's order
-// (the DC extension is selectable but not part of the paper's matrix).
-var Protocols = []string{SC, SWLRC, HLRC}
+// (extensions like DC and TLC are selectable but not part of the paper's
+// matrix). Sourced from the registry's Paper-flagged registrations.
+var Protocols = proto.PaperNames()
+
+// ProtocolNames lists every registered protocol in registry order —
+// the full catalog behind the CLIs' "all" selector and help strings.
+func ProtocolNames() []string { return proto.Names() }
+
+// ProtocolTitle returns the registered one-line description of a
+// protocol, or "" for an unknown name.
+func ProtocolTitle(name string) string {
+	if reg, ok := proto.Lookup(name); ok {
+		return reg.Meta.Title
+	}
+	return ""
+}
 
 // Granularities lists the paper's coherence block sizes.
 var Granularities = []int{64, 256, 1024, 4096}
@@ -139,7 +167,8 @@ var (
 	ErrBadBlockSize = errors.New("core: block size is not a power of two")
 	// ErrNoProtocol reports a non-sequential config with no protocol named.
 	ErrNoProtocol = errors.New("core: no protocol selected")
-	// ErrUnknownProtocol reports a protocol name outside SC/SWLRC/HLRC/DC.
+	// ErrUnknownProtocol reports a protocol name absent from the proto
+	// registry; the wrapped message carries the registered-name list.
 	ErrUnknownProtocol = errors.New("core: unknown protocol")
 	// ErrBadFaultPlan wraps a fault-plan rule that fails validation.
 	ErrBadFaultPlan = errors.New("core: invalid fault plan")
@@ -156,15 +185,15 @@ func (c *Config) Validate() error {
 	if c.BlockSize <= 0 || c.BlockSize&(c.BlockSize-1) != 0 {
 		return fmt.Errorf("%w: %d", ErrBadBlockSize, c.BlockSize)
 	}
-	switch c.Protocol {
-	case SC, SWLRC, HLRC, DC:
-	case "":
+	if c.Protocol == "" {
 		if !c.Sequential {
 			return ErrNoProtocol
 		}
 		c.Protocol = SC
-	default:
-		return fmt.Errorf("%w: %q", ErrUnknownProtocol, c.Protocol)
+	}
+	if _, ok := proto.Lookup(c.Protocol); !ok {
+		return fmt.Errorf("%w: %q (registered: %s)",
+			ErrUnknownProtocol, c.Protocol, strings.Join(proto.Names(), ", "))
 	}
 	if err := c.Faults.ValidateFor(c.Nodes); err != nil {
 		return fmt.Errorf("%w: %w", ErrBadFaultPlan, err)
@@ -405,32 +434,37 @@ func (m *Machine) buildRun(ctx context.Context, app App, cp *Checkpoint) (*run, 
 	}
 	tr := r.tr
 
+	reg, ok := proto.Lookup(cfg.Protocol)
+	if !ok {
+		// Validate catches this in every public path; machines are only
+		// built from validated configs.
+		return nil, fmt.Errorf("%w: %q (registered: %s)",
+			ErrUnknownProtocol, cfg.Protocol, strings.Join(proto.Names(), ", "))
+	}
 	env := &proto.Env{
 		Engine: engine,
 		Model:  r.model,
 		Net:    net,
 		Homes:  proto.NewHomes(cfg.Nodes, r.heapSize/cfg.BlockSize),
-		Log:    proto.NewLog(cfg.Nodes),
 		Master: r.master,
 		Tracer: tr,
 	}
 	r.env = env
+	if reg.Meta.NeedsClocks {
+		// Only the LRC family exchanges vector clocks and write notices;
+		// for the others the n-entry-per-node clocks (n² at 1024 nodes)
+		// are never allocated.
+		env.Log = proto.NewLog(cfg.Nodes)
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		env.Spaces = append(env.Spaces, mem.NewSpace(r.heapSize, cfg.BlockSize))
 		env.Stats = append(env.Stats, &stats.Node{})
-		env.VCs = append(env.VCs, proto.NewVC(cfg.Nodes))
+		if reg.Meta.NeedsClocks {
+			env.VCs = append(env.VCs, proto.NewVC(cfg.Nodes))
+		}
 	}
 
-	switch cfg.Protocol {
-	case SC:
-		r.p = sc.New(env)
-	case DC:
-		r.p = sc.NewDelayed(env)
-	case SWLRC:
-		r.p = swlrc.New(env)
-	case HLRC:
-		r.p = hlrc.New(env)
-	}
+	r.p = reg.New(env)
 	r.sy = synch.New(env)
 	r.sy.SetProtocol(r.p)
 

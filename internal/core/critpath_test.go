@@ -54,7 +54,7 @@ func checkExact(t *testing.T, res *core.Result) {
 // with the profiler attached and asserts the exact-path invariant.
 func TestCritPathExactInvariant(t *testing.T) {
 	for _, entry := range apps.All() {
-		for _, protocol := range core.Protocols {
+		for _, protocol := range testProtocols {
 			entry, protocol := entry, protocol
 			t.Run(entry.Name+"/"+protocol, func(t *testing.T) {
 				t.Parallel()
@@ -85,7 +85,7 @@ func TestCritPathExactInvariantUnderFaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, app := range []string{"fft", "lu", "ocean-rowwise"} {
-		for _, protocol := range core.Protocols {
+		for _, protocol := range testProtocols {
 			app, protocol := app, protocol
 			t.Run(app+"/"+protocol, func(t *testing.T) {
 				t.Parallel()
@@ -115,7 +115,7 @@ func TestCritPathExactInvariantUnderFaults(t *testing.T) {
 // simulation — every deterministic Result field matches a profiler-off
 // run of the same configuration, and profiler-off runs carry no report.
 func TestCritPathObservational(t *testing.T) {
-	for _, protocol := range core.Protocols {
+	for _, protocol := range testProtocols {
 		protocol := protocol
 		t.Run(protocol, func(t *testing.T) {
 			t.Parallel()
@@ -155,7 +155,7 @@ func mustMachine(t *testing.T, cfg core.Config) *core.Machine {
 // the tracker's captured chain state (including the cut barrier-arrive
 // context) splices the suffix onto the prefix exactly.
 func TestCritPathForkMatchesFlat(t *testing.T) {
-	for _, protocol := range core.Protocols {
+	for _, protocol := range testProtocols {
 		protocol := protocol
 		t.Run(protocol, func(t *testing.T) {
 			t.Parallel()

@@ -58,7 +58,7 @@ func (r *Runner) Fig1() error {
 	r.printf("Figure 1: Speedups on %d nodes (polling)\n", r.opts.Nodes)
 	r.printf("%-18s %-6s %8s %8s %8s %8s\n", "Application", "Proto", "64B", "256B", "1KB", "4KB")
 	for _, e := range apps.All() {
-		for _, p := range core.Protocols {
+		for _, p := range r.opts.protocols() {
 			r.printf("%-18s %-6s", e.Name, p)
 			for _, g := range core.Granularities {
 				s, err := r.Speedup(e.Name, p, g, network.Polling)
@@ -96,7 +96,7 @@ func (r *Runner) Table2() error {
 			comp = per.String()
 		}
 		best, bestAt := 0.0, ""
-		for _, p := range core.Protocols {
+		for _, p := range r.opts.protocols() {
 			for _, g := range core.Granularities {
 				s, err := r.Speedup(e.Name, p, g, network.Polling)
 				if err != nil {
@@ -121,7 +121,7 @@ func (r *Runner) FaultTable(app string) error {
 	r.printf("Fault counts for %s (totals over %d nodes)\n", app, r.opts.Nodes)
 	r.printf("%-6s %-6s %10s %10s %10s %10s\n", "Fault", "Proto", "64B", "256B", "1KB", "4KB")
 	for _, kind := range []string{"read", "write"} {
-		for _, p := range core.Protocols {
+		for _, p := range r.opts.protocols() {
 			r.printf("%-6s %-6s", kind, p)
 			for _, g := range core.Granularities {
 				res, err := r.Result(app, p, g, network.Polling)
@@ -147,7 +147,7 @@ func (r *Runner) Table15() error {
 	const app = "barnes-original"
 	r.printf("Table 15: %s data traffic (MB total)\n", app)
 	r.printf("%-6s %10s %10s %10s %10s\n", "Proto", "64B", "256B", "1KB", "4KB")
-	for _, p := range core.Protocols {
+	for _, p := range r.opts.protocols() {
 		r.printf("%-6s", p)
 		for _, g := range core.Granularities {
 			res, err := r.Result(app, p, g, network.Polling)
@@ -168,7 +168,7 @@ func (r *Runner) reTable(title string, speedup func(app, proto string, g int) (f
 	sp := map[string]map[string]map[int]float64{}
 	for _, app := range appsList {
 		sp[app] = map[string]map[int]float64{}
-		for _, p := range core.Protocols {
+		for _, p := range r.opts.protocols() {
 			sp[app][p] = map[int]float64{}
 			for _, g := range core.Granularities {
 				s, err := speedup(app, p, g)
@@ -181,7 +181,7 @@ func (r *Runner) reTable(title string, speedup func(app, proto string, g int) (f
 	}
 	maxOf := func(app string) float64 {
 		best := 0.0
-		for _, p := range core.Protocols {
+		for _, p := range r.opts.protocols() {
 			for _, g := range core.Granularities {
 				if sp[app][p][g] > best {
 					best = sp[app][p][g]
@@ -194,7 +194,7 @@ func (r *Runner) reTable(title string, speedup func(app, proto string, g int) (f
 
 	r.printf("%s\n", title)
 	r.printf("%-8s %8s %8s %8s %8s %8s\n", "Proto", "64B", "256B", "1KB", "4KB", "g_best")
-	for _, p := range core.Protocols {
+	for _, p := range r.opts.protocols() {
 		r.printf("%-8s", p)
 		for _, g := range core.Granularities {
 			var res []float64
@@ -222,7 +222,7 @@ func (r *Runner) reTable(title string, speedup func(app, proto string, g int) (f
 		var best []float64
 		for _, app := range appsList {
 			b := 0.0
-			for _, p := range core.Protocols {
+			for _, p := range r.opts.protocols() {
 				if re(app, p, g) > b {
 					b = re(app, p, g)
 				}
@@ -269,7 +269,7 @@ func (r *Runner) Fig2() error {
 	r.printf("Figure 2: Speedups with the interrupt mechanism\n")
 	r.printf("%-18s %-6s %8s %8s %8s %8s\n", "Application", "Proto", "64B", "256B", "1KB", "4KB")
 	for _, app := range []string{"lu", "water-nsquared"} {
-		for _, p := range core.Protocols {
+		for _, p := range r.opts.protocols() {
 			r.printf("%-18s %-6s", app, p)
 			for _, g := range core.Granularities {
 				s, err := r.Speedup(app, p, g, network.Interrupt)

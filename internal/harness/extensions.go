@@ -41,6 +41,11 @@ func init() {
 					[]string{core.SC, core.DC}, core.Granularities, polling, true)
 			},
 			(*Runner).DelayedTable},
+		{"fourway", "Four protocol families side by side: SC/DC invalidation, SW-LRC, HLRC, TLC leases",
+			func(o Options) []sweep.Key {
+				return o.matrix(fourwayApps, core.ProtocolNames(), core.Granularities, polling, true)
+			},
+			(*Runner).FourWayTable},
 		{"bigblocks", "Granularities beyond 4096 bytes (§7: not studied in the paper)",
 			func(o Options) []sweep.Key {
 				return o.matrix([]string{"lu", "water-spatial"},
@@ -265,6 +270,46 @@ func (r *Runner) DelayedTable() error {
 					return err
 				}
 				r.printf(" %8.2f", s)
+			}
+			r.printf("\n")
+		}
+	}
+	return nil
+}
+
+// fourwayApps pairs one false-sharing-bound barrier application with one
+// lock-bound one — the two regimes where the protocol families differ
+// most.
+var fourwayApps = []string{"ocean-rowwise", "water-nsquared"}
+
+// FourWayTable puts the registry's whole catalog side by side — the
+// paper's three protocols plus the delayed-consistency and timestamp-lease
+// extensions — across the paper's granularities. The protocol set comes
+// from the registry, so a newly registered family joins the comparison
+// without touching the harness. The trailing column shows what tlc pays
+// instead of invalidation fan-out: lease renewals, self-expiries and
+// clock jumps at page grain.
+func (r *Runner) FourWayTable() error {
+	r.printf("Four protocol families (speedups, polling)\n")
+	r.printf("%-18s %-6s %8s %8s %8s %8s   %s\n",
+		"Application", "Proto", "64B", "256B", "1KB", "4KB", "4KB lease traffic")
+	for _, app := range fourwayApps {
+		for _, p := range core.ProtocolNames() {
+			r.printf("%-18s %-6s", app, p)
+			for _, g := range core.Granularities {
+				s, err := r.Speedup(app, p, g, network.Polling)
+				if err != nil {
+					return err
+				}
+				r.printf(" %8.2f", s)
+			}
+			res, err := r.Result(app, p, 4096, network.Polling)
+			if err != nil {
+				return err
+			}
+			if t := res.Total; t.LeaseRenewals+t.LeaseExpiries+t.TimestampJumps > 0 {
+				r.printf("   renew=%d expire=%d jumps=%d",
+					t.LeaseRenewals, t.LeaseExpiries, t.TimestampJumps)
 			}
 			r.printf("\n")
 		}

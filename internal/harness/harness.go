@@ -96,6 +96,20 @@ type Options struct {
 	// pre-fault prefix is simulated once and forked per variant. Output
 	// stays byte-identical to flat execution.
 	Fork bool
+	// Protocols overrides the protocol set the matrix experiments sweep
+	// and render. Nil keeps the paper's three-protocol reproduction
+	// matrix (core.Protocols); any registered name is accepted — see
+	// core.ProtocolNames for the registry's catalog.
+	Protocols []string
+}
+
+// protocols resolves the runner's protocol set: the override when given,
+// the paper's reproduction matrix otherwise.
+func (o Options) protocols() []string {
+	if len(o.Protocols) > 0 {
+		return o.Protocols
+	}
+	return core.Protocols
 }
 
 // Runner executes and caches simulation runs via the sweep engine.
@@ -272,12 +286,12 @@ func Experiments() []Experiment {
 			(*Runner).Table1},
 		{"fig1", "Speedups: 12 apps × 3 protocols × 4 granularities (polling)",
 			func(o Options) []sweep.Key {
-				return o.matrix(apps.Names(), core.Protocols, core.Granularities, polling, true)
+				return o.matrix(apps.Names(), o.protocols(), core.Granularities, polling, true)
 			},
 			(*Runner).Fig1},
 		{"table2", "Classification of sharing patterns and synchronization granularity",
 			func(o Options) []sweep.Key {
-				return o.matrix(apps.Names(), core.Protocols, core.Granularities, polling, true)
+				return o.matrix(apps.Names(), o.protocols(), core.Granularities, polling, true)
 			},
 			(*Runner).Table2},
 	}
@@ -292,7 +306,7 @@ func Experiments() []Experiment {
 		exps = append(exps, Experiment{
 			fa.exp, fmt.Sprintf("Read/write fault counts for %s", fa.app),
 			func(o Options) []sweep.Key {
-				return o.matrix([]string{fa.app}, core.Protocols, core.Granularities, polling, false)
+				return o.matrix([]string{fa.app}, o.protocols(), core.Granularities, polling, false)
 			},
 			func(r *Runner) error { return r.FaultTable(fa.app) },
 		})
@@ -300,22 +314,22 @@ func Experiments() []Experiment {
 	exps = append(exps,
 		Experiment{"table15", "Barnes-Original data traffic by protocol and granularity",
 			func(o Options) []sweep.Key {
-				return o.matrix([]string{"barnes-original"}, core.Protocols, core.Granularities, polling, false)
+				return o.matrix([]string{"barnes-original"}, o.protocols(), core.Granularities, polling, false)
 			},
 			(*Runner).Table15},
 		Experiment{"table16", "HM of relative efficiency, original applications",
 			func(o Options) []sweep.Key {
-				return o.matrix(apps.Originals(), core.Protocols, core.Granularities, polling, true)
+				return o.matrix(apps.Originals(), o.protocols(), core.Granularities, polling, true)
 			},
 			(*Runner).Table16},
 		Experiment{"table17", "HM of relative efficiency, best version per combination",
 			func(o Options) []sweep.Key {
-				return o.matrix(apps.Names(), core.Protocols, core.Granularities, polling, true)
+				return o.matrix(apps.Names(), o.protocols(), core.Granularities, polling, true)
 			},
 			(*Runner).Table17},
 		Experiment{"fig2", "Speedups of LU and Water-Nsquared with the interrupt mechanism",
 			func(o Options) []sweep.Key {
-				return o.matrix([]string{"lu", "water-nsquared"}, core.Protocols, core.Granularities,
+				return o.matrix([]string{"lu", "water-nsquared"}, o.protocols(), core.Granularities,
 					[]network.Notify{network.Interrupt}, true)
 			},
 			(*Runner).Fig2},

@@ -72,8 +72,11 @@ func TestSpeedupPositive(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 29 {
-		t.Fatalf("experiments = %d, want 29 (table1-17, fig1-2, 10 extensions)", len(exps))
+	if len(exps) != 30 {
+		t.Fatalf("experiments = %d, want 30 (table1-17, fig1-2, 11 extensions)", len(exps))
+	}
+	if _, err := Get("fourway"); err != nil {
+		t.Fatal(err)
 	}
 	if _, err := Get("sharing"); err != nil {
 		t.Fatal(err)
@@ -155,7 +158,7 @@ func TestExtensionExperimentsSmall(t *testing.T) {
 		t.Skip("extension sweep")
 	}
 	r, out := testRunner(t)
-	for _, name := range []string{"memory", "scaling", "software", "delayed", "bigblocks", "breakdown"} {
+	for _, name := range []string{"memory", "scaling", "software", "delayed", "fourway", "bigblocks", "breakdown"} {
 		e, err := Get(name)
 		if err != nil {
 			t.Fatal(err)
@@ -165,7 +168,7 @@ func TestExtensionExperimentsSmall(t *testing.T) {
 		}
 	}
 	s := out.String()
-	for _, want := range []string{"memory utilization", "cluster size", "All-software"} {
+	for _, want := range []string{"memory utilization", "cluster size", "All-software", "Four protocol families", "tlc"} {
 		if !strings.Contains(s, want) {
 			t.Fatalf("missing %q in:\n%s", want, s)
 		}

@@ -24,6 +24,13 @@ import (
 	"dsmsim/internal/trace"
 )
 
+func init() {
+	proto.Register("hlrc", proto.Meta{
+		Title: "home-based lazy release consistency: twins and diffs flushed to homes (§2.3)",
+		Order: 40, Paper: true, NeedsClocks: true,
+	}, func(env *proto.Env) proto.Iface { return New(env) })
+}
+
 // Message kinds.
 const (
 	kFetch = proto.ProtoKindBase + iota

@@ -148,6 +148,24 @@ type Protocol interface {
 	Collect(b int) []byte
 }
 
+// TimestampCarrier is implemented by protocols whose consistency rides on
+// scalar per-node logical timestamps instead of vector clocks (the tlc
+// lease protocol). The synchronization layer piggybacks ReleaseTS's value
+// on lock releases and barrier arrivals — one extra int64 on the wire —
+// and delivers the release-side timestamp through AcquireTS when the
+// grant (or barrier release, carrying the arrival maximum) reaches the
+// acquiring node. Protocols that don't implement it cost the layer
+// nothing: every hook sits behind a nil check.
+type TimestampCarrier interface {
+	// ReleaseTS returns node's current logical timestamp; called in proc
+	// context when node releases a lock or arrives at a barrier.
+	ReleaseTS(node int) int64
+	// AcquireTS advances node's logical timestamp to at least ts and
+	// performs the protocol's acquire-time work (tlc sweeps its expired
+	// leases). Engine context, while node is blocked in the runtime.
+	AcquireTS(node int, ts int64)
+}
+
 // Checkpointer is implemented by protocols whose complete mutable state
 // can be captured at a quiescent cut (every proc blocked in a barrier, no
 // message in flight) and restored onto a freshly constructed instance of

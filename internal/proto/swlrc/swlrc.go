@@ -19,6 +19,13 @@ import (
 	"dsmsim/internal/trace"
 )
 
+func init() {
+	proto.Register("swlrc", proto.Meta{
+		Title: "single-writer lazy release consistency: migrating ownership, versioned reads (§2.2)",
+		Order: 30, Paper: true, NeedsClocks: true,
+	}, func(env *proto.Env) proto.Iface { return New(env) })
+}
+
 // Message kinds.
 const (
 	kRead = proto.ProtoKindBase + iota

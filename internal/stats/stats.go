@@ -22,6 +22,9 @@ type Node struct {
 	WriteNoticesRecv int64
 	HomeMigrations   int64 // blocks this node claimed by first touch
 	Forwards         int64 // requests this node forwarded to the real home
+	LeaseRenewals    int64 // read leases renewed with no data on the wire (TLC)
+	LeaseExpiries    int64 // leased copies self-invalidated at a timestamp jump (TLC)
+	TimestampJumps   int64 // logical-timestamp advances at acquires and write grants (TLC)
 
 	// Synchronization.
 	LockAcquires   int64
@@ -59,6 +62,9 @@ func (n *Node) Add(other *Node) {
 	n.WriteNoticesRecv += other.WriteNoticesRecv
 	n.HomeMigrations += other.HomeMigrations
 	n.Forwards += other.Forwards
+	n.LeaseRenewals += other.LeaseRenewals
+	n.LeaseExpiries += other.LeaseExpiries
+	n.TimestampJumps += other.TimestampJumps
 	n.LockAcquires += other.LockAcquires
 	n.BarrierEntries += other.BarrierEntries
 	n.Compute += other.Compute
@@ -95,6 +101,9 @@ type Snapshot struct {
 	WriteNoticesRecv int64
 	HomeMigrations   int64
 	Forwards         int64
+	LeaseRenewals    int64
+	LeaseExpiries    int64
+	TimestampJumps   int64
 	LockAcquires     int64
 	BarrierEntries   int64
 
@@ -121,6 +130,9 @@ func (n *Node) Snap() Snapshot {
 		WriteNoticesRecv: n.WriteNoticesRecv,
 		HomeMigrations:   n.HomeMigrations,
 		Forwards:         n.Forwards,
+		LeaseRenewals:    n.LeaseRenewals,
+		LeaseExpiries:    n.LeaseExpiries,
+		TimestampJumps:   n.TimestampJumps,
 		LockAcquires:     n.LockAcquires,
 		BarrierEntries:   n.BarrierEntries,
 		Compute:          n.Compute,
@@ -147,6 +159,9 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		WriteNoticesRecv: s.WriteNoticesRecv - prev.WriteNoticesRecv,
 		HomeMigrations:   s.HomeMigrations - prev.HomeMigrations,
 		Forwards:         s.Forwards - prev.Forwards,
+		LeaseRenewals:    s.LeaseRenewals - prev.LeaseRenewals,
+		LeaseExpiries:    s.LeaseExpiries - prev.LeaseExpiries,
+		TimestampJumps:   s.TimestampJumps - prev.TimestampJumps,
 		LockAcquires:     s.LockAcquires - prev.LockAcquires,
 		BarrierEntries:   s.BarrierEntries - prev.BarrierEntries,
 		Compute:          s.Compute - prev.Compute,
@@ -172,6 +187,9 @@ func (s Snapshot) AddTo(dst *Snapshot) {
 	dst.WriteNoticesRecv += s.WriteNoticesRecv
 	dst.HomeMigrations += s.HomeMigrations
 	dst.Forwards += s.Forwards
+	dst.LeaseRenewals += s.LeaseRenewals
+	dst.LeaseExpiries += s.LeaseExpiries
+	dst.TimestampJumps += s.TimestampJumps
 	dst.LockAcquires += s.LockAcquires
 	dst.BarrierEntries += s.BarrierEntries
 	dst.Compute += s.Compute

@@ -32,14 +32,20 @@ const (
 // Wire encoding on network.Msg's inline fields:
 //
 //	kLockAcquire:  A = lock, Payload = acquirer's proto.VC (nil under SC)
-//	kLockRelease:  A = lock
+//	kLockRelease:  A = lock, B = releaser's logical timestamp (carrier only)
 //	kLockGrantReq: A = lock, B = acquirer, Payload = acquirer's proto.VC
-//	kLockGrant:    A = lock, Payload = *grant or nil (direct grant, no notices)
-//	kBarArrive:    Payload = arriver's proto.VC (nil under SC)
-//	kBarRelease:   Payload = *barRelease or nil (SC: no notices to carry)
+//	kLockGrant:    A = lock, B = last release's logical timestamp (carrier
+//	               only), Payload = *grant or nil (direct grant, no notices)
+//	kBarArrive:    B = arriver's logical timestamp (carrier only),
+//	               Payload = arriver's proto.VC (nil under SC)
+//	kBarRelease:   B = max arrival timestamp (carrier only),
+//	               Payload = *barRelease or nil (SC: no notices to carry)
 //
 // A nil proto.VC boxes into Payload without allocating, so SC — where
 // synchronization carries no consistency payload — stays allocation-free.
+// Under a proto.TimestampCarrier protocol (tlc) the B fields above carry
+// a scalar logical timestamp, 8 extra bytes per message; for every other
+// protocol they stay zero and the wire sizes are unchanged.
 type grant struct {
 	ivs    []proto.Interval
 	fromVC proto.VC
@@ -59,6 +65,7 @@ type lockState struct {
 	held         bool
 	holder       int
 	lastReleaser int
+	lastTS       int64 // logical timestamp of the last release (carrier protocols)
 	queue        []waiter
 }
 
@@ -66,12 +73,19 @@ type lockState struct {
 type Sync struct {
 	env   *proto.Env
 	proto proto.Protocol
+	// ts is non-nil when the protocol carries scalar logical timestamps
+	// at synchronization (tlc); every timestamp hook below is gated on
+	// it, so other protocols' runs are byte-identical to before.
+	ts proto.TimestampCarrier
 
 	locks map[int]*lockState
 
 	// Barrier state (master is node 0).
 	barCount int
 	barVCs   []proto.VC
+	// barMaxTS is the running maximum of the arrival timestamps of the
+	// barrier in progress (carrier protocols only).
+	barMaxTS int64
 
 	// epoch counts completed global barriers (1-based: it becomes 1 when
 	// every node has arrived at the first barrier).
@@ -94,7 +108,10 @@ func New(env *proto.Env) *Sync {
 }
 
 // SetProtocol attaches the coherence protocol whose hooks the manager calls.
-func (s *Sync) SetProtocol(p proto.Protocol) { s.proto = p }
+func (s *Sync) SetProtocol(p proto.Protocol) {
+	s.proto = p
+	s.ts, _ = p.(proto.TimestampCarrier)
+}
 
 // QueuedWaiters returns how many nodes are currently queued behind held
 // locks, machine-wide. Purely observational — a sum over the lock table,
@@ -141,10 +158,15 @@ func (s *Sync) Acquire(node, lock int) {
 // node's interval first (PreRelease may block, e.g. HLRC's diff flush).
 func (s *Sync) Release(node, lock int) {
 	s.closeInterval(node)
-	s.env.Send(node, &network.Msg{
+	m := &network.Msg{
 		Dst: s.lockHome(lock), Kind: kLockRelease, Block: -1,
 		A: int64(lock), Bytes: 8,
-	})
+	}
+	if s.ts != nil {
+		m.B = s.ts.ReleaseTS(node)
+		m.Bytes += 8
+	}
+	s.env.Send(node, m)
 }
 
 // closeInterval flushes node's pending writes and publishes its notices as
@@ -174,10 +196,15 @@ func (s *Sync) Barrier(node int) {
 		vc = s.env.VCs[node].Clone()
 		bytes += s.vcBytes()
 	}
-	s.env.Send(node, &network.Msg{
+	m := &network.Msg{
 		Dst: 0, Kind: kBarArrive, Block: -1,
 		Payload: vc, Bytes: bytes,
-	})
+	}
+	if s.ts != nil {
+		m.B = s.ts.ReleaseTS(node)
+		m.Bytes += 8
+	}
+	s.env.Send(node, m)
 	s.env.Procs[node].Block("barrier")
 }
 
@@ -241,7 +268,7 @@ func (s *Sync) handleAcquire(m *network.Msg) {
 	}
 	st.held = true
 	st.holder = m.Src
-	s.grantFrom(m.Dst, st.lastReleaser, lock, m.Src, vc)
+	s.grantFrom(m.Dst, st, lock, m.Src, vc)
 }
 
 func (s *Sync) handleRelease(m *network.Msg) {
@@ -251,6 +278,9 @@ func (s *Sync) handleRelease(m *network.Msg) {
 		panic(fmt.Sprintf("synch: release of lock %d by %d, holder %d held=%v", lock, m.Src, st.holder, st.held))
 	}
 	st.lastReleaser = m.Src
+	if s.ts != nil {
+		st.lastTS = m.B
+	}
 	if len(st.queue) == 0 {
 		st.held = false
 		return
@@ -258,22 +288,31 @@ func (s *Sync) handleRelease(m *network.Msg) {
 	w := st.queue[0]
 	st.queue = st.queue[1:]
 	st.holder = w.node
-	s.grantFrom(m.Dst, st.lastReleaser, lock, w.node, w.vc)
+	s.grantFrom(m.Dst, st, lock, w.node, w.vc)
 }
 
 // grantFrom routes the grant for lock to acquirer: directly from the home
 // when there is no consistency payload to compute, otherwise via the last
-// releaser, which knows which write notices the acquirer is missing.
-func (s *Sync) grantFrom(home, lastReleaser, lock, acquirer int, acqVC proto.VC) {
-	if !s.proto.UsesIntervals() || lastReleaser < 0 {
-		s.env.Send(home, &network.Msg{
+// releaser, which knows which write notices the acquirer is missing. A
+// timestamp-carrier protocol always takes the direct two-hop path — the
+// scalar release timestamp lives at the lock's home, so no third hop to
+// the releaser is needed (the measurable lock-latency edge tlc has over
+// the vector-clock protocols).
+func (s *Sync) grantFrom(home int, st *lockState, lock, acquirer int, acqVC proto.VC) {
+	if !s.proto.UsesIntervals() || st.lastReleaser < 0 {
+		m := &network.Msg{
 			Dst: acquirer, Kind: kLockGrant, Block: -1,
 			A: int64(lock), Bytes: 8,
-		})
+		}
+		if s.ts != nil {
+			m.B = st.lastTS
+			m.Bytes += 8
+		}
+		s.env.Send(home, m)
 		return
 	}
 	s.env.Send(home, &network.Msg{
-		Dst: lastReleaser, Kind: kLockGrantReq, Block: -1,
+		Dst: st.lastReleaser, Kind: kLockGrantReq, Block: -1,
 		A: int64(lock), B: int64(acquirer), Payload: acqVC,
 		Bytes: 8 + s.vcBytes(),
 	})
@@ -313,6 +352,9 @@ func (s *Sync) handleGrant(m *network.Msg) {
 			s.env.VCs[node].Merge(g.fromVC)
 		}
 	}
+	if s.ts != nil {
+		s.ts.AcquireTS(node, m.B)
+	}
 	s.proto.OnAcquireComplete(node)
 	s.env.Procs[node].Unblock()
 }
@@ -323,6 +365,9 @@ func (s *Sync) handleBarArrive(m *network.Msg) {
 	}
 	vc, _ := m.Payload.(proto.VC)
 	s.barVCs[m.Src] = vc
+	if s.ts != nil && m.B > s.barMaxTS {
+		s.barMaxTS = m.B
+	}
 	s.barCount++
 	if s.barCount < s.env.Nodes() {
 		return
@@ -370,10 +415,15 @@ func (s *Sync) releaseBarrier() {
 		if payload != nil {
 			msg.Payload = payload
 		}
+		if s.ts != nil {
+			msg.B = s.barMaxTS
+			msg.Bytes += 8
+		}
 		s.env.Send(0, &msg)
 	}
 	s.barCount = 0
 	s.barVCs = nil
+	s.barMaxTS = 0
 }
 
 // State is a deep snapshot of the synchronization layer at a barrier cut:
@@ -385,13 +435,14 @@ type State struct {
 	locks    map[int]*lockState
 	barCount int
 	barVCs   []proto.VC
+	barMaxTS int64
 	epoch    int
 }
 
 func cloneLocks(src map[int]*lockState) map[int]*lockState {
 	dst := make(map[int]*lockState, len(src))
 	for id, st := range src {
-		cp := &lockState{held: st.held, holder: st.holder, lastReleaser: st.lastReleaser}
+		cp := &lockState{held: st.held, holder: st.holder, lastReleaser: st.lastReleaser, lastTS: st.lastTS}
 		for _, w := range st.queue {
 			cp.queue = append(cp.queue, waiter{node: w.node, vc: w.vc.Clone()})
 		}
@@ -405,6 +456,7 @@ func (s *Sync) CaptureState() *State {
 	st := &State{
 		locks:    cloneLocks(s.locks),
 		barCount: s.barCount,
+		barMaxTS: s.barMaxTS,
 		epoch:    s.epoch,
 	}
 	if s.barVCs != nil {
@@ -422,6 +474,7 @@ func (s *Sync) CaptureState() *State {
 func (s *Sync) RestoreState(st *State) {
 	s.locks = cloneLocks(st.locks)
 	s.barCount = st.barCount
+	s.barMaxTS = st.barMaxTS
 	s.epoch = st.epoch
 	s.barVCs = nil
 	if st.barVCs != nil {
@@ -446,12 +499,14 @@ func (st *State) AddToDigest(d *proto.Digest) {
 		d.Bool(l.held)
 		d.Int(l.holder)
 		d.Int(l.lastReleaser)
+		d.I64(l.lastTS)
 		for _, w := range l.queue {
 			d.Int(w.node)
 			w.vc.AddToDigest(d)
 		}
 	}
 	d.Int(st.barCount)
+	d.I64(st.barMaxTS)
 	d.Int(st.epoch)
 	for _, vc := range st.barVCs {
 		vc.AddToDigest(d)
@@ -473,6 +528,9 @@ func (s *Sync) handleBarRelease(m *network.Msg) {
 		s.proto.ApplyNotices(node, b.ivs)
 		s.env.Stats[node].WriteNoticesRecv += int64(s.noticeCount(b.ivs))
 		s.env.VCs[node].Merge(b.merged)
+	}
+	if s.ts != nil {
+		s.ts.AcquireTS(node, m.B)
 	}
 	s.proto.OnAcquireComplete(node)
 	s.env.Procs[node].Unblock()
